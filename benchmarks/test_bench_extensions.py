@@ -1,0 +1,141 @@
+"""Benchmarks for the extension and sensitivity experiments."""
+
+from repro.experiments import (
+    ablation_placement,
+    ablation_sensors,
+    extension_full_suite,
+    extension_hierarchical,
+    extension_leakage,
+    extension_multiprogram,
+    sensitivity_floorplan,
+    validation_grid,
+)
+
+
+def _once(benchmark, fn, **kwargs):
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+
+
+def test_bench_ablation_sensors(benchmark):
+    result = _once(benchmark, ablation_sensors.run, quick=True)
+    by_sensor = {row["sensor"]: row for row in result.rows}
+    # Zero-mean noise stays safe; a low-reading sensor erodes safety.
+    assert by_sensor["noise 0.05K"]["pct_emergency"] == 0.0
+    assert by_sensor["offset -0.2K"]["max_temp_c"] > by_sensor["ideal"]["max_temp_c"]
+
+
+def test_bench_extension_hierarchical(benchmark):
+    result = _once(benchmark, extension_hierarchical.run, quick=True,
+                   benchmarks=("gcc",))
+    by_policy = {row["policy"]: row for row in result.rows}
+    assert by_policy["pid@101.9"]["pct_emergency"] > 0.0
+    assert by_policy["hier(pid@101.9)"]["pct_emergency"] == 0.0
+
+
+def test_bench_sensitivity_floorplan(benchmark):
+    result = _once(benchmark, sensitivity_floorplan.run, quick=True,
+                   scales=((0.7, 1.0), (1.0, 1.0), (1.5, 1.0)))
+    # The CT policy must stay safe and ahead on every floorplan.
+    assert all(row["ct_wins"] == "yes" for row in result.rows)
+    assert all(row["em_pid"] == 0.0 for row in result.rows)
+
+
+def test_bench_validation_grid(benchmark):
+    result = _once(benchmark, validation_grid.run, resolution=32)
+    # The lumped model must track the continuum grid closely.
+    assert result.extras["worst_steady_deviation_k"] < 0.3
+
+
+def test_bench_extension_leakage(benchmark):
+    result = _once(benchmark, extension_leakage.run, quick=True,
+                   fractions=(0.0, 0.2, 0.5))
+    by_fraction = {row["fraction"]: row for row in result.rows}
+    # Moderate leakage stays controllable; heavy leakage breaks
+    # fetch-side DTM authority (the analytic floor crosses 102 C).
+    assert by_fraction[0.2]["pid_em"] == 0.0
+    assert by_fraction[0.5]["dtm_has_authority"] == "NO"
+    assert by_fraction[0.5]["pid_em"] > 0.0
+
+
+def test_bench_ablation_placement(benchmark):
+    result = _once(benchmark, ablation_placement.run, quick=True)
+    by_coverage = {row["covers_hot_spot"]: row for row in result.rows}
+    # Any coverage including the hot spot is safe; missing it is not.
+    assert by_coverage["yes"]["pct_emergency"] == 0.0
+    assert by_coverage["NO"]["pct_emergency"] > 1.0
+
+
+def test_bench_extension_full_suite(benchmark):
+    result = _once(benchmark, extension_full_suite.run, quick=True)
+    assert len(result.rows) == 27  # 26 benchmarks + mean row
+    assert result.extras["loss_reduction"] > 0.5
+    # PID stays emergency-free on the extended benchmarks too.
+    extended = [row for row in result.rows if row["suite"] == "extended"]
+    assert all(row["em_pid"] == 0.0 for row in extended)
+
+
+def test_bench_extension_multiprogram(benchmark):
+    result = _once(benchmark, extension_multiprogram.run, quick=True,
+                   quanta=(100_000, 2_000_000))
+    by_quantum = {row["quantum"]: row for row in result.rows}
+    # Fine interleaving time-averages the heat; coarse inherits it.
+    assert by_quantum[100_000]["base_em"] < by_quantum[2_000_000]["base_em"]
+
+
+def test_bench_extension_predictive(benchmark):
+    from repro.experiments import extension_predictive
+
+    result = _once(benchmark, extension_predictive.run, quick=True,
+                   benchmarks=("gcc",), setpoints=(101.8,))
+    row = result.rows[0]
+    # Both controllers hold the setpoint without emergencies.
+    assert row["em_pid"] == 0.0
+    assert row["em_mpc"] == 0.0
+
+
+def test_bench_power_breakdown(benchmark):
+    from repro.experiments import power_breakdown as p1
+
+    result = _once(benchmark, p1.run, quick=True)
+    energy_rows = {row["policy"]: row for row in result.extras["energy_rows"]}
+    # Throttling policies trade energy for temperature: EPI rises.
+    assert energy_rows["toggle1"]["relative_epi"] > energy_rows["pid"]["relative_epi"] > 1.0
+
+
+def test_bench_validation_grid_dtm(benchmark):
+    from repro.experiments import validation_grid_dtm
+
+    result = _once(benchmark, validation_grid_dtm.run,
+                   instructions=600_000, resolution=20)
+    # The lumped-tuned PID must hold the continuum plant's hottest
+    # cell below the threshold while the unmanaged run exceeds it.
+    assert result.extras["unmanaged_max_cell"] > 102.0
+    assert result.extras["managed_max_cell"] < 102.0
+
+
+def test_bench_proxy_driven_dtm(benchmark):
+    from repro.experiments import proxy_driven_dtm
+
+    # Full budget: the parser failure needs the steady-state regime.
+    result = _once(benchmark, proxy_driven_dtm.run, benchmarks=("parser",))
+    row = result.rows[0]
+    # Temperature triggering prevents parser's emergencies; the
+    # chip-power trigger is blind to its localized hot spot.
+    assert row["em_temp"] == 0.0
+    assert row["em_chip"] > 0.0
+    assert row["em_struct"] == 0.0
+
+
+def test_bench_extension_heatsink_drift(benchmark):
+    from repro.experiments import extension_heatsink_drift
+
+    # Full horizon: the duty shedding only begins once the drifting
+    # heatsink pushes the hottest block to the setpoint (~18 s).
+    result = _once(benchmark, extension_heatsink_drift.run)
+    duty = result.extras["duty_trace"]
+    sink = result.extras["sink_trace"]
+    # The heatsink drifts upward and the PID eventually sheds duty to
+    # hold the block setpoint; no epoch enters emergency.
+    assert sink[-1] > sink[0]
+    assert min(duty) < 1.0
+    assert all(row["pct_emergency"] == 0.0 for row in result.rows)

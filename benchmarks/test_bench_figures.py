@@ -1,0 +1,96 @@
+"""One benchmark per paper figure and per ablation/calibration study."""
+
+from repro.experiments import (
+    ablation_interrupt,
+    ablation_mechanisms,
+    ablation_quantization,
+    ablation_sampling,
+    ablation_windup,
+    calibration_fast_engine,
+    figure1_control_loop,
+    figure2_package,
+    figure3_network_simplification,
+    figure4_traces,
+)
+
+
+def _once(benchmark, fn, **kwargs):
+    return benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+
+
+def test_bench_figure1(benchmark):
+    result = _once(benchmark, figure1_control_loop.run, samples=600)
+    assert not result.rows[0]["emergency"]
+
+
+def test_bench_figure2(benchmark):
+    result = _once(benchmark, figure2_package.run, duration_s=400.0)
+    assert result.rows[0]["steady_die_c"] == 77.0
+
+
+def test_bench_figure3(benchmark):
+    result = _once(benchmark, figure3_network_simplification.run)
+    assert result.extras["worst_deviation_k"] < 0.1
+
+
+def test_bench_figure4(benchmark):
+    # figure4's own parameter is also called "benchmark": pass it
+    # positionally to avoid colliding with the fixture keyword.
+    result = benchmark.pedantic(
+        lambda: figure4_traces.run("gcc", instructions=1_500_000),
+        rounds=1,
+        iterations=1,
+    )
+    by_policy = {row["policy"]: row for row in result.rows}
+    assert by_policy["pid"]["max_temp_c"] < 102.0
+    assert by_policy["none"]["max_temp_c"] > 102.0
+
+
+def test_bench_ablation_windup(benchmark):
+    result = _once(benchmark, ablation_windup.run, policies=("pid",))
+    by_mode = {row["anti_windup"]: row for row in result.rows}
+    # The paper's Section 3.3 failure mode: no protection -> emergencies.
+    assert by_mode["none"]["pct_emergency"] > 0.0
+    assert by_mode["conditional"]["pct_emergency"] == 0.0
+
+
+def test_bench_ablation_sampling(benchmark):
+    result = _once(
+        benchmark, ablation_sampling.run, quick=True,
+        intervals=(1000, 8000, 32000),
+    )
+    # No emergencies at any interval well below the thermal constant.
+    assert all(row["pct_emergency"] == 0.0 for row in result.rows)
+
+
+def test_bench_ablation_interrupt(benchmark):
+    result = _once(
+        benchmark, ablation_interrupt.run, quick=True, benchmarks=("gcc",)
+    )
+    by_mode = {row["signaling"]: row for row in result.rows}
+    assert by_mode["interrupt"]["stall_cycles"] > 0
+    assert by_mode["direct"]["stall_cycles"] == 0
+
+
+def test_bench_ablation_quantization(benchmark):
+    result = _once(
+        benchmark, ablation_quantization.run, quick=True, levels=(2, 8, 64)
+    )
+    assert all(row["pct_emergency"] == 0.0 for row in result.rows)
+
+
+def test_bench_ablation_mechanisms(benchmark):
+    result = _once(benchmark, ablation_mechanisms.run, quick=True)
+    by_mechanism = {row["mechanism"]: row for row in result.rows}
+    # Throttling leaves the bpred hot spot warmer than toggling does.
+    assert (
+        by_mechanism["throttling"]["max_temp_c"]
+        > by_mechanism["toggling"]["max_temp_c"]
+    )
+
+
+def test_bench_calibration(benchmark):
+    # Full budgets here: this bench is the calibration of record for
+    # the fast engine's supply model (quick mode under-warms the core).
+    result = _once(benchmark, calibration_fast_engine.run)
+    assert result.extras["worst_error"] < 0.1

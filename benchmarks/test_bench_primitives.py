@@ -1,0 +1,105 @@
+"""Microbenchmarks of the library's hot primitives.
+
+These measure the cost of the operations the simulators execute
+millions of times: the per-cycle thermal update (paper Eq. 5), the
+exact sampling-interval update, a controller step, a cache access, a
+branch prediction, the toggling gate, one detailed-core cycle, and one
+fast-engine sample.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.control.pid import PIDController
+from repro.dtm.mechanisms import FetchToggling
+from repro.dtm.policies import make_policy
+from repro.sim.fast import FastEngine
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.lumped import LumpedThermalModel
+from repro.uarch.branch.hybrid import HybridPredictor
+from repro.uarch.caches import Cache
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.workloads.generator import instruction_stream
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture
+def floorplan():
+    return Floorplan.default()
+
+
+def test_bench_thermal_step_cycle(benchmark, floorplan):
+    """One forward-Euler cycle of the lumped model (Eq. 5)."""
+    model = LumpedThermalModel(floorplan, 100.0)
+    powers = np.array([b.peak_power for b in floorplan.blocks])
+    benchmark(model.step_cycle, powers)
+
+
+def test_bench_thermal_advance_sample(benchmark, floorplan):
+    """One exact 1000-cycle exponential update."""
+    model = LumpedThermalModel(floorplan, 100.0)
+    powers = np.array([b.peak_power for b in floorplan.blocks])
+    benchmark(model.advance, powers, 1000)
+
+
+def test_bench_pid_update(benchmark):
+    """One PID controller sample."""
+    controller = PIDController(
+        85.0, 4.9e5, 0.0, setpoint=101.8, sample_time=667e-9,
+        output_limits=(0.0, 1.0),
+    )
+    measurements = itertools.cycle([101.7, 101.85, 101.9, 101.75])
+    benchmark(lambda: controller.update(next(measurements)))
+
+
+def test_bench_cache_access(benchmark, machine_config=None):
+    """One L1 access over a mixed address stream."""
+    from repro.config import CacheConfig
+
+    cache = Cache(CacheConfig("dl1", 64 * 1024, 2, 32, 1))
+    addresses = itertools.cycle(range(0, 256 * 1024, 40))
+    benchmark(lambda: cache.access(next(addresses)))
+
+
+def test_bench_branch_prediction(benchmark):
+    """One hybrid predict + resolve."""
+    predictor = HybridPredictor()
+    pcs = itertools.cycle(range(0x400000, 0x400000 + 64 * 8, 8))
+
+    def predict_resolve():
+        pc = next(pcs)
+        prediction = predictor.predict(pc)
+        predictor.resolve(pc, prediction, True, pc + 64)
+
+    benchmark(predict_resolve)
+
+
+def test_bench_toggling_gate(benchmark):
+    """One fetch-gate decision."""
+    toggling = FetchToggling()
+    toggling.set_output(3 / 7)
+    cycles = itertools.count()
+    benchmark(lambda: toggling.allows(next(cycles)))
+
+
+def test_bench_detailed_core_cycle(benchmark):
+    """One cycle of the out-of-order core on a gcc-like stream."""
+    core = OutOfOrderCore(
+        MachineConfig(), instruction_stream(get_profile("gcc"), seed=1)
+    )
+    core.run(max_cycles=5000)  # warm structures first
+    benchmark(core.step)
+
+
+def test_bench_fast_engine_per_million_instructions(benchmark):
+    """A full fast-engine run (1 M instructions, PID-managed)."""
+
+    def run():
+        engine = FastEngine(get_profile("gcc"), policy=make_policy("pid"))
+        return engine.run(instructions=1_000_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.emergency_fraction == 0.0

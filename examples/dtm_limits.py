@@ -1,0 +1,100 @@
+"""Where DTM breaks: sensors, leakage, and the case for a backup.
+
+The paper's DTM never fails because its world is ideal: a sensor on
+every block, dynamic-only power. This example walks the three ways the
+real world erodes that guarantee — and what restores it:
+
+1. **sensor placement** (the paper's own Section 4.2 caveat): a sensor
+   set that misses the hot spot leaves the controller blind;
+2. **temperature-dependent leakage**: past a leakage level, even
+   duty-0 cannot keep the hottest block below the threshold —
+   fetch-side DTM loses authority entirely;
+3. **hierarchical backup** (the paper's Section 2.1 deployment
+   sketch): an emergency full-stop below the threshold restores
+   safety against sensor error.
+
+Run:  python examples/dtm_limits.py
+"""
+
+from repro import FastEngine, get_profile, make_policy
+from repro.dtm.policies import HierarchicalPolicy
+from repro.power.leakage import LeakageModel
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.sensors import NoisySensor
+
+INSTRUCTIONS = 2_000_000
+
+
+def sensor_placement() -> None:
+    print("=== 1. sensor placement ===")
+    for label, monitored in (
+        ("sensor on every block", None),
+        ("one sensor, on the regfile (the hot spot)", ("regfile",)),
+        ("six sensors, none on the regfile",
+         ("lsq", "window", "bpred", "dcache", "int_exec", "fp_exec")),
+    ):
+        result = FastEngine(
+            get_profile("gcc"),
+            policy=make_policy("pid"),
+            monitored_blocks=monitored,
+        ).run(instructions=INSTRUCTIONS)
+        print(f"  {label}: {100 * result.emergency_fraction:5.1f}% emergency, "
+              f"max {result.max_temperature:.2f} C")
+    print("  -> placement, not sensor count, is what matters.\n")
+
+
+def leakage_authority() -> None:
+    print("=== 2. leakage and DTM authority ===")
+    regfile = Floorplan.default().block("regfile")
+    for fraction in (0.0, 0.2, 0.5):
+        leakage = LeakageModel(fraction_of_peak=fraction) if fraction else None
+        floor = (
+            LeakageModel(fraction_of_peak=fraction).throttled_floor_temperature(
+                regfile, 100.0
+            )
+            if fraction
+            else 100.48
+        )
+        result = FastEngine(
+            get_profile("gcc"), policy=make_policy("pid"), leakage=leakage
+        ).run(instructions=INSTRUCTIONS)
+        verdict = "in control" if result.emergency_fraction == 0 else "AUTHORITY LOST"
+        print(
+            f"  leak fraction {fraction:.1f}: throttled floor {floor:6.2f} C, "
+            f"PID max {result.max_temperature:.2f} C -> {verdict}"
+        )
+    print("  -> once the fully-throttled floor crosses 102 C, no fetch-side")
+    print("     policy can help; that is the handoff point to V/f scaling.\n")
+
+
+def hierarchical_backup() -> None:
+    print("=== 3. hierarchical backup vs sensor error ===")
+    bad_sensor = NoisySensor(noise_sigma=0.03, offset=-0.1, seed=2)
+    plain = FastEngine(
+        get_profile("gcc"),
+        policy=make_policy("pid", setpoint=101.9),
+        sensor=bad_sensor,
+    ).run(instructions=INSTRUCTIONS)
+    guarded = FastEngine(
+        get_profile("gcc"),
+        policy=HierarchicalPolicy(
+            make_policy("pid", setpoint=101.9), backup_trigger=101.85
+        ),
+        sensor=bad_sensor,
+    ).run(instructions=INSTRUCTIONS)
+    print(f"  aggressive PID alone:  {100 * plain.emergency_fraction:.2f}% "
+          f"emergency (max {plain.max_temperature:.2f} C)")
+    print(f"  + emergency backup:    {100 * guarded.emergency_fraction:.2f}% "
+          f"emergency (max {guarded.max_temperature:.2f} C)")
+    print("  -> the backup converts an unsafe aggressive configuration")
+    print("     back to emergency-free.")
+
+
+def main() -> None:
+    sensor_placement()
+    leakage_authority()
+    hierarchical_backup()
+
+
+if __name__ == "__main__":
+    main()

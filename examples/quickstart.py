@@ -1,0 +1,45 @@
+"""Quickstart: thermal management of one hot benchmark in ~30 lines.
+
+Runs the gcc-like workload on the simulated Alpha-21264-class machine
+three ways -- unmanaged, with the classic fixed toggle1 response, and
+with the paper's PID controller -- and prints the two metrics the paper
+uses: percent of cycles in thermal emergency and percent of the
+unmanaged IPC retained.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FastEngine, get_profile, make_policy
+
+INSTRUCTIONS = 2_000_000
+
+
+def main() -> None:
+    profile = get_profile("gcc")
+
+    baseline = FastEngine(profile).run(instructions=INSTRUCTIONS)
+    print(f"benchmark: {profile.name} ({profile.category.value} thermal demand)")
+    print(
+        f"unmanaged: IPC {baseline.ipc:.2f}, "
+        f"max temp {baseline.max_temperature:.2f} C, "
+        f"{100 * baseline.emergency_fraction:.1f}% of cycles in emergency"
+    )
+
+    for policy_name in ("toggle1", "pid"):
+        policy = make_policy(policy_name)
+        result = FastEngine(profile, policy=policy).run(instructions=INSTRUCTIONS)
+        print(
+            f"{policy_name:>9}: IPC {result.ipc:.2f} "
+            f"({100 * result.relative_ipc(baseline):.1f}% of unmanaged), "
+            f"max temp {result.max_temperature:.2f} C, "
+            f"{100 * result.emergency_fraction:.2f}% emergency"
+        )
+
+    print()
+    print("The PID controller rides just below the 102 C threshold and")
+    print("keeps most of the performance; toggle1 must trigger a full")
+    print("degree early and loses far more.")
+
+
+if __name__ == "__main__":
+    main()

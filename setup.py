@@ -1,0 +1,7 @@
+"""Legacy setup shim: environments without the ``wheel`` package cannot
+build PEP 660 editable wheels, so ``pip install -e . --no-use-pep517``
+falls back to this."""
+
+from setuptools import setup
+
+setup()

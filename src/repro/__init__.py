@@ -1,0 +1,60 @@
+"""repro: control-theoretic dynamic thermal management with localized
+thermal-RC modeling.
+
+A full reproduction of Skadron, Abdelzaher & Stan, "Control-Theoretic
+Techniques and Thermal-RC Modeling for Accurate and Localized Dynamic
+Thermal Management" (HPCA 2002), including the microarchitectural,
+power, and thermal substrates the paper builds on.
+
+Quick start::
+
+    from repro import FastEngine, get_profile, make_policy
+
+    policy = make_policy("pid")
+    result = FastEngine(get_profile("gcc"), policy=policy).run()
+    print(result.ipc, result.emergency_fraction)
+"""
+
+from repro.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    DTMConfig,
+    MachineConfig,
+    ThermalConfig,
+)
+from repro.control import PIDController, dtm_plant, simulate_step_response, tune
+from repro.dtm import DTMManager, FetchToggling, make_policy
+from repro.errors import ReproError
+from repro.power import PowerModel
+from repro.sim import DetailedSimulator, FastEngine, RunResult, run_suite
+from repro.thermal import Floorplan, LumpedThermalModel, PackageModel
+from repro.workloads import BENCHMARKS, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "DTMConfig",
+    "DTMManager",
+    "DetailedSimulator",
+    "FastEngine",
+    "FetchToggling",
+    "Floorplan",
+    "LumpedThermalModel",
+    "MachineConfig",
+    "PIDController",
+    "PackageModel",
+    "PowerModel",
+    "ReproError",
+    "RunResult",
+    "ThermalConfig",
+    "dtm_plant",
+    "get_profile",
+    "make_policy",
+    "run_suite",
+    "simulate_step_response",
+    "tune",
+    "__version__",
+]

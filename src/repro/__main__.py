@@ -1,0 +1,119 @@
+"""Command-line interface: run benchmarks under DTM policies.
+
+Examples::
+
+    python -m repro run gcc --policy pid
+    python -m repro run mesa --policy toggle1 --instructions 3000000
+    python -m repro compare gcc --policies toggle1 m pid
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dtm.policies import POLICY_NAMES
+from repro.sim.sweep import run_one
+from repro.workloads.profiles import BENCHMARKS, get_profile
+
+
+def _print_result(result, baseline=None) -> None:
+    print(f"benchmark:        {result.benchmark}")
+    print(f"policy:           {result.policy}")
+    print(f"cycles:           {result.cycles:,}")
+    print(f"instructions:     {result.instructions:,.0f}")
+    print(f"IPC:              {result.ipc:.3f}")
+    if baseline is not None:
+        print(f"% of non-DTM IPC: {100 * result.relative_ipc(baseline):.1f}")
+    print(f"mean chip power:  {result.mean_chip_power:.1f} W")
+    print(f"max temperature:  {result.max_temperature:.3f} C")
+    print(f"emergency cycles: {100 * result.emergency_fraction:.3f} %")
+    print(f"stress cycles:    {100 * result.stress_fraction:.3f} %")
+
+
+def cmd_list(_args) -> int:
+    print("benchmarks (thermal category):")
+    for name, profile in BENCHMARKS.items():
+        print(f"  {name:10s} {profile.category.value:8s} "
+              f"mean IPC {profile.mean_ipc:.2f}")
+    print("\npolicies:", ", ".join(POLICY_NAMES))
+    return 0
+
+
+def cmd_run(args) -> int:
+    get_profile(args.benchmark)  # validate early, friendly error
+    baseline = None
+    if args.policy != "none":
+        baseline = run_one(
+            args.benchmark, "none", instructions=args.instructions,
+            seed=args.seed,
+        )
+    result = run_one(
+        args.benchmark,
+        args.policy,
+        instructions=args.instructions,
+        seed=args.seed,
+        setpoint=args.setpoint,
+    )
+    _print_result(result, baseline)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    baseline = run_one(
+        args.benchmark, "none", instructions=args.instructions, seed=args.seed
+    )
+    print(f"{args.benchmark}: baseline IPC {baseline.ipc:.3f}, "
+          f"{100 * baseline.emergency_fraction:.2f}% emergency")
+    header = f"{'policy':>8} {'%IPC':>7} {'em%':>8} {'maxT':>9}"
+    print(header)
+    print("-" * len(header))
+    for policy in args.policies:
+        result = run_one(
+            args.benchmark, policy, instructions=args.instructions,
+            seed=args.seed,
+        )
+        print(
+            f"{policy:>8} {100 * result.relative_ipc(baseline):7.1f} "
+            f"{100 * result.emergency_fraction:8.3f} "
+            f"{result.max_temperature:9.3f}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Control-theoretic DTM with localized thermal-RC modeling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and policies")
+
+    run_parser = sub.add_parser("run", help="run one benchmark under one policy")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("--policy", default="pid", choices=POLICY_NAMES)
+    run_parser.add_argument("--instructions", type=float, default=2_000_000)
+    run_parser.add_argument("--setpoint", type=float, default=None)
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    compare_parser = sub.add_parser(
+        "compare", help="compare several policies on one benchmark"
+    )
+    compare_parser.add_argument("benchmark")
+    compare_parser.add_argument(
+        "--policies", nargs="+", default=["toggle1", "m", "pid"],
+        choices=[p for p in POLICY_NAMES if p != "none"],
+    )
+    compare_parser.add_argument("--instructions", type=float, default=2_000_000)
+    compare_parser.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    commands = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare}
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

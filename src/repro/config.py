@@ -1,0 +1,209 @@
+"""Configuration dataclasses for the simulated machine and the DTM system.
+
+``MachineConfig`` mirrors Table 2 of the paper (an Alpha-21264-like
+out-of-order core with the paper's extensions: three extra rename /
+enqueue stages between decode and issue, and single-access-per-cycle
+fetch).  ``ThermalConfig`` and ``DTMConfig`` carry the thermal operating
+point and the DTM policy parameters from Sections 4-5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache (Table 2 memory hierarchy)."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.block_bytes <= 0:
+            raise ConfigError(f"{self.name}: sizes must be positive")
+        if self.associativity <= 0:
+            raise ConfigError(f"{self.name}: associativity must be positive")
+        if self.size_bytes % (self.block_bytes * self.associativity):
+            raise ConfigError(
+                f"{self.name}: size must be a multiple of assoc * block size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by size, associativity, and block size."""
+        return self.size_bytes // (self.block_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Hybrid predictor of Table 2: bimodal + GAg with a bimodal chooser."""
+
+    bimodal_entries: int = 4096
+    global_entries: int = 4096
+    global_history_bits: int = 12
+    chooser_entries: int = 4096
+    btb_entries: int = 1024
+    btb_associativity: int = 2
+    ras_entries: int = 32
+
+    def __post_init__(self) -> None:
+        for name in ("bimodal_entries", "global_entries", "chooser_entries"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ConfigError(f"{name} must be a positive power of two")
+        if self.global_history_bits <= 0:
+            raise ConfigError("global_history_bits must be positive")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The simulated processor microarchitecture (paper Table 2).
+
+    The defaults reproduce the paper's configuration exactly; individual
+    fields can be overridden for sensitivity studies.
+    """
+
+    # Processor core.
+    ruu_entries: int = 80
+    lsq_entries: int = 40
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 6
+    int_issue_width: int = 4
+    fp_issue_width: int = 2
+    commit_width: int = 6
+    #: Extra rename/enqueue stages between decode and issue (paper
+    #: Section 5.1 adds three to SimpleScalar's five-stage pipeline).
+    extra_pipe_stages: int = 3
+
+    # Functional units (count per type).
+    int_alus: int = 4
+    int_mult_div: int = 1
+    fp_alus: int = 2
+    fp_mult_div: int = 1
+    mem_ports: int = 2
+
+    # Memory hierarchy.
+    l1_dcache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("dl1", 64 * 1024, 2, 32, 1)
+    )
+    l1_icache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("il1", 64 * 1024, 2, 32, 1)
+    )
+    l2_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig("ul2", 2 * 1024 * 1024, 4, 32, 11)
+    )
+    memory_latency: int = 100
+    tlb_entries: int = 128
+    tlb_miss_penalty: int = 30
+
+    # Branch prediction.
+    branch_predictor: BranchPredictorConfig = field(
+        default_factory=BranchPredictorConfig
+    )
+    branch_mispredict_penalty: int = 10
+
+    # Operating point.
+    clock_hz: float = units.CLOCK_HZ
+    vdd: float = units.VDD
+
+    def __post_init__(self) -> None:
+        if self.ruu_entries <= 0 or self.lsq_entries <= 0:
+            raise ConfigError("RUU and LSQ must have positive capacity")
+        if self.lsq_entries > self.ruu_entries:
+            raise ConfigError("LSQ cannot be larger than the RUU")
+        if self.issue_width <= 0 or self.fetch_width <= 0:
+            raise ConfigError("widths must be positive")
+        if self.clock_hz <= 0:
+            raise ConfigError("clock_hz must be positive")
+
+    @property
+    def cycle_time(self) -> float:
+        """One clock period in seconds."""
+        return 1.0 / self.clock_hz
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Thermal operating point (Sections 4-5, reconstructed calibration).
+
+    The heatsink is treated as an isothermal reference over the short
+    horizons the block model covers (its time constant is ~5 orders of
+    magnitude longer than any block's).
+    """
+
+    #: Heatsink / reference temperature under sustained load [degC].
+    heatsink_temperature: float = 100.0
+    #: Thermal emergency threshold [degC].
+    emergency_temperature: float = 102.0
+    #: Ambient air temperature [degC] (package model, Table 4 caption).
+    ambient_temperature: float = 27.0
+    #: Chip-wide lumped thermal resistance with heatsink [K/W].
+    chip_thermal_resistance: float = 0.34
+    #: Heatsink thermal capacitance [J/K] (Section 4.1 example).
+    heatsink_capacitance: float = 60.0
+    #: Die thickness [m].
+    die_thickness: float = units.DIE_THICKNESS
+
+    def __post_init__(self) -> None:
+        if self.emergency_temperature <= self.heatsink_temperature:
+            raise ConfigError(
+                "emergency threshold must exceed the heatsink temperature"
+            )
+        if self.chip_thermal_resistance <= 0 or self.heatsink_capacitance <= 0:
+            raise ConfigError("chip R and heatsink C must be positive")
+        if self.die_thickness <= 0:
+            raise ConfigError("die thickness must be positive")
+
+    @property
+    def headroom(self) -> float:
+        """Temperature headroom between heatsink and emergency [K]."""
+        return self.emergency_temperature - self.heatsink_temperature
+
+
+@dataclass(frozen=True)
+class DTMConfig:
+    """Parameters shared by all DTM policies (Sections 2, 3, 5.3)."""
+
+    #: Controller / policy sampling interval in cycles.
+    sampling_interval: int = units.SAMPLING_INTERVAL_CYCLES
+    #: Trigger threshold for the non-CT policies (toggle1, M) [degC].
+    nonct_trigger: float = 101.0
+    #: Setpoint for the P controller [degC].
+    p_setpoint: float = 101.4
+    #: Half-width of the P controller's sensor range [K].
+    p_sensor_halfrange: float = 0.4
+    #: Setpoint for the PI and PID controllers [degC].
+    pid_setpoint: float = 101.8
+    #: Half-width of the PI/PID sensor range [K].
+    pid_sensor_halfrange: float = 0.2
+    #: Number of discrete fetch-toggling duty levels (Section 5.3).
+    toggle_levels: int = 8
+    #: Minimum time a non-CT policy stays engaged once triggered, which
+    #: is also its trigger re-check interval [cycles].  Brooks &
+    #: Martonosi's interrupt-driven policies re-evaluate the thermal
+    #: condition only at this granularity -- the reason their trigger
+    #: must sit a full degree below the emergency threshold, while the
+    #: CT policies (checked every sampling interval in hardware) can
+    #: trigger within 0.2-0.4 degC of it.
+    policy_delay: int = 100_000
+    #: True to model DTM engagement via OS interrupts (250-cycle stalls);
+    #: False for the direct microarchitectural signal the paper assumes.
+    use_interrupts: bool = False
+    #: Stall cost of one interrupt [cycles].
+    interrupt_cost: int = units.INTERRUPT_COST_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.sampling_interval <= 0:
+            raise ConfigError("sampling_interval must be positive")
+        if self.toggle_levels < 2:
+            raise ConfigError("need at least two toggle levels (off and on)")
+        if self.policy_delay < 0 or self.interrupt_cost < 0:
+            raise ConfigError("delays must be non-negative")

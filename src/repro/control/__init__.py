@@ -1,0 +1,36 @@
+"""Feedback control (paper Section 3).
+
+* :mod:`repro.control.plant` -- first-order-plus-dead-time (FOPDT)
+  models of the controlled thermal process.
+* :mod:`repro.control.pid` -- the discrete PID controller family with
+  saturation and anti-windup.
+* :mod:`repro.control.tuning` -- Laplace-domain phase-margin tuning of
+  P / PI / PD / PID gains from a plant model.
+* :mod:`repro.control.analysis` -- closed-loop step-response simulation
+  and stability/overshoot/settling metrics.
+"""
+
+from repro.control.analysis import (
+    StepResponse,
+    max_safe_setpoint,
+    simulate_step_response,
+)
+from repro.control.frequency import LoopMargins, measure_margins, open_loop_response
+from repro.control.pid import AntiWindup, PIDController
+from repro.control.plant import FirstOrderPlant, dtm_plant
+from repro.control.tuning import ControllerGains, tune
+
+__all__ = [
+    "AntiWindup",
+    "ControllerGains",
+    "FirstOrderPlant",
+    "LoopMargins",
+    "PIDController",
+    "StepResponse",
+    "dtm_plant",
+    "max_safe_setpoint",
+    "measure_margins",
+    "open_loop_response",
+    "simulate_step_response",
+    "tune",
+]

@@ -1,0 +1,175 @@
+"""Closed-loop step-response simulation and controller quality metrics.
+
+The paper notes that controllers "can be designed with guaranteed
+settling times" and that overshoot analysis "can be used to choose a
+setpoint that is as high as possible without risking an actual
+emergency".  This module provides exactly that analysis: it closes the
+loop between a :class:`~repro.control.pid.PIDController` and a
+first-order-plus-dead-time plant, applies a setpoint step, and reports
+overshoot, settling time, steady-state error, and a boundedness-based
+stability verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.control.pid import PIDController
+from repro.control.plant import FirstOrderPlant
+from repro.errors import ControllerError
+
+
+def max_safe_setpoint(
+    controller: PIDController,
+    plant: FirstOrderPlant,
+    emergency_level: float,
+    reference_level: float,
+    margin: float = 0.0,
+    probe_step: float | None = None,
+) -> float:
+    """The highest setpoint that cannot overshoot into emergency.
+
+    The paper: "an analysis of the maximum overshoot can be used to
+    choose a setpoint that is as high as possible without risking an
+    actual emergency."  We measure the worst-case overshoot with a
+    full-range setpoint step (``probe_step`` defaults to the plant's
+    whole actuator authority) and back the setpoint off the emergency
+    threshold by that overshoot plus ``margin``.
+
+    ``reference_level`` is the temperature at zero plant output (the
+    heatsink temperature for the DTM plant).
+    """
+    if emergency_level <= reference_level:
+        raise ControllerError("emergency level must exceed the reference")
+    step = probe_step if probe_step is not None else abs(plant.gain)
+    response = simulate_step_response(controller, plant, setpoint=step)
+    headroom = emergency_level - reference_level
+    setpoint_rise = headroom - response.overshoot - margin
+    if setpoint_rise <= 0:
+        raise ControllerError(
+            "controller overshoot exceeds the entire thermal headroom"
+        )
+    return reference_level + min(setpoint_rise, headroom)
+
+
+@dataclass(frozen=True)
+class StepResponse:
+    """Summary of a closed-loop setpoint step."""
+
+    times: tuple[float, ...]
+    outputs: tuple[float, ...]
+    setpoint: float
+    overshoot: float
+    overshoot_fraction: float
+    settling_time: float
+    steady_state_error: float
+    stable: bool
+
+    @property
+    def final_value(self) -> float:
+        """Plant output at the end of the simulation."""
+        return self.outputs[-1]
+
+
+def simulate_step_response(
+    controller: PIDController,
+    plant: FirstOrderPlant,
+    setpoint: float,
+    initial_output: float = 0.0,
+    duration: float | None = None,
+    disturbance: float = 0.0,
+    settling_band: float = 0.02,
+) -> StepResponse:
+    """Drive ``plant`` with ``controller`` toward a stepped setpoint.
+
+    The plant is simulated at the controller's sample time with the
+    exact first-order update and the dead time modeled as a delay line
+    of whole samples.  ``disturbance`` is a constant additive input
+    (e.g. workload power not under the actuator's control).
+
+    The loop "output" here is the plant output (temperature rise); the
+    setpoint step is from ``initial_output`` to ``setpoint``.
+    """
+    h = controller.sample_time
+    if duration is None:
+        duration = max(20.0 * plant.time_constant, 50.0 * h)
+    steps = int(math.ceil(duration / h))
+    if steps < 10:
+        raise ControllerError("simulation too short to analyze")
+
+    controller.reset()
+    controller.setpoint = setpoint
+
+    delay_samples = int(round(plant.dead_time / h))
+    pending: deque[float] = deque(
+        [initial_output / plant.gain if plant.gain else 0.0] * (delay_samples + 1),
+        maxlen=delay_samples + 1,
+    )
+
+    output = initial_output
+    times: list[float] = []
+    outputs: list[float] = []
+    decay = math.exp(-h / plant.time_constant)
+    for n in range(steps):
+        command = controller.update(output)
+        pending.append(command)
+        effective = pending[0]
+        target = plant.gain * effective + disturbance
+        output = target + (output - target) * decay
+        times.append((n + 1) * h)
+        outputs.append(output)
+
+    return _summarize(times, outputs, setpoint, initial_output, settling_band)
+
+
+def _summarize(
+    times: list[float],
+    outputs: list[float],
+    setpoint: float,
+    initial_output: float,
+    settling_band: float,
+) -> StepResponse:
+    step_size = setpoint - initial_output
+    span = abs(step_size) if step_size else max(abs(setpoint), 1.0)
+
+    if step_size >= 0:
+        peak = max(outputs)
+        overshoot = max(0.0, peak - setpoint)
+    else:
+        trough = min(outputs)
+        overshoot = max(0.0, setpoint - trough)
+    overshoot_fraction = overshoot / span
+
+    band = settling_band * span
+    settling_time = times[-1]
+    for index in range(len(outputs) - 1, -1, -1):
+        if abs(outputs[index] - setpoint) > band:
+            settling_time = times[index + 1] if index + 1 < len(times) else times[-1]
+            break
+    else:
+        settling_time = times[0]
+
+    steady_state_error = setpoint - outputs[-1]
+
+    # Stability heuristic: the last quarter of the response must stay
+    # near the setpoint and must not oscillate with a growing envelope.
+    tail = outputs[3 * len(outputs) // 4 :]
+    tail_dev = [abs(value - setpoint) for value in tail]
+    bounded = max(tail_dev) <= max(2.0 * span, 10.0 * band)
+    first_half = tail_dev[: len(tail_dev) // 2] or [0.0]
+    second_half = tail_dev[len(tail_dev) // 2 :] or [0.0]
+    not_growing = max(second_half) <= max(max(first_half), band) * 1.5 + 1e-12
+    stable = bool(bounded and not_growing)
+
+    return StepResponse(
+        times=tuple(times),
+        outputs=tuple(outputs),
+        setpoint=setpoint,
+        overshoot=overshoot,
+        overshoot_fraction=overshoot_fraction,
+        settling_time=settling_time,
+        steady_state_error=steady_state_error,
+        stable=stable,
+    )

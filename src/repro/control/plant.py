@@ -1,0 +1,73 @@
+"""First-order-plus-dead-time (FOPDT) plant models (paper Eq. 3).
+
+The thermal dynamics of a controlled block are modeled as
+
+    P(s) = K * exp(-s*D) / (1 + s*tau)
+
+where, per the paper:
+
+* ``tau`` is the block's thermal RC time constant (the paper uses the
+  *longest* time constant among the monitored blocks),
+* ``K`` is the steady-state gain from actuator input to temperature --
+  the thermal R times the actuator's power gain (fetch duty -> block
+  power, approximated by the block's peak power), and
+* ``D`` is the effective loop delay introduced by sampling: half the
+  sampling period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import ControllerError
+from repro.thermal.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class FirstOrderPlant:
+    """A FOPDT process: gain, time constant, and dead time (seconds)."""
+
+    gain: float
+    time_constant: float
+    dead_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain == 0:
+            raise ControllerError("plant gain must be nonzero")
+        if self.time_constant <= 0:
+            raise ControllerError("plant time constant must be positive")
+        if self.dead_time < 0:
+            raise ControllerError("plant dead time must be non-negative")
+
+    def steady_state_output(self, input_value: float) -> float:
+        """Output change produced by a sustained input change."""
+        return self.gain * input_value
+
+
+def dtm_plant(
+    floorplan: Floorplan,
+    block: str | None = None,
+    sampling_interval_cycles: int = units.SAMPLING_INTERVAL_CYCLES,
+    cycle_time: float = units.CYCLE_TIME,
+) -> FirstOrderPlant:
+    """The DTM plant seen by a fetch-toggling controller.
+
+    Input is the fetch duty (0..1); output is the block temperature rise
+    over the heatsink [K].  With no ``block`` given, a conservative
+    worst-case plant is built: the largest steady-state gain
+    (peak power * R, i.e. the largest peak temperature rise) combined
+    with the longest block time constant, which is what the paper tunes
+    against.
+    """
+    if sampling_interval_cycles <= 0:
+        raise ControllerError("sampling interval must be positive")
+    dead_time = 0.5 * sampling_interval_cycles * cycle_time
+    if block is None:
+        gain = max(b.peak_temperature_rise for b in floorplan.blocks)
+        tau = floorplan.longest_block_time_constant
+    else:
+        chosen = floorplan.block(block)
+        gain = chosen.peak_temperature_rise
+        tau = chosen.time_constant
+    return FirstOrderPlant(gain=gain, time_constant=tau, dead_time=dead_time)

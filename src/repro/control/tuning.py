@@ -1,0 +1,143 @@
+"""Laplace-domain controller tuning against a FOPDT plant.
+
+Paper Section 3.2 derives gains in the Laplace domain from the open
+loop
+
+    L(s) = C(s) * K * exp(-s*D) / (1 + s*tau)
+
+and closes the remaining degrees of freedom with conventional phase
+constraints ("common values that are known to work well in practice...
+successful with no tuning").  We implement the same methodology
+explicitly:
+
+* the integral time cancels the plant pole, ``Ti = tau`` (so the slow
+  thermal pole does not limit the loop);
+* the derivative time absorbs half the dead time, ``Td = D / 2``;
+* the proportional gain is then fixed by requiring the gain crossover
+  to occur where the open-loop phase leaves the requested **phase
+  margin** (default 60 degrees, plus the per-family phase offsets the
+  paper mentions: +45 deg for PD, 0 for PID, -45 deg for P).
+
+The resulting loop is provably stable for a true FOPDT plant (positive
+phase margin) and, as the paper stresses, robust to the plant being
+only approximately first order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ControllerError
+from repro.control.plant import FirstOrderPlant
+
+#: Per-family phase offsets (degrees) added to the base phase margin,
+#: mirroring the paper's phase-constant choices: the derivative action
+#: buys extra phase (PD), PID is neutral, and pure P gives some back.
+PHASE_OFFSETS_DEG: dict[str, float] = {"P": -45.0, "PI": 0.0, "PD": 45.0, "PID": 0.0}
+
+
+@dataclass(frozen=True)
+class ControllerGains:
+    """Parallel-form PID gains plus the design's crossover frequency."""
+
+    family: str
+    kp: float
+    ki: float
+    kd: float
+    crossover_rad_s: float
+    phase_margin_deg: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.family}: Kp={self.kp:.4g} Ki={self.ki:.4g} Kd={self.kd:.4g} "
+            f"(wc={self.crossover_rad_s:.4g} rad/s, PM={self.phase_margin_deg:.0f} deg)"
+        )
+
+
+def _solve_crossover(phase_fn, target_deg: float, w_max: float) -> float:
+    """Find w where the open-loop phase equals ``target_deg`` (bisection).
+
+    ``phase_fn`` must be monotonically decreasing in w, which holds for
+    every loop shape used here.
+    """
+    low, high = 1e-6, w_max
+    if phase_fn(high) > target_deg:
+        return high
+    if phase_fn(low) < target_deg:
+        raise ControllerError(
+            "requested phase margin unreachable: plant phase already below target"
+        )
+    for _ in range(200):
+        mid = math.sqrt(low * high)
+        if phase_fn(mid) > target_deg:
+            low = mid
+        else:
+            high = mid
+    return math.sqrt(low * high)
+
+
+def tune(
+    plant: FirstOrderPlant,
+    family: str = "PID",
+    phase_margin_deg: float = 60.0,
+) -> ControllerGains:
+    """Tune a P, PI, PD, or PID controller for a FOPDT plant.
+
+    Returns parallel-form gains (Kp, Ki, Kd) such that the open loop
+    crosses unity gain with the requested phase margin.
+    """
+    family = family.upper()
+    if family not in PHASE_OFFSETS_DEG:
+        raise ControllerError(f"unknown controller family {family!r}")
+    if not 5.0 <= phase_margin_deg <= 90.0:
+        raise ControllerError("phase margin must be between 5 and 90 degrees")
+
+    gain = abs(plant.gain)
+    tau = plant.time_constant
+    dead = plant.dead_time
+    margin = phase_margin_deg + PHASE_OFFSETS_DEG[family]
+    margin = min(max(margin, 5.0), 89.0)
+    target_phase = -180.0 + margin
+    deg = 180.0 / math.pi
+    # Keep the search inside the band where the delay approximation is
+    # meaningful (at w = pi/D the delay alone contributes -180 deg).
+    w_max = math.pi / dead if dead > 0 else 1e9 / tau
+
+    if family == "P":
+        def phase(w: float) -> float:
+            return (-math.atan(w * tau) - w * dead) * deg
+
+        wc = _solve_crossover(phase, target_phase, w_max)
+        kp = math.hypot(1.0, wc * tau) / gain
+        return ControllerGains("P", kp, 0.0, 0.0, wc, margin)
+
+    if family == "PD":
+        td = dead / 2.0 if dead > 0 else 0.1 * tau
+
+        def phase(w: float) -> float:
+            return (math.atan(w * td) - math.atan(w * tau) - w * dead) * deg
+
+        wc = _solve_crossover(phase, target_phase, w_max)
+        kp = math.hypot(1.0, wc * tau) / (gain * math.hypot(1.0, wc * td))
+        return ControllerGains("PD", kp, 0.0, kp * td, wc, margin)
+
+    if family == "PI":
+        # Ti = tau cancels the plant pole: L(s) = Kp*K*exp(-sD)/(tau*s).
+        def phase(w: float) -> float:
+            return (-90.0) - w * dead * deg
+
+        wc = _solve_crossover(phase, target_phase, w_max)
+        kp = tau * wc / gain
+        return ControllerGains("PI", kp, kp / tau, 0.0, wc, margin)
+
+    # PID: Ti = tau (pole cancellation), Td = D/2.
+    td = dead / 2.0 if dead > 0 else 0.05 * tau
+
+    def phase(w: float) -> float:
+        return (-90.0 + math.atan(w * td) * deg) - w * dead * deg
+
+    wc = _solve_crossover(phase, target_phase, w_max)
+    kp = tau * wc / (gain * math.hypot(1.0, wc * td))
+    return ControllerGains("PID", kp, kp / tau, kp * td, wc, margin)

@@ -1,0 +1,55 @@
+"""Dynamic thermal management (paper Sections 2, 3, 5.3, 6).
+
+* :mod:`repro.dtm.mechanisms` -- the response mechanisms: fetch
+  toggling (the paper's vehicle, with eight discrete duty levels),
+  fetch throttling, speculation control, and voltage/frequency scaling.
+* :mod:`repro.dtm.policies` -- who decides the response: fixed
+  toggling (toggle1/toggle2), the hand-built proportional scheme M,
+  and the control-theoretic P/PI/PD/PID policies.
+* :mod:`repro.dtm.triggers` -- trigger thresholds, hysteresis, and the
+  interrupt-cost model.
+* :mod:`repro.dtm.proxy` -- the boxcar power-average proxy of prior
+  work (Section 6 comparison).
+* :mod:`repro.dtm.manager` -- orchestration: sampling, policy checks,
+  quantization, interrupt accounting.
+"""
+
+from repro.dtm.manager import DTMManager
+from repro.dtm.mechanisms import (
+    DVFSScaling,
+    FetchThrottling,
+    FetchToggling,
+    SpeculationControl,
+)
+from repro.dtm.policies import (
+    ControlTheoreticPolicy,
+    FixedTogglePolicy,
+    HierarchicalPolicy,
+    ManualProportionalPolicy,
+    NoDTMPolicy,
+    POLICY_NAMES,
+    PredictivePolicy,
+    make_policy,
+)
+from repro.dtm.proxy import BoxcarPowerProxy, ProxyComparison
+from repro.dtm.triggers import InterruptModel, TriggerComparator
+
+__all__ = [
+    "BoxcarPowerProxy",
+    "ControlTheoreticPolicy",
+    "DTMManager",
+    "DVFSScaling",
+    "FetchThrottling",
+    "FetchToggling",
+    "FixedTogglePolicy",
+    "HierarchicalPolicy",
+    "InterruptModel",
+    "ManualProportionalPolicy",
+    "NoDTMPolicy",
+    "POLICY_NAMES",
+    "PredictivePolicy",
+    "ProxyComparison",
+    "SpeculationControl",
+    "TriggerComparator",
+    "make_policy",
+]

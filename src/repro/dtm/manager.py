@@ -1,0 +1,91 @@
+"""DTM orchestration: sampling, policy checks, quantization, interrupts.
+
+``DTMManager`` is the Figure 1 control loop minus the plant: every
+sampling interval it reads the hottest monitored sensor, consults the
+policy on the policy's own check cadence, quantizes the commanded duty
+through the fetch-toggling actuator, and accounts interrupt stalls for
+interrupt-driven policies.
+"""
+
+from __future__ import annotations
+
+from repro.config import DTMConfig
+from repro.dtm.mechanisms import FetchToggling
+from repro.dtm.triggers import InterruptModel
+
+
+class DTMManager:
+    """Runs one policy against a stream of temperature samples."""
+
+    def __init__(
+        self,
+        policy,
+        dtm_config: DTMConfig | None = None,
+        sensor=None,
+    ) -> None:
+        self.policy = policy
+        self.config = dtm_config if dtm_config is not None else DTMConfig()
+        self.actuator = FetchToggling(self.config.toggle_levels)
+        self.interrupts = InterruptModel(
+            enabled=self.config.use_interrupts and policy.is_interrupt_driven,
+            cost_cycles=self.config.interrupt_cost,
+        )
+        self._sensor = sensor
+        self._sample_index = 0
+        self._raw_output = 1.0
+        self.samples = 0
+        self.engaged_samples = 0
+
+    @property
+    def duty(self) -> float:
+        """Current quantized fetch duty."""
+        return self.actuator.duty
+
+    @property
+    def sampling_interval(self) -> int:
+        """Cycles between temperature samples."""
+        return self.config.sampling_interval
+
+    def on_sample(self, max_temperature: float) -> tuple[float, int]:
+        """Process one sampling instant.
+
+        ``max_temperature`` is the hottest monitored block's true
+        temperature; the sensor model (if any) perturbs it.  Returns
+        ``(duty, stall_cycles)`` where ``stall_cycles`` is interrupt
+        overhead to charge against execution.
+        """
+        measurement = (
+            self._sensor.read(max_temperature)
+            if self._sensor is not None
+            else max_temperature
+        )
+        stall = 0
+        if self._sample_index % self.policy.check_interval_samples == 0:
+            previous_duty = self.actuator.duty
+            self._raw_output = self.policy.decide(measurement)
+            new_duty = self.actuator.set_output(self._raw_output)
+            if new_duty != previous_duty and (
+                (new_duty < 1.0) != (previous_duty < 1.0)
+            ):
+                stall = self.interrupts.on_transition()
+        self._sample_index += 1
+        self.samples += 1
+        if self.actuator.duty < 1.0:
+            self.engaged_samples += 1
+        return self.actuator.duty, stall
+
+    def reset(self) -> None:
+        """Restore the manager, policy, and actuator to initial state."""
+        self.policy.reset()
+        self.actuator.reset()
+        self._sample_index = 0
+        self._raw_output = 1.0
+        self.samples = 0
+        self.engaged_samples = 0
+        self.interrupts.events = 0
+        self.interrupts.stall_cycles = 0
+
+    @property
+    def engaged_fraction(self) -> float:
+        """Fraction of samples with any toggling engaged."""
+        return self.engaged_samples / self.samples if self.samples else 0.0

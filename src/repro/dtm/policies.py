@@ -1,0 +1,403 @@
+"""DTM policies: who decides the fetch-toggling duty (Sections 2-3, 5.3).
+
+All policies share one interface: ``decide(measurement)`` maps the
+hottest sensed temperature to a fetch duty in [0, 1].  They differ in
+*when* they are consulted and *what* they cost:
+
+* **non-CT policies** (toggle1, toggle2) follow Brooks & Martonosi's
+  design: a trigger engages a fixed-strength response, which must then
+  stay in place for a *policy delay* before the thermal condition is
+  re-checked (optionally via a 250-cycle interrupt per transition).
+  Their ``check_interval_samples`` is therefore large.
+* **M**, the paper's hand-built adaptive scheme, runs in hardware every
+  sampling interval and sets the toggling rate to the percentage error
+  over the [100, 102] degC band.
+* **CT policies** (P / PD / PI / PID) run in dedicated hardware every
+  sampling interval (1000 cycles), with gains tuned in the Laplace
+  domain against the thermal plant, a clamped sensor range around the
+  setpoint, and anti-windup per Section 3.3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import units
+from repro.config import DTMConfig
+from repro.control.pid import AntiWindup, PIDController
+from repro.control.plant import dtm_plant
+from repro.control.tuning import tune
+from repro.dtm.triggers import TriggerComparator
+from repro.errors import ConfigError
+from repro.thermal.floorplan import Floorplan
+
+
+class NoDTMPolicy:
+    """The baseline: fetch always fully enabled."""
+
+    name = "none"
+    check_interval_samples = 1
+    is_interrupt_driven = False
+
+    def decide(self, measurement: float) -> float:
+        """Always full duty."""
+        return 1.0
+
+    def reset(self) -> None:
+        """Stateless."""
+
+
+class FixedTogglePolicy:
+    """Brooks & Martonosi's fixed-response toggling (toggle1 / toggle2).
+
+    When the trigger fires, the duty drops to ``engaged_duty`` (0 for
+    toggle1, 0.5 for toggle2) and stays there until the next check,
+    one policy delay later, finds the temperature back below trigger.
+    """
+
+    is_interrupt_driven = True
+
+    def __init__(
+        self,
+        engaged_duty: float,
+        trigger: float,
+        check_interval_samples: int,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 <= engaged_duty < 1.0:
+            raise ConfigError("engaged_duty must be in [0, 1)")
+        if check_interval_samples <= 0:
+            raise ConfigError("check_interval_samples must be positive")
+        self.engaged_duty = engaged_duty
+        self.comparator = TriggerComparator(trigger)
+        self.check_interval_samples = check_interval_samples
+        self.name = name if name is not None else f"toggle@{engaged_duty:g}"
+
+    @property
+    def engaged(self) -> bool:
+        """True while the response is active."""
+        return self.comparator.engaged
+
+    def decide(self, measurement: float) -> float:
+        """Fixed-strength response while above trigger."""
+        engaged = self.comparator.update(measurement)
+        return self.engaged_duty if engaged else 1.0
+
+    def reset(self) -> None:
+        """Disengage and clear event counters."""
+        self.comparator.engaged = False
+        self.comparator.engage_events = 0
+        self.comparator.disengage_events = 0
+
+
+class ManualProportionalPolicy:
+    """The paper's hand-built scheme M (Section 5.3).
+
+    Sets the toggling rate equal to the percentage error over
+    [band_low, band_high]: at or below ``band_low`` fetch runs free; at
+    ``(band_low + band_high) / 2`` the pipeline toggles every other
+    cycle (toggle2); at or above ``band_high`` fetch stops.
+    """
+
+    is_interrupt_driven = False
+    check_interval_samples = 1
+
+    def __init__(
+        self, band_low: float = 100.0, band_high: float = 102.0, name: str = "m"
+    ) -> None:
+        if band_high <= band_low:
+            raise ConfigError("band_high must exceed band_low")
+        self.band_low = band_low
+        self.band_high = band_high
+        self.name = name
+
+    def decide(self, measurement: float) -> float:
+        """Duty = 1 - percentage error over the band."""
+        error_fraction = (measurement - self.band_low) / (
+            self.band_high - self.band_low
+        )
+        return 1.0 - min(1.0, max(0.0, error_fraction))
+
+    def reset(self) -> None:
+        """Stateless."""
+
+
+class ControlTheoreticPolicy:
+    """P / PD / PI / PID feedback control of the toggling rate.
+
+    The sensor reports temperatures clamped to
+    ``setpoint +/- sensor_halfrange`` (the paper's "sensor range"); the
+    trigger threshold above which toggling starts to engage is the
+    bottom of that range.
+    """
+
+    is_interrupt_driven = False
+    check_interval_samples = 1
+
+    def __init__(
+        self,
+        controller: PIDController,
+        setpoint: float,
+        sensor_halfrange: float,
+        name: str,
+    ) -> None:
+        if sensor_halfrange <= 0:
+            raise ConfigError("sensor_halfrange must be positive")
+        controller.setpoint = setpoint
+        self.controller = controller
+        self.setpoint = setpoint
+        self.sensor_halfrange = sensor_halfrange
+        self.name = name
+
+    @property
+    def trigger(self) -> float:
+        """Temperature above which toggling starts to engage."""
+        return self.setpoint - self.sensor_halfrange
+
+    def decide(self, measurement: float) -> float:
+        """One controller update on the range-clamped measurement."""
+        low = self.setpoint - self.sensor_halfrange
+        high = self.setpoint + self.sensor_halfrange
+        clamped = min(high, max(low, measurement))
+        return self.controller.update(clamped)
+
+    def reset(self) -> None:
+        """Clear controller state (integral, derivative history)."""
+        self.controller.reset()
+
+
+class PredictivePolicy:
+    """One-step model-predictive control of the toggling rate (extension).
+
+    Where the PID treats the plant as a black box, this policy *uses*
+    the thermal-RC model the paper builds: each sample it
+
+    1. infers the block's current power from the last two temperature
+       samples (inverting the exponential update
+       ``T1 = S + (T0 - S) * exp(-h/tau)`` for the steady target S and
+       hence ``P = (S - T_sink) / R``);
+    2. estimates the workload's power-per-duty slope from the duty it
+       commanded last sample; and
+    3. commands the duty whose steady state is the setpoint,
+       ``duty = (P_target - P_idle) / slope``.
+
+    Because tau >> h, aiming at the steady state is an aggressive but
+    stable strategy (temperature moves a tiny fraction of the way per
+    sample).  The slope estimate is smoothed exponentially so sample
+    noise does not whip the actuator.
+    """
+
+    is_interrupt_driven = False
+    check_interval_samples = 1
+
+    def __init__(
+        self,
+        setpoint: float,
+        resistance: float,
+        time_constant: float,
+        heatsink_temperature: float = 100.0,
+        idle_power: float = 0.0,
+        sample_seconds: float = units.SAMPLING_INTERVAL_SECONDS,
+        smoothing: float = 0.3,
+        name: str = "mpc",
+    ) -> None:
+        if resistance <= 0 or time_constant <= 0 or sample_seconds <= 0:
+            raise ConfigError("plant parameters must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigError("smoothing must be in (0, 1]")
+        self.setpoint = setpoint
+        self.resistance = resistance
+        self.time_constant = time_constant
+        self.heatsink_temperature = heatsink_temperature
+        self.idle_power = idle_power
+        self.sample_seconds = sample_seconds
+        self.smoothing = smoothing
+        self.name = name
+        self._decay = math.exp(-sample_seconds / time_constant)
+        self._previous_temp: float | None = None
+        self._previous_duty = 1.0
+        self._slope_estimate: float | None = None
+
+    def decide(self, measurement: float) -> float:
+        """One predictive step from the newest temperature sample."""
+        if self._previous_temp is None:
+            self._previous_temp = measurement
+            return 1.0
+        # 1. Infer the steady target the last interval was heading to.
+        e = self._decay
+        steady = (measurement - self._previous_temp * e) / (1.0 - e)
+        current_power = max(
+            0.0, (steady - self.heatsink_temperature) / self.resistance
+        )
+        # 2. Update the power-per-duty slope estimate.
+        if self._previous_duty > 0.05:
+            observed = max(
+                1e-6, (current_power - self.idle_power) / self._previous_duty
+            )
+            if self._slope_estimate is None:
+                self._slope_estimate = observed
+            else:
+                self._slope_estimate += self.smoothing * (
+                    observed - self._slope_estimate
+                )
+        slope = self._slope_estimate
+        self._previous_temp = measurement
+        if slope is None or slope < 1e-6:
+            self._previous_duty = 1.0
+            return 1.0
+        # 3. Aim the steady state at the setpoint.
+        target_power = (
+            self.setpoint - self.heatsink_temperature
+        ) / self.resistance
+        duty = (target_power - self.idle_power) / slope
+        duty = min(1.0, max(0.0, duty))
+        self._previous_duty = duty
+        return duty
+
+    def reset(self) -> None:
+        """Forget temperature/slope history."""
+        self._previous_temp = None
+        self._previous_duty = 1.0
+        self._slope_estimate = None
+
+
+class HierarchicalPolicy:
+    """A realistic deployment: a cheap primary policy plus a last-ditch
+    backup (paper Section 2.1: "a low-cost mechanism like toggling
+    might be used with a high trigger threshold.  Only when temperature
+    gets truly close to emergency would auxiliary mechanisms ... be
+    employed").
+
+    The primary policy (typically a CT controller) runs normally; if
+    the temperature nevertheless climbs past ``backup_trigger`` the
+    backup response (default: stop fetch entirely, standing in for an
+    aggressive auxiliary mechanism) overrides it until the temperature
+    falls back below ``backup_trigger - release_margin``.
+    """
+
+    is_interrupt_driven = False
+    check_interval_samples = 1
+
+    def __init__(
+        self,
+        primary,
+        backup_trigger: float = 101.95,
+        backup_duty: float = 0.0,
+        release_margin: float = 0.15,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 <= backup_duty < 1.0:
+            raise ConfigError("backup_duty must be in [0, 1)")
+        if release_margin < 0:
+            raise ConfigError("release_margin must be non-negative")
+        self.primary = primary
+        self.backup = TriggerComparator(backup_trigger, hysteresis=release_margin)
+        self.backup_duty = backup_duty
+        self.backup_engagements = 0
+        self.name = name if name is not None else f"hier({primary.name})"
+
+    @property
+    def backup_engaged(self) -> bool:
+        """True while the backup response is overriding the primary."""
+        return self.backup.engaged
+
+    def decide(self, measurement: float) -> float:
+        """Primary decision, overridden by the backup when triggered."""
+        primary_duty = self.primary.decide(measurement)
+        was_engaged = self.backup.engaged
+        if self.backup.update(measurement):
+            if not was_engaged:
+                self.backup_engagements += 1
+            return min(primary_duty, self.backup_duty)
+        return primary_duty
+
+    def reset(self) -> None:
+        """Reset the primary and release the backup."""
+        self.primary.reset()
+        self.backup.engaged = False
+        self.backup_engagements = 0
+
+
+#: Names accepted by :func:`make_policy`, in canonical reporting order.
+POLICY_NAMES: tuple[str, ...] = (
+    "none",
+    "toggle1",
+    "toggle2",
+    "m",
+    "p",
+    "pd",
+    "pi",
+    "pid",
+    "mpc",
+)
+
+
+def make_policy(
+    kind: str,
+    floorplan: Floorplan | None = None,
+    dtm_config: DTMConfig | None = None,
+    phase_margin_deg: float = 60.0,
+    anti_windup: AntiWindup = AntiWindup.CONDITIONAL,
+    setpoint: float | None = None,
+):
+    """Build a ready-to-run policy by name with the paper's parameters.
+
+    ``setpoint`` overrides the configured setpoint for the CT policies
+    (used by the setpoint-sweep experiment) and the trigger for the
+    non-CT ones.
+    """
+    kind = kind.lower()
+    floorplan = floorplan if floorplan is not None else Floorplan.default()
+    config = dtm_config if dtm_config is not None else DTMConfig()
+    if kind == "none":
+        return NoDTMPolicy()
+
+    check_samples = max(1, config.policy_delay // config.sampling_interval)
+    if kind in ("toggle1", "toggle2"):
+        duty = 0.0 if kind == "toggle1" else 0.5
+        trigger = setpoint if setpoint is not None else config.nonct_trigger
+        return FixedTogglePolicy(duty, trigger, check_samples, name=kind)
+    if kind == "m":
+        return ManualProportionalPolicy()
+    if kind == "mpc":
+        # Model-predictive extension: uses the worst-case block's R/tau
+        # directly (the same plant knowledge the CT tuning uses).
+        chosen_setpoint = setpoint if setpoint is not None else config.pid_setpoint
+        worst = max(floorplan.blocks, key=lambda b: b.peak_temperature_rise)
+        return PredictivePolicy(
+            setpoint=chosen_setpoint,
+            resistance=worst.resistance,
+            time_constant=floorplan.longest_block_time_constant,
+            idle_power=0.15 * worst.peak_power,
+            sample_seconds=config.sampling_interval * units.CYCLE_TIME,
+        )
+
+    if kind not in ("p", "pd", "pi", "pid"):
+        raise ConfigError(f"unknown policy {kind!r}; known: {POLICY_NAMES}")
+
+    plant = dtm_plant(
+        floorplan,
+        sampling_interval_cycles=config.sampling_interval,
+    )
+    gains = tune(plant, kind.upper(), phase_margin_deg=phase_margin_deg)
+    sample_time = config.sampling_interval * units.CYCLE_TIME
+    if kind in ("p", "pd"):
+        chosen_setpoint = setpoint if setpoint is not None else config.p_setpoint
+        halfrange = config.p_sensor_halfrange
+        bias = 0.5  # mid-range output at zero error; no integral to trim
+    else:
+        chosen_setpoint = setpoint if setpoint is not None else config.pid_setpoint
+        halfrange = config.pid_sensor_halfrange
+        bias = 0.0
+    controller = PIDController(
+        kp=gains.kp,
+        ki=gains.ki,
+        kd=gains.kd,
+        setpoint=chosen_setpoint,
+        sample_time=sample_time,
+        output_limits=(0.0, 1.0),
+        bias=bias,
+        anti_windup=anti_windup,
+        integral_non_negative=True,
+    )
+    return ControlTheoreticPolicy(controller, chosen_setpoint, halfrange, name=kind)

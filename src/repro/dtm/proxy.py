@@ -1,0 +1,131 @@
+"""Boxcar power-average proxies for temperature (paper Section 6).
+
+Prior work (Brooks & Martonosi) used a moving ("boxcar") average of
+power dissipation over the last W cycles as a proxy for temperature.
+The paper compares that proxy -- per structure and chip-wide, with
+10 K- and 500 K-cycle windows -- against its direct RC temperature
+model, counting **missed emergencies** (cycles the RC model says are in
+emergency but the proxy is not triggered) and **false triggers**
+(cycles the proxy is triggered but the true temperature is below the
+trigger level).
+
+For a structure, the equivalent average-power trigger of a temperature
+trigger ``T_trig`` is the power that holds the block there in steady
+state: ``P_trig = (T_trig - T_sink) / R`` (Section 6); chip-wide, the
+paper uses a 47 W trigger.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class BoxcarPowerProxy:
+    """Moving average of power over a window of cycles.
+
+    Updates may carry multi-cycle granularity (the fast engine feeds
+    one update per sampling interval): ``update(power, cycles)`` adds a
+    constant-power segment; the window is maintained in cycles.
+    """
+
+    def __init__(self, window_cycles: int, trigger_power: float) -> None:
+        if window_cycles <= 0:
+            raise ConfigError("window must be positive")
+        self.window_cycles = window_cycles
+        self.trigger_power = trigger_power
+        self._segments: deque[tuple[int, float]] = deque()  # (cycles, power)
+        self._cycles_in_window = 0
+        self._weighted_sum = 0.0
+
+    def update(self, power: float, cycles: int = 1) -> float:
+        """Add a constant-power segment; returns the new average."""
+        if cycles <= 0:
+            raise ConfigError("cycles must be positive")
+        self._segments.append((cycles, power))
+        self._cycles_in_window += cycles
+        self._weighted_sum += power * cycles
+        while self._cycles_in_window > self.window_cycles and self._segments:
+            old_cycles, old_power = self._segments[0]
+            excess = self._cycles_in_window - self.window_cycles
+            if old_cycles <= excess:
+                self._segments.popleft()
+                self._cycles_in_window -= old_cycles
+                self._weighted_sum -= old_power * old_cycles
+            else:
+                self._segments[0] = (old_cycles - excess, old_power)
+                self._cycles_in_window -= excess
+                self._weighted_sum -= old_power * excess
+        return self.average
+
+    @property
+    def average(self) -> float:
+        """Current boxcar average power [W]."""
+        if not self._cycles_in_window:
+            return 0.0
+        return self._weighted_sum / self._cycles_in_window
+
+    @property
+    def triggered(self) -> bool:
+        """True when the average exceeds the trigger power."""
+        return self.average > self.trigger_power
+
+    def reset(self) -> None:
+        """Empty the window."""
+        self._segments.clear()
+        self._cycles_in_window = 0
+        self._weighted_sum = 0.0
+
+
+@dataclass
+class ProxyComparison:
+    """Accumulates proxy-vs-RC disagreement counts (Tables 9-10)."""
+
+    total_cycles: int = 0
+    emergency_cycles: float = 0.0
+    proxy_trigger_cycles: float = 0.0
+    missed_emergency_cycles: float = 0.0
+    false_trigger_cycles: float = 0.0
+    _details: dict[str, float] = field(default_factory=dict)
+
+    def record(
+        self,
+        cycles: int,
+        emergency_fraction: float,
+        proxy_triggered: bool,
+        true_above_trigger_fraction: float,
+    ) -> None:
+        """Record one constant-conditions segment.
+
+        ``emergency_fraction`` is the fraction of the segment the RC
+        model says is in emergency; ``true_above_trigger_fraction`` the
+        fraction the true temperature exceeds the proxy's intended
+        trigger level.
+        """
+        self.total_cycles += cycles
+        emergency = emergency_fraction * cycles
+        self.emergency_cycles += emergency
+        if proxy_triggered:
+            self.proxy_trigger_cycles += cycles
+            self.false_trigger_cycles += (1.0 - true_above_trigger_fraction) * cycles
+        else:
+            self.missed_emergency_cycles += emergency
+
+    @property
+    def missed_emergency_rate(self) -> float:
+        """Missed-emergency cycles as a fraction of all cycles."""
+        return self.missed_emergency_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def false_trigger_rate(self) -> float:
+        """False-trigger cycles as a fraction of all cycles."""
+        return self.false_trigger_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def missed_fraction_of_emergencies(self) -> float:
+        """Fraction of true emergency cycles the proxy failed to see."""
+        if not self.emergency_cycles:
+            return 0.0
+        return self.missed_emergency_cycles / self.emergency_cycles

@@ -1,0 +1,69 @@
+"""Trigger comparators and the interrupt-cost model (Section 2.1).
+
+A *trigger* fires when a sensed temperature crosses its threshold.
+Non-CT policies engage/disengage on trigger state; crossing events can
+be signaled either directly in hardware (the paper's assumption,
+zero cost) or through OS interrupts (250 cycles per event).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro import units
+
+
+class TriggerComparator:
+    """Threshold comparator with optional hysteresis.
+
+    Engages when the measurement exceeds ``threshold``; disengages when
+    it falls below ``threshold - hysteresis``.  Hysteresis avoids
+    chattering right at the trigger level.
+    """
+
+    def __init__(self, threshold: float, hysteresis: float = 0.0) -> None:
+        if hysteresis < 0:
+            raise ConfigError("hysteresis must be non-negative")
+        self.threshold = threshold
+        self.hysteresis = hysteresis
+        self.engaged = False
+        self.engage_events = 0
+        self.disengage_events = 0
+
+    def update(self, measurement: float) -> bool:
+        """Advance the comparator; returns the new engaged state."""
+        if not self.engaged and measurement > self.threshold:
+            self.engaged = True
+            self.engage_events += 1
+        elif self.engaged and measurement < self.threshold - self.hysteresis:
+            self.engaged = False
+            self.disengage_events += 1
+        return self.engaged
+
+
+class InterruptModel:
+    """Accounts the pipeline stall cost of interrupt-driven DTM.
+
+    Each engage or disengage event invokes an OS handler costing
+    ``cost_cycles`` (250 in the paper).  With ``enabled=False`` (the
+    paper's direct microarchitectural signal) every event is free.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        cost_cycles: int = units.INTERRUPT_COST_CYCLES,
+    ) -> None:
+        if cost_cycles < 0:
+            raise ConfigError("interrupt cost must be non-negative")
+        self.enabled = enabled
+        self.cost_cycles = cost_cycles
+        self.events = 0
+        self.stall_cycles = 0
+
+    def on_transition(self) -> int:
+        """Record one engage/disengage event; returns its stall cost."""
+        self.events += 1
+        if not self.enabled:
+            return 0
+        self.stall_cycles += self.cost_cycles
+        return self.cost_cycles

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library problems without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class ThermalModelError(ReproError):
+    """The thermal network is malformed (unknown node, bad R/C value...)."""
+
+
+class ControllerError(ReproError):
+    """A controller was constructed or tuned with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state or bad input."""
+
+
+class WorkloadError(ReproError):
+    """A workload profile or trace is malformed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was invoked with unusable parameters."""

@@ -1,0 +1,89 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md).
+
+Every driver exposes ``run(...) -> ExperimentResult`` returning both the
+raw data rows and a rendered text table matching the paper's layout.
+``python -m repro.experiments`` runs them all.
+
+Index (paper artifact -> module):
+
+=========  ==========================================
+Table 1    :mod:`repro.experiments.table1_duality`
+Table 2    :mod:`repro.experiments.table2_config`
+Table 3    :mod:`repro.experiments.table3_rc`
+Table 4    :mod:`repro.experiments.table4_characterization`
+Table 5    :mod:`repro.experiments.table5_categories`
+Table 6    :mod:`repro.experiments.table6_structure_temps`
+Table 7    :mod:`repro.experiments.table7_emergency_breakdown`
+Table 8    :mod:`repro.experiments.table8_stress_breakdown`
+Table 9    :mod:`repro.experiments.table9_proxy_structure`
+Table 10   :mod:`repro.experiments.table10_proxy_chipwide`
+Extension  :mod:`repro.experiments.proxy_driven_dtm`
+Figure 1   :mod:`repro.experiments.figure1_control_loop`
+Figure 2   :mod:`repro.experiments.figure2_package`
+Figure 3   :mod:`repro.experiments.figure3_network_simplification`
+Sec 7 fig  :mod:`repro.experiments.figure4_traces`
+Sec 7 tbl  :mod:`repro.experiments.table11_dtm_performance`
+Sec 7 swp  :mod:`repro.experiments.table12_setpoint_sweep`
+Ablation   :mod:`repro.experiments.ablation_windup`
+Ablation   :mod:`repro.experiments.ablation_sampling`
+Ablation   :mod:`repro.experiments.ablation_interrupt`
+Ablation   :mod:`repro.experiments.ablation_quantization`
+Ablation   :mod:`repro.experiments.ablation_mechanisms`
+Ablation   :mod:`repro.experiments.ablation_sensors`
+Ablation   :mod:`repro.experiments.ablation_placement`
+Extension  :mod:`repro.experiments.extension_hierarchical`
+Extension  :mod:`repro.experiments.extension_leakage`
+Extension  :mod:`repro.experiments.extension_full_suite`
+Extension  :mod:`repro.experiments.extension_multiprogram`
+Extension  :mod:`repro.experiments.extension_predictive`
+Extension  :mod:`repro.experiments.extension_heatsink_drift`
+Extension  :mod:`repro.experiments.power_breakdown`
+Sensitiv.  :mod:`repro.experiments.sensitivity_floorplan`
+Valid.     :mod:`repro.experiments.validation_grid`
+Valid.     :mod:`repro.experiments.validation_grid_dtm`
+Calibr.    :mod:`repro.experiments.calibration_fast_engine`
+=========  ==========================================
+"""
+
+from repro.experiments.reporting import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table", "ALL_EXPERIMENTS"]
+
+#: Module names of every experiment, in paper order.
+ALL_EXPERIMENTS: tuple[str, ...] = (
+    "table1_duality",
+    "table2_config",
+    "table3_rc",
+    "table4_characterization",
+    "table5_categories",
+    "table6_structure_temps",
+    "table7_emergency_breakdown",
+    "table8_stress_breakdown",
+    "table9_proxy_structure",
+    "table10_proxy_chipwide",
+    "proxy_driven_dtm",
+    "figure1_control_loop",
+    "figure2_package",
+    "figure3_network_simplification",
+    "figure4_traces",
+    "table11_dtm_performance",
+    "table12_setpoint_sweep",
+    "ablation_windup",
+    "ablation_sampling",
+    "ablation_interrupt",
+    "ablation_quantization",
+    "ablation_mechanisms",
+    "ablation_sensors",
+    "ablation_placement",
+    "extension_hierarchical",
+    "extension_leakage",
+    "extension_full_suite",
+    "extension_multiprogram",
+    "extension_predictive",
+    "extension_heatsink_drift",
+    "power_breakdown",
+    "sensitivity_floorplan",
+    "validation_grid",
+    "validation_grid_dtm",
+    "calibration_fast_engine",
+)

@@ -1,0 +1,67 @@
+"""Run all (or selected) experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments                # everything, full budgets
+    python -m repro.experiments --quick        # reduced budgets
+    python -m repro.experiments table3_rc table11_dtm_performance
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment module names (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced instruction budgets",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    chosen = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [name for name in chosen if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    for name in chosen:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        kwargs = {}
+        if args.quick and "quick" in inspect.signature(module.run).parameters:
+            kwargs["quick"] = True
+        started = time.time()
+        result = module.run(**kwargs)
+        elapsed = time.time() - started
+        print(result)
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Shared infrastructure for experiment drivers.
+
+Characterization experiments (Tables 4-8) all consume the same
+unmanaged suite run, so it is computed once and cached per instruction
+budget.  Budgets are per-benchmark: at least two full passes over the
+profile's phase sequence (bursty profiles like ``art`` need a full
+period to show their duty cycle).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.sim.fast import FastEngine
+from repro.sim.results import RunResult
+from repro.workloads.profiles import BENCHMARKS, get_profile
+
+#: Floor on the per-benchmark instruction budget for characterization.
+MIN_INSTRUCTIONS = 2_000_000
+
+#: Reduced budget used by ``quick=True`` drivers (tests, smoke runs).
+#: Still long enough to get past the initial heating transient
+#: (~3 block time constants = ~800 K cycles).
+QUICK_INSTRUCTIONS = 1_500_000
+
+
+def benchmark_budget(name: str, quick: bool = False) -> float:
+    """Instruction budget covering >= 2 full phase loops of a profile."""
+    if quick:
+        return QUICK_INSTRUCTIONS
+    return max(MIN_INSTRUCTIONS, 2 * get_profile(name).total_instructions)
+
+
+#: Instructions skipped before characterization statistics start
+#: (several block thermal time constants; the analogue of the paper's
+#: 2-billion-instruction fast-forward).
+WARMUP_INSTRUCTIONS = 1_000_000
+
+
+@lru_cache(maxsize=8)
+def characterize_suite(
+    quick: bool = False, record_history: bool = False, seed: int = 0
+) -> dict[str, RunResult]:
+    """Unmanaged (no-DTM) runs of all 18 benchmarks, cached."""
+    results: dict[str, RunResult] = {}
+    for name in BENCHMARKS:
+        engine = FastEngine(
+            get_profile(name), seed=seed, record_history=record_history
+        )
+        results[name] = engine.run(
+            instructions=benchmark_budget(name, quick),
+            warmup_instructions=WARMUP_INSTRUCTIONS,
+        )
+    return results

@@ -1,0 +1,96 @@
+"""Extension E1: a hierarchical DTM deployment (paper Section 2.1).
+
+"A realistic implementation might employ a hierarchy of DTM
+techniques: a low-cost mechanism like toggling might be used with a
+high trigger threshold.  Only when temperature gets truly close to
+emergency would auxiliary mechanisms ... be employed."
+
+We run the PID policy at an *aggressive* setpoint (101.9 C, beyond
+what the paper dared alone) under an adversarial low-reading sensor,
+backed by an emergency full-stop.  The backup converts the aggressive
+configuration from unsafe-in-the-tail back to emergency-free.
+"""
+
+from __future__ import annotations
+
+from repro.dtm.policies import HierarchicalPolicy, make_policy
+from repro.experiments.common import benchmark_budget
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.sim.sweep import run_one
+from repro.thermal.sensors import NoisySensor
+
+DEFAULT_BENCHMARKS = ("gcc", "equake")
+
+
+def run(
+    benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Compare plain vs hierarchical PID at an aggressive setpoint.
+
+    A slightly low-reading sensor (-0.1 K offset) stresses the guard
+    band, which is where the backup earns its keep.
+    """
+    rows = []
+    sensor = NoisySensor(noise_sigma=0.03, offset=-0.1, seed=2)
+    for benchmark in benchmarks:
+        budget = benchmark_budget(benchmark, quick)
+        baseline = run_one(benchmark, "none", instructions=budget)
+        for label, build in (
+            ("pid@101.8", lambda: make_policy("pid", setpoint=101.8)),
+            ("pid@101.9", lambda: make_policy("pid", setpoint=101.9)),
+            (
+                "hier(pid@101.9)",
+                # The backup trigger is placed below the emergency
+                # threshold by more than the worst-case sensor error,
+                # so a low-reading sensor cannot hide a real crossing.
+                lambda: HierarchicalPolicy(
+                    make_policy("pid", setpoint=101.9), backup_trigger=101.85
+                ),
+            ),
+        ):
+            policy = build()
+            result = run_one(
+                benchmark,
+                "",  # name ignored: policy object supplied
+                instructions=budget,
+                policy=policy,
+                sensor=sensor,
+            )
+            backup_engagements = getattr(policy, "backup_engagements", 0)
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "policy": label,
+                    "pct_ipc": percent(result.relative_ipc(baseline)),
+                    "pct_emergency": percent(result.emergency_fraction),
+                    "max_temp_c": result.max_temperature,
+                    "backup_engaged": backup_engagements,
+                }
+            )
+    text = format_table(
+        rows,
+        columns=(
+            ("benchmark", "benchmark", None),
+            ("policy", "policy", None),
+            ("pct_ipc", "%IPC", ".2f"),
+            ("pct_emergency", "em%", ".4f"),
+            ("max_temp_c", "max T (C)", ".3f"),
+            ("backup_engaged", "backup hits", "d"),
+        ),
+    )
+    notes = (
+        "Sensor reads 0.1 K low (plus noise), eroding the guard band.\n"
+        "The aggressive setpoint alone is unsafe under sensor error; the\n"
+        "backup restores zero emergencies at roughly the conservative\n"
+        "setpoint's throughput.  Its value is insurance: workloads or\n"
+        "sensors that behave get the aggressive setpoint's speed, and the\n"
+        "ones that do not are contained automatically."
+    )
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Hierarchical DTM: aggressive PID + emergency backup",
+        rows=rows,
+        text=text,
+        notes=notes,
+    )

@@ -1,0 +1,93 @@
+"""Extension E2: temperature-dependent leakage and the limits of DTM.
+
+Leakage power grows exponentially with temperature, so hot spots feed
+themselves.  This sweep raises the leakage fraction and asks two
+questions the dynamic-only model cannot:
+
+1. how much hotter does the unmanaged chip run, and
+2. at what leakage level does fetch-side DTM *lose authority* -- the
+   fully-throttled floor (idle dynamic + leakage) itself crossing the
+   emergency threshold, so no toggling policy can prevent emergencies?
+
+The analytic authority limit (``LeakageModel.throttled_floor_temperature``)
+is printed next to the simulated outcome so the two can be checked
+against each other.
+"""
+
+from __future__ import annotations
+
+from repro.dtm.policies import make_policy
+from repro.experiments.common import benchmark_budget
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.power.leakage import LeakageModel
+from repro.sim.fast import FastEngine
+from repro.thermal.floorplan import Floorplan
+from repro.workloads.profiles import get_profile
+
+DEFAULT_FRACTIONS = (0.0, 0.1, 0.2, 0.35, 0.5)
+
+
+def run(
+    benchmark: str = "gcc",
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Sweep leakage aggressiveness under no DTM and under PID."""
+    budget = benchmark_budget(benchmark, quick)
+    floorplan = Floorplan.default()
+    hottest = floorplan.block("regfile")
+    rows = []
+    for fraction in fractions:
+        leakage = LeakageModel(fraction_of_peak=fraction) if fraction else None
+        floor = (
+            LeakageModel(fraction_of_peak=fraction).throttled_floor_temperature(
+                hottest, 100.0
+            )
+            if fraction
+            else 100.0 + 0.15 * hottest.peak_power * hottest.resistance
+        )
+        unmanaged = FastEngine(
+            get_profile(benchmark), leakage=leakage
+        ).run(instructions=budget)
+        managed = FastEngine(
+            get_profile(benchmark), policy=make_policy("pid"), leakage=leakage
+        ).run(instructions=budget)
+        rows.append(
+            {
+                "fraction": fraction,
+                "floor_c": floor,
+                "unmanaged_max_c": unmanaged.max_temperature,
+                "unmanaged_em": percent(unmanaged.emergency_fraction),
+                "pid_max_c": managed.max_temperature,
+                "pid_em": percent(managed.emergency_fraction),
+                "pid_ipc_pct": percent(managed.relative_ipc(unmanaged)),
+                "dtm_has_authority": "yes" if floor < 102.0 else "NO",
+            }
+        )
+    text = format_table(
+        rows,
+        columns=(
+            ("fraction", "leak frac", ".2f"),
+            ("floor_c", "throttled floor (C)", ".2f"),
+            ("unmanaged_max_c", "none max T", ".2f"),
+            ("unmanaged_em", "none em%", ".1f"),
+            ("pid_max_c", "pid max T", ".3f"),
+            ("pid_em", "pid em%", ".3f"),
+            ("pid_ipc_pct", "pid %IPC", ".1f"),
+            ("dtm_has_authority", "authority", None),
+        ),
+    )
+    notes = (
+        "'Throttled floor' = analytic equilibrium of the hottest block\n"
+        "with fetch fully off (idle dynamic + leakage).  Once the floor\n"
+        "crosses 102 C, fetch-side DTM cannot prevent emergencies no\n"
+        "matter the policy -- the case for voltage scaling or better\n"
+        "packaging as leakage grows."
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Temperature-dependent leakage and DTM authority",
+        rows=rows,
+        text=text,
+        notes=notes,
+    )

@@ -1,0 +1,91 @@
+"""Figure 1: the DTM feedback control loop, exercised in isolation.
+
+The paper's Figure 1 is a block diagram (target temperature -> error ->
+controller -> actuator -> thermal dynamics -> sensor).  We regenerate
+it as a live trace: a single hot block under a power-step disturbance,
+closed-loop with the PID policy, showing temperature pulled back to the
+setpoint and the duty the controller commands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DTMConfig, ThermalConfig
+from repro.dtm.manager import DTMManager
+from repro.dtm.policies import make_policy
+from repro.experiments.reporting import ExperimentResult, ascii_chart, format_table
+from repro.power.wattch import PowerModel
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.lumped import LumpedThermalModel
+
+
+def run(samples: int = 1200, policy_name: str = "pid") -> ExperimentResult:
+    """Closed-loop step-disturbance trace (the Figure 1 loop, live)."""
+    floorplan = Floorplan.default()
+    thermal_config = ThermalConfig()
+    dtm_config = DTMConfig()
+    policy = make_policy(policy_name, floorplan, dtm_config)
+    manager = DTMManager(policy, dtm_config)
+    power_model = PowerModel(floorplan)
+    thermal = LumpedThermalModel(
+        floorplan, heatsink_temperature=thermal_config.heatsink_temperature
+    )
+    hot_utilization = np.zeros(len(floorplan.blocks))
+    hot_utilization[floorplan.index("regfile")] = 0.9
+
+    temps: list[float] = []
+    duties: list[float] = []
+    for sample in range(samples):
+        # Power-step disturbance: idle for the first 10 %, then hot.
+        utilization = hot_utilization if sample >= samples // 10 else hot_utilization * 0
+        duty, _ = manager.on_sample(thermal.max_temperature)
+        # A fully-saturated workload's activity scales directly with duty.
+        powers = power_model.block_powers(utilization * duty)
+        thermal.advance(powers, dtm_config.sampling_interval)
+        temps.append(thermal.max_temperature)
+        duties.append(duty)
+
+    setpoint = policy.setpoint if hasattr(policy, "setpoint") else None
+    overshoot = max(temps) - setpoint if setpoint is not None else 0.0
+    rows = [
+        {
+            "policy": policy.name,
+            "setpoint_c": setpoint,
+            "peak_temp_c": max(temps),
+            "overshoot_k": overshoot,
+            "final_temp_c": temps[-1],
+            "final_duty": duties[-1],
+            "emergency": max(temps) > thermal_config.emergency_temperature,
+        }
+    ]
+    chart = ascii_chart(
+        {"temperature (C)": temps}, y_label="hottest block temperature"
+    )
+    duty_chart = ascii_chart({"duty": duties}, height=6, y_label="fetch duty")
+    text = "\n".join(
+        [
+            format_table(
+                rows,
+                columns=(
+                    ("policy", "policy", None),
+                    ("setpoint_c", "setpoint (C)", ".1f"),
+                    ("peak_temp_c", "peak T (C)", ".3f"),
+                    ("overshoot_k", "overshoot (K)", ".3f"),
+                    ("final_temp_c", "final T (C)", ".3f"),
+                    ("final_duty", "final duty", ".3f"),
+                ),
+            ),
+            "",
+            chart,
+            "",
+            duty_chart,
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="F1",
+        title="The feedback control loop under a power-step disturbance",
+        rows=rows,
+        text=text,
+        extras={"temps": temps, "duties": duties},
+    )

@@ -1,0 +1,75 @@
+"""Figure 2: the IC package model and the Section 4.1 worked example.
+
+A die dissipating 25 W through 1 K/W die-to-case plus 1 K/W heatsink
+resistance above a 27 degC ambient must settle at 77 degC, with the
+heating transient dominated by the 60 J/K heatsink capacitance (a time
+constant on the order of a minute).  This experiment integrates the
+package model through the power-on transient and reports both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult, ascii_chart, format_table
+from repro.thermal.package import PackageModel
+
+
+def run(power_w: float = 25.0, duration_s: float = 600.0) -> ExperimentResult:
+    """Power-on transient of the package model."""
+    package = PackageModel()
+    expected_die, expected_sink = package.steady_state(power_w)
+    dt = 0.5
+    steps = int(duration_s / dt)
+    die_trace: list[float] = []
+    sink_trace: list[float] = []
+    reached_63pct_at = None
+    # The slow pole is the heatsink: measure its 63% rise time.
+    target_63 = package.ambient + (expected_sink - package.ambient) * (
+        1 - 2.718281828**-1
+    )
+    for step in range(steps):
+        die, sink = package.step(power_w, dt)
+        die_trace.append(die)
+        sink_trace.append(sink)
+        if reached_63pct_at is None and sink >= target_63:
+            reached_63pct_at = (step + 1) * dt
+    rows = [
+        {
+            "power_w": power_w,
+            "steady_die_c": expected_die,
+            "steady_sink_c": expected_sink,
+            "simulated_die_c": die_trace[-1],
+            "time_constant_s": package.dominant_time_constant,
+            "measured_63pct_s": reached_63pct_at,
+        }
+    ]
+    text = "\n".join(
+        [
+            format_table(
+                rows,
+                columns=(
+                    ("power_w", "power (W)", ".0f"),
+                    ("steady_die_c", "steady die (C)", ".1f"),
+                    ("steady_sink_c", "steady sink (C)", ".1f"),
+                    ("simulated_die_c", "simulated die (C)", ".1f"),
+                    ("time_constant_s", "RC tau (s)", ".0f"),
+                    ("measured_63pct_s", "sink 63% rise (s)", ".0f"),
+                ),
+            ),
+            "",
+            ascii_chart(
+                {"die": die_trace, "heatsink": sink_trace},
+                y_label="temperature (C) during power-on transient",
+            ),
+        ]
+    )
+    notes = (
+        "Paper Section 4.1: 25 W * 2 K/W over 27 C ambient -> 77 C steady\n"
+        "state; 60 J/K * 2 K/W -> transient on the order of a minute."
+    )
+    return ExperimentResult(
+        experiment_id="F2",
+        title="IC package with heatsink: steady state and transient",
+        rows=rows,
+        text=text,
+        notes=notes,
+    )

@@ -1,0 +1,68 @@
+"""Section 7 trace figure: temperature and duty over time, per policy.
+
+Runs one hot benchmark under no DTM, toggle1, M, and PID, and charts
+the hottest-block temperature and the commanded fetch duty.  This is
+the visual form of the paper's core result: the fixed policy bangs
+between extremes below a conservative trigger, the CT policy rides
+just below the emergency threshold.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult, ascii_chart, format_table
+from repro.sim.sweep import run_one
+
+
+def run(
+    benchmark: str = "gcc",
+    policies: tuple[str, ...] = ("none", "toggle1", "m", "pid"),
+    instructions: float = 1_000_000,
+) -> ExperimentResult:
+    """Record per-sample traces for several policies on one benchmark."""
+    temps: dict[str, list[float]] = {}
+    duties: dict[str, list[float]] = {}
+    rows = []
+    for policy in policies:
+        result = run_one(
+            benchmark, policy, instructions=instructions, record_history=True
+        )
+        history = result.history
+        assert history is not None
+        temps[policy] = list(history.max_temp)
+        duties[policy] = list(history.duty)
+        rows.append(
+            {
+                "policy": policy,
+                "cycles": result.cycles,
+                "ipc": result.ipc,
+                "pct_emergency": 100.0 * result.emergency_fraction,
+                "max_temp_c": result.max_temperature,
+                "mean_duty": sum(history.duty) / len(history.duty),
+            }
+        )
+    text = "\n".join(
+        [
+            format_table(
+                rows,
+                columns=(
+                    ("policy", "policy", None),
+                    ("cycles", "cycles", "d"),
+                    ("ipc", "IPC", ".3f"),
+                    ("pct_emergency", "% emergency", ".3f"),
+                    ("max_temp_c", "max T (C)", ".3f"),
+                    ("mean_duty", "mean duty", ".3f"),
+                ),
+            ),
+            "",
+            ascii_chart(temps, y_label=f"{benchmark}: hottest block temperature (C)"),
+            "",
+            ascii_chart(duties, height=8, y_label="fetch duty"),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="F4",
+        title="Temperature and duty traces under different DTM policies",
+        rows=rows,
+        text=text,
+        extras={"temps": temps, "duties": duties},
+    )

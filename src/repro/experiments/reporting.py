@@ -1,0 +1,158 @@
+"""Rendering helpers for experiment output: text tables and ASCII charts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict]
+    text: str
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.text]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def _format_cell(value, spec: str | None) -> str:
+    if value is None:
+        return "-"
+    if spec is None:
+        return str(value)
+    return format(value, spec)
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[tuple[str, str, str | None]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table.
+
+    ``columns`` is a sequence of ``(key, header, format_spec)`` tuples;
+    the format spec is applied with :func:`format` (``None`` = str).
+    """
+    if not rows:
+        raise ExperimentError("cannot format an empty table")
+    headers = [header for _, header, _ in columns]
+    body = [
+        [_format_cell(row.get(key), spec) for key, _, spec in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), max(len(line[i]) for line in body))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 72,
+    y_label: str = "",
+) -> str:
+    """Render one or more numeric series as a compact ASCII line chart.
+
+    Each series gets its own marker character; all share the y-axis.
+    Series are resampled to the chart width.
+    """
+    if not series:
+        raise ExperimentError("no series to chart")
+    markers = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        count = len(values)
+        for col in range(width):
+            src = min(count - 1, int(col * count / width))
+            level = (values[src] - lo) / (hi - lo)
+            row = height - 1 - int(level * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{hi:10.3f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:10.3f} +" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+#: Heat-map shading ramp, coolest to hottest.
+_HEAT_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    field,
+    low: float | None = None,
+    high: float | None = None,
+    max_size: int = 40,
+    legend: bool = True,
+) -> str:
+    """Render a 2D temperature field as an ASCII heat map.
+
+    ``field`` is a 2D array-like (row 0 printed last, so y increases
+    upward like a floorplan).  Cells map onto a ten-step shading ramp
+    between ``low`` and ``high`` (defaulting to the field's extremes).
+    Large fields are downsampled to at most ``max_size`` per side.
+    """
+    import numpy as _np
+
+    data = _np.asarray(field, dtype=float)
+    if data.ndim != 2:
+        raise ExperimentError("heat map needs a 2D field")
+    lo = float(data.min()) if low is None else low
+    hi = float(data.max()) if high is None else high
+    if hi <= lo:
+        hi = lo + 1.0
+    step = max(1, int(_np.ceil(max(data.shape) / max_size)))
+    sampled = data[::step, ::step]
+    levels = _np.clip(
+        ((sampled - lo) / (hi - lo) * (len(_HEAT_RAMP) - 1)).astype(int),
+        0,
+        len(_HEAT_RAMP) - 1,
+    )
+    lines = [
+        "".join(_HEAT_RAMP[value] * 2 for value in row)
+        for row in levels[::-1]  # print top row first
+    ]
+    if legend:
+        lines.append(
+            f"[{_HEAT_RAMP[0]!r}={lo:.2f}  ...  {_HEAT_RAMP[-1]!r}={hi:.2f}]"
+        )
+    return "\n".join(lines)
+
+
+def percent(value: float) -> float:
+    """Fraction -> percentage (kept explicit for readability in drivers)."""
+    return 100.0 * value

@@ -1,0 +1,87 @@
+"""Section 7 main result: per-benchmark DTM performance and emergencies.
+
+For every benchmark and every policy, the two paper metrics: percent of
+the non-DTM IPC retained and percent of cycles in thermal emergency.
+The summary row carries the headline claim -- the PI/PID controllers
+cut the suite-mean performance loss relative to toggle1 by well over
+half while never entering thermal emergency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import benchmark_budget
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.sim.sweep import run_one
+from repro.workloads.profiles import BENCHMARKS
+
+#: Policies reported, in the paper's comparison order.
+DEFAULT_POLICIES = ("toggle1", "toggle2", "m", "p", "pd", "pi", "pid")
+
+
+def run(
+    policies: tuple[str, ...] = DEFAULT_POLICIES,
+    benchmarks: tuple[str, ...] | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Regenerate the Section 7 performance table."""
+    chosen = benchmarks if benchmarks is not None else tuple(BENCHMARKS)
+    rows = []
+    losses: dict[str, list[float]] = {policy: [] for policy in policies}
+    emergencies: dict[str, list[float]] = {policy: [] for policy in policies}
+    for benchmark in chosen:
+        budget = benchmark_budget(benchmark, quick)
+        baseline = run_one(benchmark, "none", instructions=budget)
+        row: dict = {
+            "benchmark": benchmark,
+            "base_ipc": baseline.ipc,
+            "base_em": percent(baseline.emergency_fraction),
+        }
+        for policy in policies:
+            result = run_one(benchmark, policy, instructions=budget)
+            relative = result.relative_ipc(baseline)
+            row[f"ipc_{policy}"] = percent(relative)
+            row[f"em_{policy}"] = percent(result.emergency_fraction)
+            losses[policy].append(1.0 - relative)
+            emergencies[policy].append(result.emergency_fraction)
+        rows.append(row)
+
+    mean_row: dict = {"benchmark": "MEAN", "base_ipc": None, "base_em": None}
+    for policy in policies:
+        mean_loss = sum(losses[policy]) / len(losses[policy])
+        mean_row[f"ipc_{policy}"] = percent(1.0 - mean_loss)
+        mean_row[f"em_{policy}"] = percent(
+            max(emergencies[policy])
+        )  # worst-case emergency exposure
+    rows.append(mean_row)
+
+    toggle1_loss = sum(losses["toggle1"]) / len(losses["toggle1"])
+    reductions = {}
+    for policy in policies:
+        if policy == "toggle1" or toggle1_loss == 0:
+            continue
+        mean_loss = sum(losses[policy]) / len(losses[policy])
+        reductions[policy] = 1.0 - mean_loss / toggle1_loss
+
+    columns = [("benchmark", "benchmark", None), ("base_ipc", "IPC", ".2f"),
+               ("base_em", "em%", ".1f")]
+    for policy in policies:
+        columns.append((f"ipc_{policy}", f"{policy} %IPC", ".1f"))
+        columns.append((f"em_{policy}", f"{policy} em%", ".2f"))
+    text = format_table(rows, columns=tuple(columns))
+    summary = ", ".join(
+        f"{policy}: {100 * value:.0f}%" for policy, value in reductions.items()
+    )
+    notes = (
+        "%IPC = percent of the non-DTM IPC retained (higher is better);\n"
+        "em% = percent of cycles in thermal emergency (must be 0).\n"
+        f"Mean performance-loss reduction vs toggle1: {summary}.\n"
+        "(Paper headline: 65% for the PI/PID controllers, with no emergencies.)"
+    )
+    return ExperimentResult(
+        experiment_id="T11",
+        title="DTM performance: percent of non-DTM IPC and emergency cycles",
+        rows=rows,
+        text=text,
+        notes=notes,
+        extras={"loss_reduction_vs_toggle1": reductions},
+    )

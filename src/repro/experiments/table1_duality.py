@@ -1,0 +1,34 @@
+"""Table 1: equivalence between thermal and electrical quantities."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.thermal.duality import EQUIVALENCE_TABLE
+
+
+def run() -> ExperimentResult:
+    """Render the paper's Table 1 from the library's duality data."""
+    rows = [
+        {
+            "thermal": row.thermal_quantity,
+            "t_unit": row.thermal_unit,
+            "electrical": row.electrical_quantity,
+            "e_unit": row.electrical_unit,
+        }
+        for row in EQUIVALENCE_TABLE
+    ]
+    text = format_table(
+        rows,
+        columns=(
+            ("thermal", "Thermal quantity", None),
+            ("t_unit", "unit", None),
+            ("electrical", "Electrical quantity", None),
+            ("e_unit", "unit", None),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="T1",
+        title="Equivalence between thermal and electrical quantities",
+        rows=rows,
+        text=text,
+    )

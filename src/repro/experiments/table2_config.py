@@ -1,0 +1,60 @@
+"""Table 2: configuration of the simulated processor microarchitecture."""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+from repro.experiments.reporting import ExperimentResult, format_table
+
+
+def run(machine: MachineConfig | None = None) -> ExperimentResult:
+    """Render the simulated machine configuration as the paper's Table 2."""
+    m = machine if machine is not None else MachineConfig()
+    bp = m.branch_predictor
+    rows = [
+        {"parameter": "Instruction window", "value": f"{m.ruu_entries}-RUU, {m.lsq_entries}-LSQ"},
+        {"parameter": "Issue width", "value": (
+            f"{m.issue_width} per cycle ({m.int_issue_width} Int, {m.fp_issue_width} FP)"
+        )},
+        {"parameter": "Functional units", "value": (
+            f"{m.int_alus} IntALU, {m.int_mult_div} IntMult/Div, "
+            f"{m.fp_alus} FPALU, {m.fp_mult_div} FPMult/Div, {m.mem_ports} mem ports"
+        )},
+        {"parameter": "Extra pipe stages", "value": (
+            f"{m.extra_pipe_stages} (rename/enqueue, between decode and issue)"
+        )},
+        {"parameter": "L1 D-cache", "value": _cache_text(m.l1_dcache)},
+        {"parameter": "L1 I-cache", "value": _cache_text(m.l1_icache)},
+        {"parameter": "L2 cache", "value": (
+            _cache_text(m.l2_cache) + f", {m.l2_cache.hit_latency}-cycle latency, WB"
+        )},
+        {"parameter": "Memory", "value": f"{m.memory_latency} cycles"},
+        {"parameter": "TLB", "value": (
+            f"{m.tlb_entries}-entry, fully assoc., {m.tlb_miss_penalty}-cycle miss penalty"
+        )},
+        {"parameter": "Branch predictor", "value": (
+            f"Hybrid: {bp.bimodal_entries // 1024}K bimod and "
+            f"{bp.global_entries // 1024}K/{bp.global_history_bits}-bit/GAg, "
+            f"{bp.chooser_entries // 1024}K bimod-style chooser"
+        )},
+        {"parameter": "Branch target buffer", "value": (
+            f"{bp.btb_entries // 1024}K-entry, {bp.btb_associativity}-way"
+        )},
+        {"parameter": "Return address stack", "value": f"{bp.ras_entries}-entry"},
+        {"parameter": "Clock / Vdd", "value": f"{m.clock_hz / 1e9:.1f} GHz / {m.vdd:.1f} V"},
+    ]
+    text = format_table(
+        rows,
+        columns=(("parameter", "Parameter", None), ("value", "Value", None)),
+    )
+    return ExperimentResult(
+        experiment_id="T2",
+        title="Configuration of simulated processor microarchitecture",
+        rows=rows,
+        text=text,
+    )
+
+
+def _cache_text(cache) -> str:
+    size_kb = cache.size_bytes // 1024
+    size = f"{size_kb // 1024} MB" if size_kb >= 1024 else f"{size_kb} KB"
+    return f"{size}, {cache.associativity}-way LRU, {cache.block_bytes} B blocks"

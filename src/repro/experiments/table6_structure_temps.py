@@ -1,0 +1,40 @@
+"""Table 6: average and maximum temperature per structure per benchmark.
+
+Assumes a 100 degC operating (heatsink) temperature and no thermal
+management, as the paper's Table 6 does.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import characterize_suite
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.thermal.floorplan import STRUCTURES
+from repro.workloads.profiles import BENCHMARKS
+
+
+def run(quick: bool = False, statistic: str = "max") -> ExperimentResult:
+    """Per-structure temperatures; ``statistic`` is ``"max"`` or ``"mean"``."""
+    results = characterize_suite(quick=quick)
+    rows = []
+    for name in BENCHMARKS:
+        result = results[name]
+        source = (
+            result.max_block_temperature
+            if statistic == "max"
+            else result.mean_block_temperature
+        )
+        row: dict = {"benchmark": name}
+        for structure in STRUCTURES:
+            row[structure] = source[structure]
+        rows.append(row)
+    columns = [("benchmark", "benchmark", None)] + [
+        (structure, structure, ".2f") for structure in STRUCTURES
+    ]
+    text = format_table(rows, columns=tuple(columns))
+    return ExperimentResult(
+        experiment_id="T6",
+        title=f"Per-structure {statistic} temperature (degC), no DTM",
+        rows=rows,
+        text=text,
+        notes="Operating point: heatsink at 100 C, no thermal management.",
+    )

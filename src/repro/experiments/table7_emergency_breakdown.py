@@ -1,0 +1,34 @@
+"""Table 7: percent of cycles each structure spends in thermal emergency.
+
+The per-structure breakdown behind Table 4's chip-level emergency
+column: which structures are the hot spots for which benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import characterize_suite
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.thermal.floorplan import STRUCTURES
+from repro.workloads.profiles import BENCHMARKS
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Per-structure emergency-cycle percentages, unmanaged runs."""
+    results = characterize_suite(quick=quick)
+    rows = []
+    for name in BENCHMARKS:
+        result = results[name]
+        row: dict = {"benchmark": name}
+        for structure in STRUCTURES:
+            row[structure] = percent(result.block_emergency_fraction[structure])
+        rows.append(row)
+    columns = [("benchmark", "benchmark", None)] + [
+        (structure, structure, ".2f") for structure in STRUCTURES
+    ]
+    text = format_table(rows, columns=tuple(columns))
+    return ExperimentResult(
+        experiment_id="T7",
+        title="Percent of cycles above the emergency threshold, per structure",
+        rows=rows,
+        text=text,
+    )

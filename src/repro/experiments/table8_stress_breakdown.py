@@ -1,0 +1,31 @@
+"""Table 8: percent of cycles each structure spends above the stress
+trigger (the non-CT trigger level, 101 degC)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import characterize_suite
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.thermal.floorplan import STRUCTURES
+from repro.workloads.profiles import BENCHMARKS
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Per-structure stress-cycle percentages, unmanaged runs."""
+    results = characterize_suite(quick=quick)
+    rows = []
+    for name in BENCHMARKS:
+        result = results[name]
+        row: dict = {"benchmark": name}
+        for structure in STRUCTURES:
+            row[structure] = percent(result.block_stress_fraction[structure])
+        rows.append(row)
+    columns = [("benchmark", "benchmark", None)] + [
+        (structure, structure, ".2f") for structure in STRUCTURES
+    ]
+    text = format_table(rows, columns=tuple(columns))
+    return ExperimentResult(
+        experiment_id="T8",
+        title="Percent of cycles above the stress trigger, per structure",
+        rows=rows,
+        text=text,
+    )

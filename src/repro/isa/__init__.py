@@ -1,0 +1,20 @@
+"""A small synthetic ISA for trace-driven simulation.
+
+Stands in for the Alpha ISA + SimpleScalar EIO traces of the paper:
+instructions carry exactly the information the timing and power models
+need (operation class, register dependences, memory address, branch
+outcome), and traces are produced by seeded generators so every run is
+bit-reproducible, which is the property EIO traces provided the paper.
+"""
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.isa.trace import TraceReader, TraceWriter, load_trace, save_trace
+
+__all__ = [
+    "Instruction",
+    "OpClass",
+    "TraceReader",
+    "TraceWriter",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,73 @@
+"""Instruction representation for the synthetic ISA."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.Enum):
+    """Operation classes, matching the simulated functional units."""
+
+    INT_ALU = "int_alu"
+    INT_MULT = "int_mult"
+    FP_ALU = "fp_alu"
+    FP_MULT = "fp_mult"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        """True for floating-point operations."""
+        return self in (OpClass.FP_ALU, OpClass.FP_MULT)
+
+
+#: Execution latency [cycles] of each operation class once issued.
+EXECUTION_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MULT: 7,
+    OpClass.FP_ALU: 4,
+    OpClass.FP_MULT: 12,
+    OpClass.LOAD: 1,  # plus cache latency, resolved by the memory system
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+
+@dataclass
+class Instruction:
+    """One dynamic instruction in a trace.
+
+    ``src_regs``/``dest_reg`` encode true data dependences; the
+    generator chooses register numbers so the dependence distance
+    distribution realizes a profile's ILP.  ``address`` is the effective
+    address for memory operations.  ``taken``/``target`` record the
+    architectural branch outcome (trace-driven simulation knows the
+    right path; the predictor decides whether the pipeline does).
+    """
+
+    pc: int
+    op: OpClass
+    dest_reg: int = -1
+    src_regs: tuple[int, ...] = field(default=())
+    address: int = 0
+    taken: bool = False
+    target: int = 0
+
+    @property
+    def latency(self) -> int:
+        """Base execution latency of this instruction [cycles]."""
+        return EXECUTION_LATENCY[self.op]
+
+    @property
+    def is_branch(self) -> bool:
+        """True if the instruction is a control transfer."""
+        return self.op is OpClass.BRANCH

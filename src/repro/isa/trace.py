@@ -1,0 +1,104 @@
+"""Trace serialization: the EIO-trace stand-in.
+
+The paper uses SimpleScalar EIO traces "to ensure reproducible results
+for each benchmark across multiple simulations".  Our workloads are
+seeded generators and therefore already reproducible, but experiments
+sometimes want to snapshot a generated stream (e.g. to replay the exact
+same instructions through two differently-configured cores).  This
+module writes/reads a compact text format, one instruction per line:
+
+    pc op dest src1,src2 address taken target
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import WorkloadError
+from repro.isa.instructions import Instruction, OpClass
+
+_OP_BY_VALUE = {op.value: op for op in OpClass}
+
+
+class TraceWriter:
+    """Streams instructions to a trace file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w", encoding="ascii")
+        self.count = 0
+
+    def write(self, instruction: Instruction) -> None:
+        """Append one instruction to the trace."""
+        sources = ",".join(str(reg) for reg in instruction.src_regs) or "-"
+        self._handle.write(
+            f"{instruction.pc:x} {instruction.op.value} {instruction.dest_reg} "
+            f"{sources} {instruction.address:x} {int(instruction.taken)} "
+            f"{instruction.target:x}\n"
+        )
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Iterates instructions from a trace file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if not self.path.exists():
+            raise WorkloadError(f"trace file not found: {self.path}")
+
+    def __iter__(self) -> Iterator[Instruction]:
+        with self.path.open("r", encoding="ascii") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                yield _parse_line(line, line_number, self.path)
+
+
+def _parse_line(line: str, line_number: int, path: Path) -> Instruction:
+    parts = line.split()
+    if len(parts) != 7:
+        raise WorkloadError(f"{path}:{line_number}: expected 7 fields, got {len(parts)}")
+    pc_text, op_text, dest_text, srcs_text, addr_text, taken_text, target_text = parts
+    op = _OP_BY_VALUE.get(op_text)
+    if op is None:
+        raise WorkloadError(f"{path}:{line_number}: unknown op {op_text!r}")
+    sources: tuple[int, ...]
+    if srcs_text == "-":
+        sources = ()
+    else:
+        sources = tuple(int(reg) for reg in srcs_text.split(","))
+    return Instruction(
+        pc=int(pc_text, 16),
+        op=op,
+        dest_reg=int(dest_text),
+        src_regs=sources,
+        address=int(addr_text, 16),
+        taken=bool(int(taken_text)),
+        target=int(target_text, 16),
+    )
+
+
+def save_trace(path: str | Path, instructions: Iterable[Instruction]) -> int:
+    """Write an instruction stream to ``path``; returns the count."""
+    with TraceWriter(path) as writer:
+        for instruction in instructions:
+            writer.write(instruction)
+        return writer.count
+
+
+def load_trace(path: str | Path) -> list[Instruction]:
+    """Read an entire trace into memory."""
+    return list(TraceReader(path))

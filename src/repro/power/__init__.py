@@ -1,0 +1,24 @@
+"""Wattch-style architecture-level power modeling (paper Section 5.1).
+
+Per-cycle power per structure is computed from activity: each monitored
+structure has a peak power (floorplan) and dissipates
+
+    P = P_peak * (idle_fraction + (1 - idle_fraction) * utilization)
+
+under Wattch's "cc3"-style conditional clocking (idle structures still
+burn a fixed fraction of peak through clock and leakage).  Unit
+capacitances (:mod:`repro.power.capacitance`) ground the peak-power
+ratios in array geometry, including the column decoders the paper adds
+to Wattch 1.02.
+"""
+
+from repro.power.capacitance import ArrayGeometry, array_access_energy
+from repro.power.clock_gating import ClockGatingStyle
+from repro.power.wattch import PowerModel
+
+__all__ = [
+    "ArrayGeometry",
+    "ClockGatingStyle",
+    "PowerModel",
+    "array_access_energy",
+]

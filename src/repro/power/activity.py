@@ -1,0 +1,21 @@
+"""Reference access rates: what counts as "utilization 1.0".
+
+Per-structure maximum access rates (accesses per cycle) against which
+the detailed core's :class:`~repro.uarch.stats.ActivityCounters` are
+normalized.  The values correspond to a core sustaining near-peak
+throughput on the Table 2 machine (see the pipeline module for which
+events increment which counter).
+"""
+
+from __future__ import annotations
+
+#: Accesses per cycle at which each structure is considered fully busy.
+MAX_ACCESS_RATES: dict[str, float] = {
+    "lsq": 3.0,       # dispatch + 2 memory ports issuing
+    "window": 12.0,   # dispatch + wakeup/select + commit at high IPC
+    "regfile": 12.0,  # 2 reads/issue + 1 write/commit at high IPC
+    "bpred": 1.5,     # predict + update on branchy code
+    "dcache": 2.0,    # 2 memory ports
+    "int_exec": 3.5,  # 4 IntALU + 1 IntMult, realistically sustainable
+    "fp_exec": 2.5,   # 2 FPALU + 1 FPMult, realistically sustainable
+}

@@ -1,0 +1,108 @@
+"""Temperature-dependent leakage power (extension).
+
+The paper's power model is dynamic-only (leakage was folded into the
+CC3 idle fraction), but it cites contemporary leakage-control work
+(Wong et al.) and leakage is the canonical coupling that makes thermal
+management *harder*: leakage grows exponentially with temperature, so
+heat makes more heat.  This module adds
+
+    P_leak(T) = fraction * P_peak * 2^((T - T_ref) / doubling)
+
+per block, plus the analysis of its consequences:
+
+* **runaway temperature** -- where the leakage slope dP/dT exceeds the
+  block's conduction slope 1/R, beyond which no thermal equilibrium
+  exists;
+* **authority limit** -- the floor temperature a fully-throttled block
+  settles at (idle dynamic + leakage); once that floor crosses the
+  emergency threshold, *no* fetch-side DTM policy can prevent
+  emergencies.  Experiment E2 sweeps this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.thermal.floorplan import Block
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Exponential-in-temperature leakage, per block."""
+
+    #: Leakage at the reference temperature, as a fraction of peak power.
+    fraction_of_peak: float = 0.10
+    #: Temperature at which the fraction is specified [degC].
+    reference_temperature: float = 100.0
+    #: Temperature rise that doubles leakage [K].
+    doubling_interval: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.fraction_of_peak < 0:
+            raise ConfigError("fraction_of_peak must be non-negative")
+        if self.doubling_interval <= 0:
+            raise ConfigError("doubling_interval must be positive")
+
+    def power(self, peak_powers: np.ndarray, temperatures: np.ndarray) -> np.ndarray:
+        """Per-block leakage power [W] at the given temperatures."""
+        peak_powers = np.asarray(peak_powers, dtype=float)
+        temperatures = np.asarray(temperatures, dtype=float)
+        exponent = (temperatures - self.reference_temperature) / self.doubling_interval
+        return self.fraction_of_peak * peak_powers * np.exp2(exponent)
+
+    def slope(self, peak_power: float, temperature: float) -> float:
+        """dP_leak/dT of one block [W/K] at a temperature."""
+        scale = math.log(2.0) / self.doubling_interval
+        return float(self.power(np.array([peak_power]), np.array([temperature]))[0]) * scale
+
+    def runaway_temperature(self, block: Block) -> float:
+        """Temperature beyond which the block has no thermal equilibrium.
+
+        Equilibrium requires the conduction slope ``1/R`` to exceed the
+        leakage slope; solving ``slope(T*) = 1/R`` gives
+
+            T* = T_ref + d * log2( d / (ln2 * f * P_peak * R) ).
+
+        Returns ``inf`` when leakage is zero.
+        """
+        if self.fraction_of_peak == 0:
+            return float("inf")
+        critical = self.doubling_interval / (
+            math.log(2.0) * self.fraction_of_peak * block.peak_power * block.resistance
+        )
+        return self.reference_temperature + self.doubling_interval * math.log2(critical)
+
+    def throttled_floor_temperature(
+        self,
+        block: Block,
+        heatsink_temperature: float,
+        idle_fraction: float = 0.15,
+        iterations: int = 100,
+    ) -> float:
+        """Equilibrium temperature of a fully-throttled block.
+
+        With fetch fully off, the block still dissipates idle dynamic
+        power plus leakage; the equilibrium solves the fixed point
+        ``T = T_sink + R * (P_idle + P_leak(T))``.  If the fixed-point
+        iteration diverges the block is in runaway even when throttled
+        and ``inf`` is returned.
+        """
+        idle_power = idle_fraction * block.peak_power
+        temperature = heatsink_temperature
+        for _ in range(iterations):
+            leak = float(
+                self.power(
+                    np.array([block.peak_power]), np.array([temperature])
+                )[0]
+            )
+            updated = heatsink_temperature + block.resistance * (idle_power + leak)
+            if updated > heatsink_temperature + 50.0:
+                return float("inf")
+            if abs(updated - temperature) < 1e-9:
+                return updated
+            temperature = updated
+        return temperature

@@ -1,0 +1,111 @@
+"""Power accounting: breakdowns and energy metrics (Wattch-style).
+
+Wattch's signature output is *where the power goes*: per-structure
+dissipation split into activity-driven (dynamic) and idle (clock tree
+/ leakage floor) components.  Under the CC3 model the split is exact:
+
+    P = P_peak * (idle + (1 - idle) * u)
+      = P_peak * idle            (idle component, always burning)
+      + P_peak * (1 - idle) * u  (dynamic component).
+
+``power_breakdown`` recovers both components from a recorded run
+history; ``energy_summary`` compares total energy and energy per
+instruction across runs (the other side of the DTM trade: throttling
+cuts power but stretches runtime while the idle floor keeps burning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.power.clock_gating import CC3_IDLE_FRACTION
+from repro.sim.results import History, RunResult
+from repro.thermal.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class StructureBreakdown:
+    """Mean power split for one structure over a run."""
+
+    name: str
+    mean_total_w: float
+    mean_dynamic_w: float
+    mean_idle_w: float
+    fraction_of_monitored: float
+
+    @property
+    def dynamic_share(self) -> float:
+        """Dynamic component as a fraction of the structure's total."""
+        if not self.mean_total_w:
+            return 0.0
+        return self.mean_dynamic_w / self.mean_total_w
+
+
+def power_breakdown(
+    history: History,
+    floorplan: Floorplan,
+    idle_fraction: float = CC3_IDLE_FRACTION,
+) -> list[StructureBreakdown]:
+    """Per-structure dynamic/idle power split from a recorded history."""
+    if not 0.0 <= idle_fraction < 1.0:
+        raise ConfigError("idle_fraction must be in [0, 1)")
+    mean_powers = history.block_powers.mean(axis=0)
+    peaks = np.array([block.peak_power for block in floorplan.blocks])
+    idle_powers = peaks * idle_fraction
+    dynamic = np.maximum(0.0, mean_powers - idle_powers)
+    total_monitored = float(mean_powers.sum())
+    result = []
+    for index, block in enumerate(floorplan.blocks):
+        result.append(
+            StructureBreakdown(
+                name=block.name,
+                mean_total_w=float(mean_powers[index]),
+                mean_dynamic_w=float(dynamic[index]),
+                mean_idle_w=float(min(idle_powers[index], mean_powers[index])),
+                fraction_of_monitored=(
+                    float(mean_powers[index]) / total_monitored
+                    if total_monitored
+                    else 0.0
+                ),
+            )
+        )
+    return result
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """Energy metrics of one run, relative to an unmanaged baseline."""
+
+    policy: str
+    energy_joules: float
+    energy_per_instruction_nj: float
+    mean_power_w: float
+    relative_epi: float
+
+
+def energy_summary(
+    runs: dict[str, RunResult], baseline_policy: str = "none"
+) -> list[EnergyComparison]:
+    """Energy and EPI per policy, normalized to the baseline run.
+
+    ``runs`` maps policy name -> RunResult for the same benchmark.
+    """
+    if baseline_policy not in runs:
+        raise ConfigError(f"baseline policy {baseline_policy!r} missing")
+    baseline_epi = runs[baseline_policy].energy_per_instruction
+    result = []
+    for policy, run in runs.items():
+        epi = run.energy_per_instruction
+        result.append(
+            EnergyComparison(
+                policy=policy,
+                energy_joules=run.energy_joules,
+                energy_per_instruction_nj=epi * 1e9,
+                mean_power_w=run.mean_chip_power,
+                relative_epi=epi / baseline_epi if baseline_epi else 0.0,
+            )
+        )
+    return result

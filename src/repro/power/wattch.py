@@ -1,0 +1,104 @@
+"""The per-cycle power model (Wattch stand-in).
+
+``PowerModel`` converts per-structure utilization (either measured by
+the detailed core's activity counters or specified directly by a
+workload profile's activity view) into per-structure power, applying a
+conditional-clocking style, and adds the power of the unmonitored rest
+of the chip (I-cache, L2, clock tree, buses) for chip-wide totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.power.activity import MAX_ACCESS_RATES
+from repro.power.clock_gating import (
+    CC3_IDLE_FRACTION,
+    ClockGatingStyle,
+    effective_power,
+)
+from repro.thermal.floorplan import Floorplan
+
+
+class PowerModel:
+    """Utilization -> power, per structure and chip-wide."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        gating: ClockGatingStyle = ClockGatingStyle.CC3,
+        idle_fraction: float = CC3_IDLE_FRACTION,
+    ) -> None:
+        if not 0.0 <= idle_fraction < 1.0:
+            raise ConfigError("idle_fraction must be in [0, 1)")
+        self.floorplan = floorplan
+        self.gating = gating
+        self.idle_fraction = idle_fraction
+        self._peaks = np.array(
+            [block.peak_power for block in floorplan.blocks], dtype=float
+        )
+
+    # -- vectorized path (fast engine) ------------------------------------
+    def block_powers(self, utilization: np.ndarray) -> np.ndarray:
+        """Per-block power [W] from a utilization vector in floorplan order."""
+        utilization = np.clip(np.asarray(utilization, dtype=float), 0.0, 1.0)
+        if utilization.shape != self._peaks.shape:
+            raise ConfigError(
+                f"expected {self._peaks.shape[0]} utilizations, got {utilization.shape}"
+            )
+        if self.gating is ClockGatingStyle.CC0:
+            return self._peaks.copy()
+        if self.gating is ClockGatingStyle.CC1:
+            return np.where(utilization > 0, self._peaks, 0.0)
+        if self.gating is ClockGatingStyle.CC2:
+            return self._peaks * utilization
+        idle = self.idle_fraction
+        return self._peaks * (idle + (1.0 - idle) * utilization)
+
+    def unmonitored_power(self, mean_utilization: float) -> float:
+        """Power of the rest of the chip given average core utilization."""
+        mean_utilization = min(1.0, max(0.0, mean_utilization))
+        return effective_power(
+            self.floorplan.unmonitored_peak_power,
+            mean_utilization,
+            self.gating,
+            self.idle_fraction,
+        )
+
+    def chip_power(self, utilization: np.ndarray) -> float:
+        """Total chip power [W] for one utilization vector."""
+        blocks = self.block_powers(utilization)
+        mean = float(np.mean(np.clip(utilization, 0.0, 1.0)))
+        return float(blocks.sum()) + self.unmonitored_power(mean)
+
+    # -- counter path (detailed core) -----------------------------------------
+    def utilization_from_counts(self, counts: dict[str, float]) -> np.ndarray:
+        """Per-block utilization vector from one cycle's access counts."""
+        return np.array(
+            [
+                min(1.0, counts.get(name, 0.0) / MAX_ACCESS_RATES[name])
+                for name in self.floorplan.names
+            ],
+            dtype=float,
+        )
+
+    def powers_from_counts(self, counts: dict[str, float]) -> np.ndarray:
+        """Per-block power from one cycle's raw access counts."""
+        return self.block_powers(self.utilization_from_counts(counts))
+
+    @property
+    def peaks(self) -> np.ndarray:
+        """Per-block peak powers [W] in floorplan order (copy)."""
+        return self._peaks.copy()
+
+    @property
+    def peak_chip_power(self) -> float:
+        """Chip power with every structure fully busy [W]."""
+        return float(self._peaks.sum()) + self.floorplan.unmonitored_peak_power
+
+    @property
+    def min_chip_power(self) -> float:
+        """Chip power with everything idle under the gating style [W]."""
+        zeros = np.zeros_like(self._peaks)
+        return self.chip_power(zeros)

@@ -1,0 +1,26 @@
+"""Full-system simulation: workload + power + thermal + DTM.
+
+Two engines share the power, thermal, controller, and DTM code:
+
+* :class:`~repro.sim.simulator.DetailedSimulator` -- drives the
+  cycle-level out-of-order core; used for validation, calibration, and
+  short detailed studies.
+* :class:`~repro.sim.fast.FastEngine` -- replays a profile's calibrated
+  activity view one sampling interval at a time with exact exponential
+  thermal updates; used for the paper-scale sweeps.  Its
+  duty-to-throughput response is calibrated against the detailed core
+  (experiment C1).
+"""
+
+from repro.sim.fast import FastEngine
+from repro.sim.results import History, RunResult
+from repro.sim.simulator import DetailedSimulator
+from repro.sim.sweep import run_suite
+
+__all__ = [
+    "DetailedSimulator",
+    "FastEngine",
+    "History",
+    "RunResult",
+    "run_suite",
+]

@@ -1,0 +1,277 @@
+"""The fast engine: sample-granularity simulation for paper-scale sweeps.
+
+One iteration covers one controller sampling interval (1000 cycles).
+Per sample the engine:
+
+1. looks up the workload phase at the current committed-instruction
+   position and draws its jittered activity vector and demand IPC
+   (seeded -- runs are bit-reproducible);
+2. asks the :class:`~repro.dtm.manager.DTMManager` for the fetch duty,
+   given the hottest block temperature at the sample boundary (exactly
+   the paper's sensor/controller timing);
+3. converts duty to throughput: the front end can supply at most
+   ``duty * fetch_width * supply_efficiency`` instructions per cycle,
+   so the sample commits ``min(demand, supply)`` IPC -- low-ILP phases
+   absorb mild toggling for free, which is the paper's observation
+   that "the program's ILP characteristics [can] permit the DTM
+   mechanism to work well without penalizing performance";
+4. scales structure activity by the achieved throughput ratio, turns
+   it into per-block power (Wattch CC3), and advances the lumped RC
+   model with the *exact* exponential update;
+5. accounts emergency/stress time with sub-sample accuracy from the
+   closed-form trajectory.
+
+``supply_efficiency`` is calibrated against the detailed core
+(experiment C1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import DTMConfig, MachineConfig, ThermalConfig
+from repro.dtm.manager import DTMManager
+from repro.dtm.policies import NoDTMPolicy
+from repro.errors import SimulationError
+from repro.power.clock_gating import ClockGatingStyle
+from repro.power.wattch import PowerModel
+from repro.sim.results import History, RunResult
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.lumped import LumpedThermalModel
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Fraction of nominal fetch bandwidth the front end sustains through
+#: toggling.  Calibrated against the detailed core (experiment C1):
+#: gated fetch cycles interact with branch-driven fetch-block breaks,
+#: so the sustained supply is ~0.8 * duty * fetch_width.
+DEFAULT_SUPPLY_EFFICIENCY = 0.80
+
+
+class FastEngine:
+    """Sample-granularity workload/power/thermal/DTM simulation."""
+
+    def __init__(
+        self,
+        profile: BenchmarkProfile,
+        policy=None,
+        floorplan: Floorplan | None = None,
+        machine: MachineConfig | None = None,
+        thermal_config: ThermalConfig | None = None,
+        dtm_config: DTMConfig | None = None,
+        seed: int = 0,
+        gating: ClockGatingStyle = ClockGatingStyle.CC3,
+        sensor=None,
+        record_history: bool = False,
+        supply_efficiency: float = DEFAULT_SUPPLY_EFFICIENCY,
+        leakage=None,
+        monitored_blocks: tuple[str, ...] | None = None,
+    ) -> None:
+        if not 0.0 < supply_efficiency <= 1.0:
+            raise SimulationError("supply_efficiency must be in (0, 1]")
+        self.profile = profile
+        self.floorplan = floorplan if floorplan is not None else Floorplan.default()
+        self.machine = machine if machine is not None else MachineConfig()
+        self.thermal_config = (
+            thermal_config if thermal_config is not None else ThermalConfig()
+        )
+        self.dtm_config = dtm_config if dtm_config is not None else DTMConfig()
+        self.policy = policy if policy is not None else NoDTMPolicy()
+        self.manager = DTMManager(self.policy, self.dtm_config, sensor=sensor)
+        self.power_model = PowerModel(self.floorplan, gating=gating)
+        self.thermal = LumpedThermalModel(
+            self.floorplan,
+            heatsink_temperature=self.thermal_config.heatsink_temperature,
+            cycle_time=self.machine.cycle_time,
+        )
+        self.seed = seed
+        self.record_history = record_history
+        self.supply_efficiency = supply_efficiency
+        #: Optional :class:`~repro.power.leakage.LeakageModel`: adds
+        #: temperature-dependent leakage (quasi-static per sample).
+        self.leakage = leakage
+        # Sensor placement (paper Section 4.2's future-work caveat:
+        # "the number of sensors is likely to be limited, and they may
+        # not be co-located with the most likely hot spots").  The DTM
+        # loop only sees the temperatures of the monitored blocks; the
+        # emergency accounting still uses the true physical field.
+        if monitored_blocks is None:
+            self._monitored = None
+        else:
+            if not monitored_blocks:
+                raise SimulationError("need at least one monitored block")
+            self._monitored = np.array(
+                [self.floorplan.index(name) for name in monitored_blocks]
+            )
+
+    def run(
+        self,
+        instructions: float = 2_000_000,
+        max_cycles: int | None = None,
+        warmup_instructions: float = 0,
+    ) -> RunResult:
+        """Simulate until ``instructions`` commit (or ``max_cycles``).
+
+        ``warmup_instructions`` are executed first with full dynamics
+        (thermal state, DTM, phase position all advance) but excluded
+        from every reported metric -- the analogue of the paper's
+        skipping the first 2 billion instructions of each benchmark.
+        """
+        if instructions <= 0:
+            raise SimulationError("instructions must be positive")
+        sample = self.dtm_config.sampling_interval
+        sample_seconds = sample * self.machine.cycle_time
+        if max_cycles is None:
+            # Generous budget: even duty-0 policies eventually release.
+            max_cycles = int(40 * instructions / max(0.1, self.profile.mean_ipc))
+        emergency_level = self.thermal_config.emergency_temperature
+        stress_level = self.dtm_config.nonct_trigger
+        fetch_supply = self.machine.fetch_width * self.supply_efficiency
+
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.profile.seed, self.seed])
+        )
+        names = self.floorplan.names
+        block_count = len(names)
+
+        committed = 0.0
+        warmup_remaining = float(warmup_instructions)
+        cycles = 0
+        emergency_cycles = 0.0
+        stress_cycles = 0.0
+        block_emergency = np.zeros(block_count)
+        block_stress = np.zeros(block_count)
+        temp_sum = np.zeros(block_count)
+        temp_max = np.full(block_count, -np.inf)
+        power_sum = 0.0
+        power_max = 0.0
+        energy_joules = 0.0
+        interrupt_stalls = 0
+        samples = 0
+        total_committed = 0.0  # includes warmup; drives phase position
+        warmup_budget = max_cycles  # warmup gets the same cycle safety net
+        history_rows: list[tuple] = []
+
+        while committed < instructions and cycles < max_cycles:
+            phase = self.profile.phase_at(int(total_committed))
+            activity = np.array(phase.activity_vector(names), dtype=float)
+            if phase.jitter:
+                activity *= 1.0 + rng.normal(0.0, phase.jitter, block_count)
+                np.clip(activity, 0.0, 1.0, out=activity)
+                demand_ipc = phase.ipc * (
+                    1.0 + rng.normal(0.0, 0.5 * phase.jitter)
+                )
+            else:
+                demand_ipc = phase.ipc
+            demand_ipc = max(0.05, demand_ipc)
+
+            if self._monitored is None:
+                sensed = self.thermal.max_temperature
+            else:
+                sensed = float(self.thermal.temperatures[self._monitored].max())
+            duty, stall = self.manager.on_sample(sensed)
+            supply_ipc = duty * fetch_supply
+            effective_ipc = min(demand_ipc, supply_ipc)
+            ratio = effective_ipc / demand_ipc
+
+            utilization = activity * ratio
+            powers = self.power_model.block_powers(utilization)
+            if self.leakage is not None:
+                powers = powers + self.leakage.power(
+                    self.power_model.peaks, self.thermal.temperatures
+                )
+            chip_power = float(powers.sum()) + self.power_model.unmonitored_power(
+                float(utilization.mean())
+            )
+
+            start = self.thermal.temperatures
+            steady = self.thermal.steady_state(powers)
+            end = self.thermal.advance(powers, sample)
+
+            sample_committed = effective_ipc * max(0, sample - stall)
+            total_committed += sample_committed
+            if warmup_remaining > 0:
+                warmup_remaining -= sample_committed
+                warmup_budget -= sample
+                if warmup_budget <= 0:
+                    raise SimulationError("warmup exceeded the cycle budget")
+                continue
+
+            em_frac = self.thermal.fraction_above(
+                start, steady, sample_seconds, emergency_level
+            )
+            st_frac = self.thermal.fraction_above(
+                start, steady, sample_seconds, stress_level
+            )
+
+            committed += sample_committed
+            cycles += sample
+            emergency_cycles += float(em_frac.max()) * sample
+            stress_cycles += float(st_frac.max()) * sample
+            block_emergency += em_frac * sample
+            block_stress += st_frac * sample
+            temp_sum += end
+            np.maximum(temp_max, end, out=temp_max)
+            power_sum += chip_power
+            power_max = max(power_max, chip_power)
+            energy_joules += chip_power * sample_seconds
+            interrupt_stalls += stall
+            samples += 1
+            if self.record_history:
+                history_rows.append(
+                    (
+                        float(end.max()),
+                        duty,
+                        chip_power,
+                        end,
+                        powers,
+                        em_frac,
+                        st_frac,
+                    )
+                )
+
+        if samples == 0:
+            raise SimulationError("run produced no samples")
+
+        history = None
+        if self.record_history:
+            history = History(
+                sample_cycles=sample,
+                names=names,
+                max_temp=np.array([row[0] for row in history_rows]),
+                duty=np.array([row[1] for row in history_rows]),
+                chip_power=np.array([row[2] for row in history_rows]),
+                block_temps=np.vstack([row[3] for row in history_rows]),
+                block_powers=np.vstack([row[4] for row in history_rows]),
+                block_emergency=np.vstack([row[5] for row in history_rows]),
+                block_stress=np.vstack([row[6] for row in history_rows]),
+            )
+
+        return RunResult(
+            benchmark=self.profile.name,
+            policy=self.policy.name,
+            cycles=cycles,
+            instructions=committed,
+            emergency_fraction=emergency_cycles / cycles,
+            stress_fraction=stress_cycles / cycles,
+            block_emergency_fraction={
+                name: float(block_emergency[i]) / cycles
+                for i, name in enumerate(names)
+            },
+            block_stress_fraction={
+                name: float(block_stress[i]) / cycles
+                for i, name in enumerate(names)
+            },
+            mean_block_temperature={
+                name: float(temp_sum[i]) / samples for i, name in enumerate(names)
+            },
+            max_block_temperature={
+                name: float(temp_max[i]) for i, name in enumerate(names)
+            },
+            mean_chip_power=power_sum / samples,
+            max_chip_power=power_max,
+            energy_joules=energy_joules,
+            engaged_fraction=self.manager.engaged_fraction,
+            interrupt_events=self.manager.interrupts.events,
+            interrupt_stall_cycles=interrupt_stalls,
+            history=history,
+        )

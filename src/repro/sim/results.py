@@ -1,0 +1,102 @@
+"""Result containers and metrics for simulation runs.
+
+The paper's two success metrics (Section 5.2): the percentage of cycles
+spent in thermal emergency, and the percentage of the non-DTM IPC that
+a managed run retains.  :class:`RunResult` carries those plus the
+per-structure detail needed by Tables 4 and 6-10, and optionally a
+sample-granularity :class:`History` for trace figures and the offline
+boxcar-proxy comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class History:
+    """Per-sample traces of one run (sample = one controller interval)."""
+
+    sample_cycles: int
+    names: tuple[str, ...]
+    max_temp: np.ndarray          # (samples,)
+    duty: np.ndarray              # (samples,)
+    chip_power: np.ndarray        # (samples,)
+    block_temps: np.ndarray       # (samples, blocks) end-of-sample
+    block_powers: np.ndarray      # (samples, blocks)
+    block_emergency: np.ndarray   # (samples, blocks) fraction of sample
+    block_stress: np.ndarray      # (samples, blocks) fraction of sample
+
+    @property
+    def samples(self) -> int:
+        """Number of recorded samples."""
+        return len(self.max_temp)
+
+    def time_microseconds(self, cycle_time: float) -> np.ndarray:
+        """Sample end-times in microseconds for plotting."""
+        ticks = np.arange(1, self.samples + 1, dtype=float)
+        return ticks * self.sample_cycles * cycle_time * 1e6
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (benchmark, policy) simulation."""
+
+    benchmark: str
+    policy: str
+    cycles: int
+    instructions: float
+    #: Fraction of cycles any monitored block exceeded the emergency
+    #: threshold.
+    emergency_fraction: float
+    #: Fraction of cycles any monitored block exceeded the stress
+    #: (non-CT trigger) threshold.
+    stress_fraction: float
+    block_emergency_fraction: dict[str, float]
+    block_stress_fraction: dict[str, float]
+    mean_block_temperature: dict[str, float]
+    max_block_temperature: dict[str, float]
+    mean_chip_power: float
+    max_chip_power: float
+    #: Total chip energy dissipated over the measured run [J].
+    energy_joules: float = 0.0
+    engaged_fraction: float = 0.0
+    interrupt_events: int = 0
+    interrupt_stall_cycles: int = 0
+    history: History | None = None
+    #: Extra engine-specific numbers (detailed core stats, etc.).
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def max_temperature(self) -> float:
+        """Hottest temperature any block reached [degC]."""
+        return max(self.max_block_temperature.values())
+
+    def relative_ipc(self, baseline: "RunResult") -> float:
+        """This run's IPC as a fraction of an unmanaged baseline's."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def performance_loss(self, baseline: "RunResult") -> float:
+        """Fractional slowdown vs the baseline (0 = no loss)."""
+        return 1.0 - self.relative_ipc(baseline)
+
+    @property
+    def energy_per_instruction(self) -> float:
+        """Average chip energy per committed instruction [J].
+
+        DTM trades performance for temperature; the energy view shows
+        the other side of the trade -- toggling lowers power but
+        stretches runtime, so EPI can move either way.
+        """
+        if not self.instructions:
+            return 0.0
+        return self.energy_joules / self.instructions

@@ -1,0 +1,130 @@
+"""Suite sweeps: run (benchmark x policy) matrices on the fast engine.
+
+The experiment drivers build on :func:`run_suite`, which runs every
+requested benchmark under every requested policy (plus the unmanaged
+baseline needed for relative-IPC metrics) with shared configuration and
+deterministic seeding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.config import DTMConfig, MachineConfig, ThermalConfig
+from repro.control.pid import AntiWindup
+from repro.dtm.policies import make_policy
+from repro.sim.fast import FastEngine
+from repro.sim.results import RunResult
+from repro.thermal.floorplan import Floorplan
+from repro.workloads.profiles import BENCHMARKS, get_profile
+
+#: Default instruction budget per run (fast-engine samples are cheap;
+#: this covers hundreds of thermal time constants).
+DEFAULT_INSTRUCTIONS = 2_000_000
+
+
+def run_one(
+    benchmark: str,
+    policy_name: str,
+    instructions: float = DEFAULT_INSTRUCTIONS,
+    floorplan: Floorplan | None = None,
+    machine: MachineConfig | None = None,
+    thermal_config: ThermalConfig | None = None,
+    dtm_config: DTMConfig | None = None,
+    seed: int = 0,
+    record_history: bool = False,
+    anti_windup: AntiWindup = AntiWindup.CONDITIONAL,
+    setpoint: float | None = None,
+    sensor=None,
+    policy=None,
+) -> RunResult:
+    """Run one benchmark under one named policy.
+
+    Pass a prebuilt ``policy`` object to bypass the name-based factory
+    (used for custom policies such as the hierarchical extension).
+    """
+    floorplan = floorplan if floorplan is not None else Floorplan.default()
+    if policy is None:
+        policy = make_policy(
+            policy_name,
+            floorplan,
+            dtm_config,
+            anti_windup=anti_windup,
+            setpoint=setpoint,
+        )
+    engine = FastEngine(
+        get_profile(benchmark),
+        policy=policy,
+        floorplan=floorplan,
+        machine=machine,
+        thermal_config=thermal_config,
+        dtm_config=dtm_config,
+        seed=seed,
+        record_history=record_history,
+        sensor=sensor,
+    )
+    return engine.run(instructions=instructions)
+
+
+def run_suite(
+    policies: Iterable[str],
+    benchmarks: Iterable[str] | None = None,
+    instructions: float = DEFAULT_INSTRUCTIONS,
+    floorplan: Floorplan | None = None,
+    machine: MachineConfig | None = None,
+    thermal_config: ThermalConfig | None = None,
+    dtm_config: DTMConfig | None = None,
+    seed: int = 0,
+    include_baseline: bool = True,
+) -> Mapping[tuple[str, str], RunResult]:
+    """Run the full (benchmark x policy) matrix.
+
+    Returns results keyed by ``(benchmark, policy)``; the unmanaged
+    baseline is included under policy name ``"none"`` unless disabled.
+    """
+    chosen_benchmarks = (
+        list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
+    )
+    chosen_policies = list(policies)
+    if include_baseline and "none" not in chosen_policies:
+        chosen_policies.insert(0, "none")
+    results: dict[tuple[str, str], RunResult] = {}
+    for benchmark in chosen_benchmarks:
+        for policy_name in chosen_policies:
+            results[(benchmark, policy_name)] = run_one(
+                benchmark,
+                policy_name,
+                instructions=instructions,
+                floorplan=floorplan,
+                machine=machine,
+                thermal_config=thermal_config,
+                dtm_config=dtm_config,
+                seed=seed,
+            )
+    return results
+
+
+def suite_summary(
+    results: Mapping[tuple[str, str], RunResult], policy_name: str
+) -> dict[str, float]:
+    """Mean relative IPC and emergency fraction for one policy.
+
+    Averages over every benchmark present in ``results`` that has both
+    a managed run and a ``"none"`` baseline.
+    """
+    relative = []
+    emergencies = []
+    for (benchmark, name), result in results.items():
+        if name != policy_name:
+            continue
+        baseline = results.get((benchmark, "none"))
+        if baseline is None:
+            continue
+        relative.append(result.relative_ipc(baseline))
+        emergencies.append(result.emergency_fraction)
+    if not relative:
+        return {"mean_relative_ipc": 0.0, "mean_emergency_fraction": 0.0}
+    return {
+        "mean_relative_ipc": sum(relative) / len(relative),
+        "mean_emergency_fraction": sum(emergencies) / len(emergencies),
+    }

@@ -1,0 +1,55 @@
+"""Lumped thermal-RC modeling (paper Section 4).
+
+Public surface:
+
+* :mod:`repro.thermal.duality` -- the thermal/electrical equivalence of
+  Table 1.
+* :mod:`repro.thermal.materials` -- derivation of per-block R and C from
+  silicon material properties and block geometry (Section 4.3).
+* :mod:`repro.thermal.floorplan` -- the per-structure floorplan with
+  areas and peak powers (Table 3).
+* :mod:`repro.thermal.rc_network` -- a general thermal RC network solver
+  (the detailed model of Figure 3B, with tangential resistances).
+* :mod:`repro.thermal.lumped` -- the simplified per-block model of
+  Figure 3C used by the simulator (one R and C per block to an
+  isothermal heatsink).
+* :mod:`repro.thermal.package` -- the chip-level package model of
+  Figure 2 (die -> heatsink -> ambient).
+* :mod:`repro.thermal.sensors` -- temperature sensor models.
+"""
+
+from repro.thermal.duality import DualityRow, EQUIVALENCE_TABLE
+from repro.thermal.floorplan import Block, Floorplan
+from repro.thermal.geometry import DieLayout, Rectangle, slicing_layout
+from repro.thermal.grid import GridThermalModel
+from repro.thermal.lumped import LumpedThermalModel
+from repro.thermal.materials import (
+    block_capacitance,
+    block_normal_resistance,
+    block_tangential_resistance,
+    block_time_constant,
+)
+from repro.thermal.package import PackageModel
+from repro.thermal.rc_network import ThermalRCNetwork
+from repro.thermal.sensors import IdealSensor, NoisySensor, QuantizedSensor
+
+__all__ = [
+    "Block",
+    "DieLayout",
+    "DualityRow",
+    "EQUIVALENCE_TABLE",
+    "Floorplan",
+    "GridThermalModel",
+    "IdealSensor",
+    "LumpedThermalModel",
+    "NoisySensor",
+    "PackageModel",
+    "QuantizedSensor",
+    "Rectangle",
+    "ThermalRCNetwork",
+    "slicing_layout",
+    "block_capacitance",
+    "block_normal_resistance",
+    "block_tangential_resistance",
+    "block_time_constant",
+]

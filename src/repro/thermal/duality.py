@@ -1,0 +1,66 @@
+"""The thermal/electrical duality of paper Table 1.
+
+Heat conduction in a solid obeys the same equations as current flow in
+an RC circuit: heat flow plays the role of current, temperature
+difference the role of voltage, thermal resistance the role of
+electrical resistance, and thermal mass the role of capacitance.  This
+module records that equivalence as data (for documentation and the
+Table 1 experiment) and provides the two "Ohm's law" helpers the rest of
+the thermal package is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DualityRow:
+    """One row of Table 1: a thermal quantity and its electrical dual."""
+
+    thermal_quantity: str
+    thermal_unit: str
+    electrical_quantity: str
+    electrical_unit: str
+
+
+#: Table 1 of the paper, verbatim.
+EQUIVALENCE_TABLE: tuple[DualityRow, ...] = (
+    DualityRow("Heat flow, power", "W", "Current flow", "A"),
+    DualityRow("Temperature difference", "K", "Voltage", "V"),
+    DualityRow("Thermal resistance", "K/W", "Electrical resistance", "Ohm"),
+    DualityRow("Thermal mass, capacitance", "J/K", "Electrical capacitance", "F"),
+    DualityRow("Thermal RC constant", "s", "Electrical RC constant", "s"),
+)
+
+
+def temperature_drop(power: float, resistance: float) -> float:
+    """Thermal Ohm's law: the temperature rise across a resistance.
+
+    ``delta_T = P * R`` -- the dual of ``V = I * R``.
+    """
+    return power * resistance
+
+
+def heat_flow(delta_t: float, resistance: float) -> float:
+    """Heat flow through a thermal resistance given a temperature drop."""
+    if resistance <= 0:
+        raise ValueError("thermal resistance must be positive")
+    return delta_t / resistance
+
+
+def steady_state_temperature(
+    power: float, resistance: float, reference: float
+) -> float:
+    """Steady-state temperature of a node dissipating ``power``.
+
+    This is the Section 4.1 worked example: a die dissipating 25 W
+    through 2 K/W total resistance above a 27 degC ambient settles at
+    27 + 25 * 2 = 77 degC.
+    """
+    return reference + temperature_drop(power, resistance)
+
+
+def rc_time_constant(resistance: float, capacitance: float) -> float:
+    """Exponential time constant of an RC pair, in seconds."""
+    return resistance * capacitance

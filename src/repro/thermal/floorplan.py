@@ -1,0 +1,231 @@
+"""Per-structure floorplan: areas, peak powers, derived R and C (Table 3).
+
+The paper derives per-structure areas from the MIPS R10000 die photo,
+scaled two process generations to 0.18 um and by architectural size.
+We encode the resulting areas directly, derive thermal R and C from the
+material model (:mod:`repro.thermal.materials`), and attach the peak
+power each structure can dissipate (used for power-model scaling and
+for the per-structure power-proxy trigger thresholds of Section 6).
+
+``Floorplan.default()`` builds the seven monitored structures the paper
+studies (Section 5.2): load-store queue, instruction window, register
+file, branch predictor, D-cache, integer execution unit, and FP
+execution unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+from repro.errors import ThermalModelError
+from repro.thermal import materials
+
+
+@dataclass(frozen=True)
+class Block:
+    """One functional block in the thermal floorplan.
+
+    ``resistance`` and ``capacitance`` default to the material-model
+    derivation from the block area; explicit values may be supplied for
+    sensitivity studies.
+    """
+
+    name: str
+    area_m2: float
+    peak_power: float
+    resistance: float = field(default=0.0)
+    capacitance: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.area_m2 <= 0:
+            raise ThermalModelError(f"{self.name}: area must be positive")
+        if self.peak_power <= 0:
+            raise ThermalModelError(f"{self.name}: peak power must be positive")
+        if not self.resistance:
+            object.__setattr__(
+                self, "resistance", materials.block_normal_resistance(self.area_m2)
+            )
+        if not self.capacitance:
+            object.__setattr__(
+                self, "capacitance", materials.block_capacitance(self.area_m2)
+            )
+        if self.resistance <= 0 or self.capacitance <= 0:
+            raise ThermalModelError(f"{self.name}: R and C must be positive")
+
+    @property
+    def time_constant(self) -> float:
+        """RC time constant of the block [s]."""
+        return self.resistance * self.capacitance
+
+    @property
+    def peak_temperature_rise(self) -> float:
+        """Steady-state temperature rise over the heatsink at peak power [K]."""
+        return self.peak_power * self.resistance
+
+
+#: Structure names in the paper's Table 3 order.
+STRUCTURES: tuple[str, ...] = (
+    "lsq",
+    "window",
+    "regfile",
+    "bpred",
+    "dcache",
+    "int_exec",
+    "fp_exec",
+)
+
+#: Per-structure areas [m^2] (R10000 die photo, scaled; Table 3).
+_AREAS_M2: dict[str, float] = {
+    "lsq": 5.0e-6,
+    "window": 9.0e-6,
+    "regfile": 2.5e-6,
+    "bpred": 3.5e-6,
+    "dcache": 10.0e-6,
+    "int_exec": 5.0e-6,
+    "fp_exec": 5.0e-6,
+}
+
+#: Per-structure peak power [W] (Wattch-style, 0.18 um / 2.0 V / 1.5 GHz;
+#: calibrated so peak steady-state rises span ~1.5-3.2 K -- see DESIGN.md).
+_PEAK_POWER_W: dict[str, float] = {
+    "lsq": 8.0,
+    "window": 20.0,
+    "regfile": 8.0,
+    "bpred": 8.0,
+    "dcache": 16.0,
+    "int_exec": 12.0,
+    "fp_exec": 12.0,
+}
+
+#: Peak power of chip activity outside the monitored structures
+#: (I-cache, L2, clock tree, result buses, ...).  Only contributes to
+#: chip-wide power totals, never to block temperatures.
+UNMONITORED_PEAK_POWER_W = 46.0
+
+#: Total die area including unmonitored logic [m^2] (~1 cm^2 die).
+DIE_AREA_M2 = 100.0e-6
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """An ordered collection of thermal blocks plus chip-level constants."""
+
+    blocks: tuple[Block, ...]
+    die_area_m2: float = DIE_AREA_M2
+    unmonitored_peak_power: float = UNMONITORED_PEAK_POWER_W
+    chip_resistance: float = 0.34
+    chip_capacitance: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ThermalModelError("floorplan needs at least one block")
+        names = [block.name for block in self.blocks]
+        if len(set(names)) != len(names):
+            raise ThermalModelError("duplicate block names in floorplan")
+        total_area = sum(block.area_m2 for block in self.blocks)
+        if total_area >= self.die_area_m2:
+            raise ThermalModelError("blocks exceed the die area")
+
+    @classmethod
+    def default(cls) -> "Floorplan":
+        """The paper's seven-structure floorplan (Table 3)."""
+        blocks = tuple(
+            Block(name, _AREAS_M2[name], _PEAK_POWER_W[name]) for name in STRUCTURES
+        )
+        return cls(blocks=blocks)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Block names in floorplan order."""
+        return tuple(block.name for block in self.blocks)
+
+    @property
+    def chip_peak_power(self) -> float:
+        """Peak power of the whole chip [W]."""
+        return (
+            sum(block.peak_power for block in self.blocks)
+            + self.unmonitored_peak_power
+        )
+
+    @property
+    def chip_time_constant(self) -> float:
+        """Chip + heatsink RC time constant [s] (Table 3 last row)."""
+        return self.chip_resistance * self.chip_capacitance
+
+    @property
+    def longest_block_time_constant(self) -> float:
+        """Largest block RC [s] -- the paper tunes its controllers to this."""
+        return max(block.time_constant for block in self.blocks)
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name, raising ``ThermalModelError`` if absent."""
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise ThermalModelError(f"unknown block {name!r}")
+
+    def index(self, name: str) -> int:
+        """Position of a named block in floorplan order."""
+        for position, candidate in enumerate(self.blocks):
+            if candidate.name == name:
+                return position
+        raise ThermalModelError(f"unknown block {name!r}")
+
+    def with_block(self, name: str, **overrides: float) -> "Floorplan":
+        """A copy of this floorplan with one block's fields replaced."""
+        self.block(name)  # validate the name before rebuilding
+        blocks = tuple(
+            replace(block, **overrides) if block.name == name else block
+            for block in self.blocks
+        )
+        return replace(self, blocks=blocks)
+
+    def table3_rows(self) -> list[dict[str, float | str]]:
+        """Rows of Table 3: area, peak power, R, C, and RC per structure.
+
+        A chip-wide row (with heatsink) is appended, as in the paper.
+        """
+        rows: list[dict[str, float | str]] = []
+        for block in self.blocks:
+            rows.append(
+                {
+                    "structure": block.name,
+                    "area_m2": block.area_m2,
+                    "peak_power_w": block.peak_power,
+                    "r_k_per_w": block.resistance,
+                    "c_j_per_k": block.capacitance,
+                    "rc_seconds": block.time_constant,
+                }
+            )
+        rows.append(
+            {
+                "structure": "chip",
+                "area_m2": self.die_area_m2,
+                "peak_power_w": self.chip_peak_power,
+                "r_k_per_w": self.chip_resistance,
+                "c_j_per_k": self.chip_capacitance,
+                "rc_seconds": self.chip_time_constant,
+            }
+        )
+        return rows
+
+
+def scaled_floorplan(area_scale: float = 1.0, power_scale: float = 1.0) -> Floorplan:
+    """A default floorplan with all areas/powers scaled (sensitivity studies).
+
+    The paper argues (Section 5.2) that "different ratios and areas of
+    structure sizes would not materially affect the main conclusions";
+    this helper lets experiments check that claim.
+    """
+    if area_scale <= 0 or power_scale <= 0:
+        raise ThermalModelError("scale factors must be positive")
+    blocks = tuple(
+        Block(name, _AREAS_M2[name] * area_scale, _PEAK_POWER_W[name] * power_scale)
+        for name in STRUCTURES
+    )
+    return Floorplan(
+        blocks=blocks,
+        die_area_m2=DIE_AREA_M2 * max(area_scale, 1.0),
+        unmonitored_peak_power=UNMONITORED_PEAK_POWER_W * power_scale,
+    )

@@ -1,0 +1,119 @@
+"""Physical floorplan geometry: placing blocks as rectangles on the die.
+
+The lumped models only need block *areas*; the 2D grid model
+(:mod:`repro.thermal.grid`) needs actual rectangles.  This module
+derives a legal placement from a :class:`~repro.thermal.floorplan.Floorplan`
+with a simple slicing layout: blocks are packed into die-width rows in
+floorplan order, each row as tall as needed for its blocks' areas.
+Unoccupied die area is background silicon (the "unmonitored" logic).
+
+The exact placement does not matter much — the paper drops lateral
+coupling precisely because it is weak — but a legal, non-overlapping
+geometry lets the grid model measure that weakness rather than assume
+it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ThermalModelError
+from repro.thermal.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned block placement [meters]."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ThermalModelError(f"{self.name}: degenerate rectangle")
+        if self.x < 0 or self.y < 0:
+            raise ThermalModelError(f"{self.name}: negative placement")
+
+    @property
+    def area(self) -> float:
+        """Rectangle area [m^2]."""
+        return self.width * self.height
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if the point lies inside (half-open on the far edges)."""
+        return self.x <= x < self.x + self.width and self.y <= y < self.y + self.height
+
+    def overlaps(self, other: "Rectangle") -> bool:
+        """True if the two rectangles share interior area."""
+        return not (
+            self.x + self.width <= other.x
+            or other.x + other.width <= self.x
+            or self.y + self.height <= other.y
+            or other.y + other.height <= self.y
+        )
+
+
+@dataclass(frozen=True)
+class DieLayout:
+    """A complete placement: die dimensions plus block rectangles."""
+
+    die_width: float
+    die_height: float
+    rectangles: tuple[Rectangle, ...]
+
+    def rectangle(self, name: str) -> Rectangle:
+        """Look up a placed block by name."""
+        for rect in self.rectangles:
+            if rect.name == name:
+                return rect
+        raise ThermalModelError(f"unknown block {name!r}")
+
+    def block_at(self, x: float, y: float) -> str | None:
+        """Name of the block covering a die point, or None (background)."""
+        for rect in self.rectangles:
+            if rect.contains(x, y):
+                return rect.name
+        return None
+
+    @property
+    def occupied_fraction(self) -> float:
+        """Fraction of the die covered by placed blocks."""
+        placed = sum(rect.area for rect in self.rectangles)
+        return placed / (self.die_width * self.die_height)
+
+
+def slicing_layout(floorplan: Floorplan, blocks_per_row: int = 4) -> DieLayout:
+    """Pack the floorplan's blocks into rows on a square die.
+
+    Each row holds up to ``blocks_per_row`` blocks; block widths within
+    a row are proportional to their areas, and the row height makes the
+    areas exact.  Rows are stacked from the bottom; the leftover strip
+    at the top is background silicon.
+    """
+    if blocks_per_row <= 0:
+        raise ThermalModelError("blocks_per_row must be positive")
+    die_side = math.sqrt(floorplan.die_area_m2)
+    rectangles: list[Rectangle] = []
+    y = 0.0
+    blocks = list(floorplan.blocks)
+    for start in range(0, len(blocks), blocks_per_row):
+        row = blocks[start : start + blocks_per_row]
+        row_area = sum(block.area_m2 for block in row)
+        row_height = row_area / die_side
+        x = 0.0
+        for block in row:
+            width = block.area_m2 / row_area * die_side
+            rectangles.append(
+                Rectangle(block.name, x, y, width, row_height)
+            )
+            x += width
+        y += row_height
+    if y > die_side + 1e-12:
+        raise ThermalModelError("blocks do not fit on the die")
+    return DieLayout(
+        die_width=die_side, die_height=die_side, rectangles=tuple(rectangles)
+    )

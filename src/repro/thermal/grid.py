@@ -1,0 +1,183 @@
+"""2D finite-difference thermal model of the die (grid validation).
+
+The paper's lumped per-block model (Figure 3C) is an idealization of
+the continuous heat equation on the die.  This module solves that
+equation directly: the die is discretized into an N x N grid of silicon
+cells of the die thickness; each cell conducts laterally to its four
+neighbors (the continuum version of the tangential resistances) and
+vertically to the isothermal heatsink (the normal resistance), and
+stores heat in its own capacitance.  Per cell of side ``d`` and
+thickness ``t``:
+
+* lateral conductance to a neighbor: ``G_lat = k * d * t / d = k * t``
+  (conduction through a ``d*t`` face over a ``d`` path);
+* vertical conductance to the heatsink: ``G_ver = k * d^2 / t``;
+* capacitance: ``C = c_v * d^2 * t``.
+
+Block powers are spread uniformly over each block's rectangle (from
+:mod:`repro.thermal.geometry`).  The model integrates with forward
+Euler, automatically sub-stepped for stability, fully vectorized.
+
+This is the direct ancestor-in-spirit of HotSpot's grid model: it
+exists here to *validate* the lumped simplification (experiment V1
+compares per-block mean temperatures between the two), including the
+lateral coupling the lumped model drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.errors import ThermalModelError
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.geometry import DieLayout, slicing_layout
+
+
+class GridThermalModel:
+    """Transient 2D heat solver over the die, above an isothermal sink."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        resolution: int = 32,
+        heatsink_temperature: float = 100.0,
+        layout: DieLayout | None = None,
+        thickness: float = units.DIE_THICKNESS,
+        conductivity: float = units.SILICON_THERMAL_CONDUCTIVITY,
+        volumetric_heat_capacity: float = units.SILICON_VOLUMETRIC_HEAT_CAPACITY,
+    ) -> None:
+        if resolution < 4:
+            raise ThermalModelError("grid resolution must be at least 4")
+        self.floorplan = floorplan
+        self.layout = layout if layout is not None else slicing_layout(floorplan)
+        self.resolution = resolution
+        self.heatsink_temperature = float(heatsink_temperature)
+
+        die_w = self.layout.die_width
+        die_h = self.layout.die_height
+        self._cell_w = die_w / resolution
+        self._cell_h = die_h / resolution
+        cell_area = self._cell_w * self._cell_h
+
+        # Conductances (uniform silicon): lateral uses the mean cell
+        # pitch; vertical goes through the die thickness.
+        self._g_lat_x = conductivity * self._cell_h * thickness / self._cell_w
+        self._g_lat_y = conductivity * self._cell_w * thickness / self._cell_h
+        self._g_ver = conductivity * cell_area / thickness
+        self._cell_c = volumetric_heat_capacity * cell_area * thickness
+
+        # Map cells to blocks: mask[b, i, j] = cell (i,j) inside block b.
+        xs = (np.arange(resolution) + 0.5) * self._cell_w
+        ys = (np.arange(resolution) + 0.5) * self._cell_h
+        self._block_masks = np.zeros(
+            (len(floorplan.blocks), resolution, resolution), dtype=bool
+        )
+        for b, block in enumerate(floorplan.blocks):
+            rect = self.layout.rectangle(block.name)
+            in_x = (xs >= rect.x) & (xs < rect.x + rect.width)
+            in_y = (ys >= rect.y) & (ys < rect.y + rect.height)
+            self._block_masks[b] = np.outer(in_y, in_x)
+        self._cells_per_block = self._block_masks.sum(axis=(1, 2))
+        if np.any(self._cells_per_block == 0):
+            missing = [
+                floorplan.blocks[b].name
+                for b in range(len(floorplan.blocks))
+                if self._cells_per_block[b] == 0
+            ]
+            raise ThermalModelError(
+                f"grid too coarse: no cells landed in {missing}; "
+                "raise the resolution"
+            )
+
+        self._temps = np.full(
+            (resolution, resolution), self.heatsink_temperature, dtype=float
+        )
+        # Explicit-Euler stability bound: C / G_total per cell.
+        g_total = 2 * self._g_lat_x + 2 * self._g_lat_y + self._g_ver
+        self._max_stable_dt = self._cell_c / g_total
+
+    # -- state -------------------------------------------------------------
+    @property
+    def temperatures(self) -> np.ndarray:
+        """Cell temperature field [degC], shape (N, N) (copy)."""
+        return self._temps.copy()
+
+    @property
+    def max_temperature(self) -> float:
+        """Hottest cell on the die [degC]."""
+        return float(self._temps.max())
+
+    def block_temperatures(self, statistic: str = "mean") -> np.ndarray:
+        """Per-block cell-temperature summary, in floorplan order."""
+        result = np.empty(len(self.floorplan.blocks))
+        for b in range(len(self.floorplan.blocks)):
+            cells = self._temps[self._block_masks[b]]
+            result[b] = cells.max() if statistic == "max" else cells.mean()
+        return result
+
+    def block_temperature(self, name: str, statistic: str = "mean") -> float:
+        """One block's cell-temperature summary."""
+        index = self.floorplan.index(name)
+        return float(self.block_temperatures(statistic)[index])
+
+    def reset(self) -> None:
+        """Return the whole die to the heatsink temperature."""
+        self._temps.fill(self.heatsink_temperature)
+
+    # -- integration -----------------------------------------------------------
+    def _power_field(self, block_powers: np.ndarray) -> np.ndarray:
+        block_powers = np.asarray(block_powers, dtype=float)
+        if block_powers.shape != (len(self.floorplan.blocks),):
+            raise ThermalModelError(
+                f"expected {len(self.floorplan.blocks)} block powers"
+            )
+        per_cell = block_powers / self._cells_per_block
+        field = np.zeros_like(self._temps)
+        for b in range(len(block_powers)):
+            field[self._block_masks[b]] += per_cell[b]
+        return field
+
+    def advance(self, block_powers: np.ndarray, seconds: float) -> np.ndarray:
+        """Integrate ``seconds`` of constant per-block power.
+
+        Returns the per-block mean temperatures after the interval.
+        """
+        if seconds <= 0:
+            raise ThermalModelError("seconds must be positive")
+        power = self._power_field(block_powers)
+        sub_dt = 0.4 * self._max_stable_dt
+        steps = max(1, int(np.ceil(seconds / sub_dt)))
+        dt = seconds / steps
+        temps = self._temps
+        sink = self.heatsink_temperature
+        gx, gy, gv, c = self._g_lat_x, self._g_lat_y, self._g_ver, self._cell_c
+        for _ in range(steps):
+            flow = power - gv * (temps - sink)
+            # Lateral conduction with adiabatic (insulated) die edges.
+            dx = np.diff(temps, axis=1)  # T[:, j+1] - T[:, j]
+            flow[:, :-1] += gx * dx
+            flow[:, 1:] -= gx * dx
+            dy = np.diff(temps, axis=0)
+            flow[:-1, :] += gy * dy
+            flow[1:, :] -= gy * dy
+            temps = temps + (dt / c) * flow
+        self._temps = temps
+        return self.block_temperatures()
+
+    def steady_state(self, block_powers: np.ndarray) -> np.ndarray:
+        """Per-block mean temperatures at equilibrium.
+
+        Integrates until the field stops changing (the direct linear
+        solve would be a (N^2 x N^2) system; iteration is simpler and
+        the vertical path makes convergence fast).
+        """
+        self.reset()
+        tau = self._cell_c / self._g_ver
+        previous = self.block_temperatures()
+        for _ in range(200):
+            current = self.advance(block_powers, 5 * tau)
+            if np.max(np.abs(current - previous)) < 1e-6:
+                return current
+            previous = current
+        return previous

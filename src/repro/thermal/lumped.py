@@ -1,0 +1,204 @@
+"""The simplified per-block thermal model of Figure 3C (paper Eq. 5).
+
+Each monitored block couples to an isothermal heatsink through its
+normal resistance ``R_i`` and stores heat in its capacitance ``C_i``:
+
+    T_i[n+1] = T_i[n] + dt/C_i * ( P_i[n] - (T_i[n] - T_sink) / R_i )
+
+This is exactly the difference equation the paper evaluates every clock
+cycle (Equation 5, dt = 0.667 ns).  Two update paths are provided:
+
+* :meth:`LumpedThermalModel.step_cycle` -- the paper's forward-Euler
+  per-cycle update, vectorized over blocks;
+* :meth:`LumpedThermalModel.advance` -- the exact exponential solution
+  for a constant-power interval,
+  ``T(t+h) = T_ss + (T(t) - T_ss) * exp(-h / RC)`` with
+  ``T_ss = T_sink + P * R``, used by the fast engine to jump a whole
+  controller sampling interval at once with no integration error.
+
+Both paths agree to within Euler truncation error; a test asserts this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.errors import ThermalModelError
+from repro.thermal.floorplan import Floorplan
+
+
+class LumpedThermalModel:
+    """Per-block temperatures over an isothermal heatsink."""
+
+    def __init__(
+        self,
+        floorplan: Floorplan,
+        heatsink_temperature: float = 100.0,
+        initial_temperature: float | None = None,
+        cycle_time: float = units.CYCLE_TIME,
+    ) -> None:
+        if cycle_time <= 0:
+            raise ThermalModelError("cycle_time must be positive")
+        self.floorplan = floorplan
+        self.heatsink_temperature = float(heatsink_temperature)
+        self.cycle_time = float(cycle_time)
+        self._resistance = np.array(
+            [block.resistance for block in floorplan.blocks], dtype=float
+        )
+        self._capacitance = np.array(
+            [block.capacitance for block in floorplan.blocks], dtype=float
+        )
+        self._tau = self._resistance * self._capacitance
+        start = (
+            self.heatsink_temperature
+            if initial_temperature is None
+            else float(initial_temperature)
+        )
+        self._initial = start
+        self._temps = np.full(len(floorplan.blocks), start, dtype=float)
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def time_constants(self) -> np.ndarray:
+        """Per-block RC time constants [s] (read-only copy)."""
+        return self._tau.copy()
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Block names, in floorplan order."""
+        return self.floorplan.names
+
+    @property
+    def temperatures(self) -> np.ndarray:
+        """Current block temperatures [degC] (read-only copy)."""
+        return self._temps.copy()
+
+    def temperature(self, name: str) -> float:
+        """Current temperature of one named block [degC]."""
+        return float(self._temps[self.floorplan.index(name)])
+
+    @property
+    def max_temperature(self) -> float:
+        """Temperature of the hottest monitored block [degC]."""
+        return float(self._temps.max())
+
+    @property
+    def hottest_block(self) -> str:
+        """Name of the hottest monitored block."""
+        return self.names[int(self._temps.argmax())]
+
+    def reset(self) -> None:
+        """Return every block to the initial temperature."""
+        self._temps.fill(self._initial)
+
+    # -- updates -------------------------------------------------------------
+    def step_cycle(self, powers: np.ndarray) -> np.ndarray:
+        """One clock cycle of forward Euler (the paper's Equation 5).
+
+        ``powers`` is an array of per-block power [W] in floorplan
+        order.  Returns the new temperatures (a view copy).
+        """
+        powers = np.asarray(powers, dtype=float)
+        if powers.shape != self._temps.shape:
+            raise ThermalModelError(
+                f"expected {self._temps.shape[0]} block powers, got {powers.shape}"
+            )
+        leak = (self._temps - self.heatsink_temperature) / self._resistance
+        self._temps += (self.cycle_time / self._capacitance) * (powers - leak)
+        return self._temps.copy()
+
+    def advance(self, powers: np.ndarray, cycles: int) -> np.ndarray:
+        """Exact update for ``cycles`` cycles of constant per-block power.
+
+        For constant power the block ODE has the closed-form solution
+        toward the steady state ``T_sink + P * R``; using it makes the
+        fast engine's thermal state independent of the sampling interval.
+        """
+        if cycles <= 0:
+            raise ThermalModelError("cycles must be positive")
+        powers = np.asarray(powers, dtype=float)
+        if powers.shape != self._temps.shape:
+            raise ThermalModelError(
+                f"expected {self._temps.shape[0]} block powers, got {powers.shape}"
+            )
+        steady = self.heatsink_temperature + powers * self._resistance
+        decay = np.exp(-(cycles * self.cycle_time) / self._tau)
+        self._temps = steady + (self._temps - steady) * decay
+        return self._temps.copy()
+
+    # -- analysis helpers ------------------------------------------------------
+    def steady_state(self, powers: np.ndarray) -> np.ndarray:
+        """Steady-state block temperatures under constant power [degC]."""
+        powers = np.asarray(powers, dtype=float)
+        return self.heatsink_temperature + powers * self._resistance
+
+    def power_for_temperature(self, name: str, temperature: float) -> float:
+        """Constant power that holds a block at ``temperature`` [W].
+
+        Used by the boxcar power proxy of Section 6 to convert a
+        temperature trigger into an equivalent average-power trigger:
+        ``P_trig = (T_trig - T_sink) / R``.
+        """
+        block = self.floorplan.block(name)
+        return (temperature - self.heatsink_temperature) / block.resistance
+
+    def fraction_above(
+        self,
+        start: np.ndarray,
+        steady: np.ndarray,
+        duration_seconds: float,
+        threshold: float,
+    ) -> np.ndarray:
+        """Per-block fraction of an interval spent above ``threshold``.
+
+        For a constant-power interval each block moves exponentially
+        from ``start`` toward ``steady``; the trajectory is monotonic,
+        so the crossing time (if any) is
+        ``t* = tau * ln((steady - start) / (steady - threshold))``.
+        Used to count emergency/stress cycles with sub-sample accuracy.
+        """
+        start = np.asarray(start, dtype=float)
+        steady = np.asarray(steady, dtype=float)
+        tau = self._tau
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = (steady - start) / (steady - threshold)
+            cross = tau * np.log(np.where(ratio > 0, ratio, 1.0))
+        cross = np.clip(np.nan_to_num(cross, nan=0.0), 0.0, duration_seconds)
+        rising = steady > start
+        start_above = start > threshold
+        steady_above = steady > threshold
+        steady_below = steady < threshold
+        fraction = np.zeros_like(start)
+        # Rising toward a steady state strictly above threshold,
+        # starting below: crosses upward at t*.
+        crosses_up = rising & ~start_above & steady_above
+        fraction[crosses_up] = 1.0 - cross[crosses_up] / duration_seconds
+        # Falling from above threshold toward a steady state strictly
+        # below it: crosses downward at t*.
+        crosses_down = ~rising & start_above & steady_below
+        fraction[crosses_down] = cross[crosses_down] / duration_seconds
+        # Started above and heading to (or asymptotically toward) a
+        # steady state at or above the threshold: never drops below.
+        fraction[start_above & ~steady_below] = 1.0
+        # Remaining cases start at/below threshold with a steady state
+        # at or below it: the trajectory never exceeds the threshold.
+        return fraction
+
+    def time_to_temperature(
+        self, name: str, power: float, target: float
+    ) -> float:
+        """Seconds for one block to heat from its current temperature to
+        ``target`` under constant ``power``, or ``inf`` if unreachable.
+        """
+        index = self.floorplan.index(name)
+        steady = self.heatsink_temperature + power * self._resistance[index]
+        current = float(self._temps[index])
+        if (target - current) * (steady - current) <= 0:
+            return 0.0 if current == target else float("inf")
+        if abs(steady - target) < 1e-12 or abs(steady - current) < 1e-12:
+            return float("inf")
+        ratio = (steady - target) / (steady - current)
+        if ratio <= 0:
+            return float("inf")
+        return float(-self._tau[index] * np.log(ratio))

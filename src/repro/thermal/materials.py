@@ -1,0 +1,128 @@
+"""Derivation of per-block thermal R and C from silicon properties.
+
+Paper Section 4.3: for a functional block of area ``A`` on a die of
+thickness ``t``,
+
+* the block thermal capacitance is the heat capacity of its silicon
+  volume, ``C = c_v * A * t``;
+* the *normal* thermal resistance (block -> heat spreader through the
+  die) is the conduction resistance of that column of silicon,
+  ``R_normal = rho * t / A`` with ``rho`` the thermal resistivity;
+* the *tangential* resistance (block -> neighboring blocks sideways
+  through the die) follows from integrating thermal Ohm's law over
+  annular shells of thickness ``t`` (the paper's Equation 4), which
+  yields a logarithmic form ``R_tan = rho / (2*pi*t) * ln(r_outer /
+  r_inner)``.
+
+Because ``R_tan`` evaluates orders of magnitude above ``R_normal`` for
+realistic block sizes, the paper drops the tangential paths in its
+simplified model (Figure 3C); :func:`tangential_to_normal_ratio` makes
+that argument quantitative and is exercised by the Figure 3 experiment.
+
+Note that ``R_normal * C = c_v * rho * t**2`` is independent of block
+area -- every block shares one vertical time constant (~175 us with the
+calibrated constants), squarely inside the paper's "tens to hundreds of
+microseconds".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import units
+from repro.errors import ThermalModelError
+
+
+def _check_area(area_m2: float) -> None:
+    if area_m2 <= 0:
+        raise ThermalModelError(f"block area must be positive, got {area_m2}")
+
+
+def block_capacitance(
+    area_m2: float,
+    thickness: float = units.DIE_THICKNESS,
+    volumetric_heat_capacity: float = units.SILICON_VOLUMETRIC_HEAT_CAPACITY,
+) -> float:
+    """Thermal capacitance of a silicon block [J/K]: ``c_v * A * t``."""
+    _check_area(area_m2)
+    if thickness <= 0:
+        raise ThermalModelError("die thickness must be positive")
+    return volumetric_heat_capacity * area_m2 * thickness
+
+
+def block_normal_resistance(
+    area_m2: float,
+    thickness: float = units.DIE_THICKNESS,
+    resistivity: float = units.SILICON_THERMAL_RESISTIVITY,
+) -> float:
+    """Normal (vertical) thermal resistance of a block [K/W].
+
+    Conduction through the die thickness: ``R = rho * t / A``.
+    """
+    _check_area(area_m2)
+    if thickness <= 0:
+        raise ThermalModelError("die thickness must be positive")
+    return resistivity * thickness / area_m2
+
+
+def block_tangential_resistance(
+    area_m2: float,
+    die_area_m2: float,
+    thickness: float = units.DIE_THICKNESS,
+    resistivity: float = units.SILICON_THERMAL_RESISTIVITY,
+) -> float:
+    """Tangential (lateral) thermal resistance of a block [K/W].
+
+    Paper Equation 4: treating heat as flowing radially outward from the
+    block (radius ``r_in``, the block's equivalent circular radius)
+    through the surrounding die (out to radius ``r_out``) in a silicon
+    sheet of the die thickness:
+
+    ``R_tan = integral_{r_in}^{r_out} rho / (2*pi*r*t) dr
+            = rho / (2*pi*t) * ln(r_out / r_in)``.
+
+    The result is orders of magnitude larger than the normal resistance
+    because the conduction cross-section (a thin cylindrical shell of
+    height ``t``) is tiny compared with the block's full footprint.
+    """
+    _check_area(area_m2)
+    if die_area_m2 <= area_m2:
+        raise ThermalModelError("die area must exceed the block area")
+    r_inner = math.sqrt(area_m2 / math.pi)
+    r_outer = math.sqrt(die_area_m2 / math.pi)
+    return resistivity / (2.0 * math.pi * thickness) * math.log(r_outer / r_inner)
+
+
+def block_time_constant(
+    area_m2: float,
+    thickness: float = units.DIE_THICKNESS,
+    resistivity: float = units.SILICON_THERMAL_RESISTIVITY,
+    volumetric_heat_capacity: float = units.SILICON_VOLUMETRIC_HEAT_CAPACITY,
+) -> float:
+    """RC time constant of a block's vertical path [s].
+
+    ``R * C = (rho * t / A) * (c_v * A * t) = rho * c_v * t**2`` -- the
+    block area cancels, so all blocks on the same die share one vertical
+    time constant.
+    """
+    _check_area(area_m2)
+    return block_normal_resistance(
+        area_m2, thickness, resistivity
+    ) * block_capacitance(area_m2, thickness, volumetric_heat_capacity)
+
+
+def tangential_to_normal_ratio(
+    area_m2: float,
+    die_area_m2: float,
+    thickness: float = units.DIE_THICKNESS,
+    resistivity: float = units.SILICON_THERMAL_RESISTIVITY,
+) -> float:
+    """How many times larger the tangential resistance is than the normal.
+
+    The paper's justification for the Figure 3C simplification: when
+    this ratio is large, lateral heat flow is negligible and each block
+    couples to the heatsink independently.
+    """
+    r_tan = block_tangential_resistance(area_m2, die_area_m2, thickness, resistivity)
+    r_nor = block_normal_resistance(area_m2, thickness, resistivity)
+    return r_tan / r_nor

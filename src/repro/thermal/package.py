@@ -1,0 +1,89 @@
+"""Chip-level package model of Figure 2 (die -> case -> heatsink -> ambient).
+
+The paper's Section 4.1 worked example: a die dissipating 25 W through
+1 K/W die-to-case plus 1 K/W heatsink-to-ambient resistance above a
+27 degC ambient settles at 77 degC, with a heating/cooling time constant
+of roughly one minute set by the 60 J/K heatsink capacitance.
+
+This model is used for chip-wide, long-time-scale behaviour (it is what
+justifies holding the heatsink temperature constant in the block model:
+its time constant is ~5 orders of magnitude longer than any block's) and
+for the chip-wide boxcar-power comparison of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.errors import ThermalModelError
+
+
+@dataclass
+class PackageModel:
+    """Lumped die + heatsink stack (Figure 2B).
+
+    Two capacitive nodes: the die (small capacitance) couples to the
+    heatsink through ``r_die_case``; the heatsink (large capacitance)
+    couples to ambient through ``r_heatsink``.
+    """
+
+    r_die_case: float = 1.0
+    r_heatsink: float = 1.0
+    c_die: float = 0.1
+    c_heatsink: float = 60.0
+    ambient: float = 27.0
+
+    def __post_init__(self) -> None:
+        for name in ("r_die_case", "r_heatsink", "c_die", "c_heatsink"):
+            if getattr(self, name) <= 0:
+                raise ThermalModelError(f"{name} must be positive")
+        self.die_temperature = self.ambient
+        self.heatsink_temperature = self.ambient
+
+    @property
+    def total_resistance(self) -> float:
+        """Die-to-ambient thermal resistance [K/W]."""
+        return self.r_die_case + self.r_heatsink
+
+    @property
+    def dominant_time_constant(self) -> float:
+        """The heatsink time constant that dominates transients [s].
+
+        Section 4.1: 60 J/K * 2 K/W on the order of a minute.
+        """
+        return self.c_heatsink * self.total_resistance
+
+    def steady_state(self, power: float) -> tuple[float, float]:
+        """(die, heatsink) steady-state temperatures at constant power."""
+        heatsink = self.ambient + power * self.r_heatsink
+        die = heatsink + power * self.r_die_case
+        return die, heatsink
+
+    def reset(self) -> None:
+        """Return both nodes to ambient."""
+        self.die_temperature = self.ambient
+        self.heatsink_temperature = self.ambient
+
+    def step(self, power: float, dt: float) -> tuple[float, float]:
+        """Advance ``dt`` seconds at the given die power (forward Euler).
+
+        Sub-steps automatically to respect the explicit stability bound
+        of the fast die node.
+        """
+        if dt <= 0:
+            raise ThermalModelError("dt must be positive")
+        die_bound = self.c_die * self.r_die_case
+        substeps = max(1, int(math.ceil(dt / (0.25 * die_bound))))
+        sub_dt = dt / substeps
+        for _ in range(substeps):
+            die_to_sink = (self.die_temperature - self.heatsink_temperature)
+            die_flow = power - die_to_sink / self.r_die_case
+            sink_flow = (
+                die_to_sink / self.r_die_case
+                - (self.heatsink_temperature - self.ambient) / self.r_heatsink
+            )
+            self.die_temperature += sub_dt * die_flow / self.c_die
+            self.heatsink_temperature += sub_dt * sink_flow / self.c_heatsink
+        return self.die_temperature, self.heatsink_temperature

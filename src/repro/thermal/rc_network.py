@@ -1,0 +1,233 @@
+"""General lumped thermal-RC network solver (the detailed model, Fig. 3B).
+
+A network is a set of capacitive nodes (functional blocks, heat
+spreader, heatsink...) connected by thermal resistances to each other
+and to fixed-temperature references (ambient, or the isothermal
+heatsink of the simplified model).  The state evolves by
+
+    C_i * dT_i/dt = P_i(t) + sum_j (T_j - T_i) / R_ij
+                           + sum_ref (T_ref - T_i) / R_i,ref
+
+which we integrate with forward Euler, automatically sub-stepping so the
+explicit update stays well inside its stability bound
+(dt < min_i C_i / G_i, with G_i the node's total conductance).
+
+This class is used two ways:
+
+* to build the *detailed* block network of Figure 3B, including
+  tangential resistances between neighboring blocks, against which the
+  paper's simplified model (Figure 3C, :mod:`repro.thermal.lumped`) is
+  validated; and
+* to build arbitrary package stacks for tests and experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """A thermal resistance between two capacitive nodes."""
+
+    node_a: int
+    node_b: int
+    conductance: float
+
+
+@dataclass(frozen=True)
+class _ReferenceEdge:
+    """A thermal resistance from a node to a fixed-temperature reference."""
+
+    node: int
+    reference_temperature: float
+    conductance: float
+
+
+class ThermalRCNetwork:
+    """A mutable builder + integrator for lumped thermal RC networks."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        self._capacitances: list[float] = []
+        self._initial: list[float] = []
+        self._edges: list[_Edge] = []
+        self._reference_edges: list[_ReferenceEdge] = []
+        self._temperatures: np.ndarray | None = None
+        self._conductance_matrix: np.ndarray | None = None
+        self._reference_injection: np.ndarray | None = None
+        self._capacitance_vector: np.ndarray | None = None
+        self._max_stable_dt: float = 0.0
+
+    # -- construction ----------------------------------------------------
+    def add_node(
+        self, name: str, capacitance: float, initial_temperature: float
+    ) -> None:
+        """Add a capacitive node to the network."""
+        if name in self._index:
+            raise ThermalModelError(f"duplicate node {name!r}")
+        if capacitance <= 0:
+            raise ThermalModelError(f"{name}: capacitance must be positive")
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._capacitances.append(capacitance)
+        self._initial.append(initial_temperature)
+        self._temperatures = None  # state vector must grow with the node set
+        self._invalidate()
+
+    def connect(self, name_a: str, name_b: str, resistance: float) -> None:
+        """Connect two nodes with a thermal resistance [K/W]."""
+        if resistance <= 0:
+            raise ThermalModelError("resistance must be positive")
+        index_a = self._lookup(name_a)
+        index_b = self._lookup(name_b)
+        if index_a == index_b:
+            raise ThermalModelError(f"cannot connect {name_a!r} to itself")
+        self._edges.append(_Edge(index_a, index_b, 1.0 / resistance))
+        self._invalidate()
+
+    def connect_reference(
+        self, name: str, reference_temperature: float, resistance: float
+    ) -> None:
+        """Connect a node to a fixed-temperature reference (e.g. ambient)."""
+        if resistance <= 0:
+            raise ThermalModelError("resistance must be positive")
+        index = self._lookup(name)
+        self._reference_edges.append(
+            _ReferenceEdge(index, reference_temperature, 1.0 / resistance)
+        )
+        self._invalidate()
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Node names in insertion order."""
+        return tuple(self._names)
+
+    def temperature(self, name: str) -> float:
+        """Current temperature of one node [degC]."""
+        self._ensure_compiled()
+        assert self._temperatures is not None
+        return float(self._temperatures[self._lookup(name)])
+
+    def temperatures(self) -> dict[str, float]:
+        """Current temperatures of all nodes."""
+        self._ensure_compiled()
+        assert self._temperatures is not None
+        return {
+            name: float(self._temperatures[index])
+            for name, index in self._index.items()
+        }
+
+    def reset(self) -> None:
+        """Return every node to its initial temperature."""
+        self._temperatures = np.array(self._initial, dtype=float)
+
+    # -- integration -------------------------------------------------------
+    def step(self, powers: dict[str, float], dt: float) -> dict[str, float]:
+        """Advance the network ``dt`` seconds with the given node powers.
+
+        ``powers`` maps node name -> dissipated power [W]; omitted nodes
+        dissipate nothing.  Returns the new temperatures.  The explicit
+        Euler update is sub-stepped automatically when ``dt`` exceeds
+        half the stability bound.
+        """
+        if dt <= 0:
+            raise ThermalModelError("dt must be positive")
+        self._ensure_compiled()
+        assert self._temperatures is not None
+        assert self._conductance_matrix is not None
+        assert self._reference_injection is not None
+        assert self._capacitance_vector is not None
+
+        injection = self._reference_injection.copy()
+        for name, power in powers.items():
+            injection[self._lookup(name)] += power
+
+        substeps = max(1, int(np.ceil(dt / (0.5 * self._max_stable_dt))))
+        sub_dt = dt / substeps
+        temps = self._temperatures
+        matrix = self._conductance_matrix
+        capacitance = self._capacitance_vector
+        for _ in range(substeps):
+            flow = matrix @ temps + injection
+            temps = temps + sub_dt * flow / capacitance
+        self._temperatures = temps
+        return self.temperatures()
+
+    def run(
+        self, powers: dict[str, float], duration: float, dt: float
+    ) -> dict[str, float]:
+        """Hold constant powers for ``duration`` seconds."""
+        steps = max(1, int(round(duration / dt)))
+        result = self.temperatures()
+        for _ in range(steps):
+            result = self.step(powers, dt)
+        return result
+
+    def steady_state(self, powers: dict[str, float]) -> dict[str, float]:
+        """Exact steady-state temperatures under constant powers.
+
+        Solves the linear system ``-G @ T = P + P_ref`` directly; used
+        by tests to validate the integrator and by experiments that only
+        need equilibria.
+        """
+        self._ensure_compiled()
+        assert self._conductance_matrix is not None
+        assert self._reference_injection is not None
+        injection = self._reference_injection.copy()
+        for name, power in powers.items():
+            injection[self._lookup(name)] += power
+        if not self._reference_edges:
+            raise ThermalModelError(
+                "steady state requires at least one reference connection"
+            )
+        solution = np.linalg.solve(-self._conductance_matrix, injection)
+        return {
+            name: float(solution[index]) for name, index in self._index.items()
+        }
+
+    # -- internals -----------------------------------------------------------
+    def _lookup(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ThermalModelError(f"unknown node {name!r}") from None
+
+    def _invalidate(self) -> None:
+        self._conductance_matrix = None
+
+    def _ensure_compiled(self) -> None:
+        if self._conductance_matrix is not None:
+            return
+        count = len(self._names)
+        if count == 0:
+            raise ThermalModelError("network has no nodes")
+        matrix = np.zeros((count, count), dtype=float)
+        injection = np.zeros(count, dtype=float)
+        for edge in self._edges:
+            matrix[edge.node_a, edge.node_a] -= edge.conductance
+            matrix[edge.node_b, edge.node_b] -= edge.conductance
+            matrix[edge.node_a, edge.node_b] += edge.conductance
+            matrix[edge.node_b, edge.node_a] += edge.conductance
+        for ref in self._reference_edges:
+            matrix[ref.node, ref.node] -= ref.conductance
+            injection[ref.node] += ref.conductance * ref.reference_temperature
+        self._conductance_matrix = matrix
+        self._reference_injection = injection
+        self._capacitance_vector = np.array(self._capacitances, dtype=float)
+        total_conductance = -np.diag(matrix)
+        with np.errstate(divide="ignore"):
+            bounds = np.where(
+                total_conductance > 0,
+                self._capacitance_vector / np.maximum(total_conductance, 1e-300),
+                np.inf,
+            )
+        self._max_stable_dt = float(np.min(bounds))
+        if self._temperatures is None:
+            self.reset()

@@ -1,0 +1,55 @@
+"""Temperature sensor models.
+
+The paper assumes an idealized sensor per monitored block (gain 1, no
+noise, no offset) and flags realistic sensor behaviour as future work.
+We provide the ideal sensor plus two realistic variants -- additive
+Gaussian noise and quantization -- so the controller experiments can
+probe robustness (one of the paper's claims is that feedback control
+remains effective when the plant or sensing is imperfectly modeled).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ConfigError
+
+
+class IdealSensor:
+    """Reports the true temperature (the paper's assumption, gain 1)."""
+
+    def read(self, true_temperature: float) -> float:
+        """Return the measured temperature [degC]."""
+        return true_temperature
+
+
+class NoisySensor:
+    """Adds zero-mean Gaussian noise and a fixed offset to the reading."""
+
+    def __init__(
+        self, noise_sigma: float = 0.05, offset: float = 0.0, seed: int = 0
+    ) -> None:
+        if noise_sigma < 0:
+            raise ConfigError("noise_sigma must be non-negative")
+        self.noise_sigma = noise_sigma
+        self.offset = offset
+        self._rng = random.Random(seed)
+
+    def read(self, true_temperature: float) -> float:
+        """Return a noisy measurement of the true temperature."""
+        noise = self._rng.gauss(0.0, self.noise_sigma) if self.noise_sigma else 0.0
+        return true_temperature + self.offset + noise
+
+
+class QuantizedSensor:
+    """Quantizes readings to a fixed step (e.g. a 0.25 K on-chip ADC)."""
+
+    def __init__(self, step: float = 0.25) -> None:
+        if step <= 0:
+            raise ConfigError("quantization step must be positive")
+        self.step = step
+
+    def read(self, true_temperature: float) -> float:
+        """Return the reading rounded to the nearest quantization step."""
+        return self.step * math.floor(true_temperature / self.step + 0.5)

@@ -1,0 +1,19 @@
+"""Cycle-level out-of-order core (the SimpleScalar/sim-outorder stand-in).
+
+An Alpha-21264-like machine per the paper's Table 2, with the paper's
+extensions: three extra rename/enqueue stages between decode and issue,
+fetch accounting of one fetch-width access per cycle, and per-structure
+access counting feeding the Wattch-style power model.
+"""
+
+from repro.uarch.caches import Cache, MemoryHierarchy
+from repro.uarch.pipeline import CoreResult, OutOfOrderCore
+from repro.uarch.stats import ActivityCounters
+
+__all__ = [
+    "ActivityCounters",
+    "Cache",
+    "CoreResult",
+    "MemoryHierarchy",
+    "OutOfOrderCore",
+]

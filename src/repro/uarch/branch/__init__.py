@@ -1,0 +1,22 @@
+"""Branch prediction: the hybrid predictor of paper Table 2.
+
+A 4K-entry bimodal component, a 4K-entry GAg (global two-level)
+component with 12 bits of history, a 4K-entry bimodal-style chooser, a
+1K-entry 2-way BTB, and a 32-entry return-address stack.  The predictor
+is updated speculatively at fetch and its global history is repaired
+after a misprediction, as in the paper.
+"""
+
+from repro.uarch.branch.bimodal import BimodalPredictor
+from repro.uarch.branch.btb import BranchTargetBuffer
+from repro.uarch.branch.hybrid import HybridPredictor
+from repro.uarch.branch.ras import ReturnAddressStack
+from repro.uarch.branch.twolevel import GAgPredictor
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "GAgPredictor",
+    "HybridPredictor",
+    "ReturnAddressStack",
+]

@@ -1,0 +1,41 @@
+"""Bimodal (per-PC two-bit saturating counter) branch predictor."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Two-bit counter encodings: 0-1 predict not-taken, 2-3 predict taken.
+_WEAKLY_TAKEN = 2
+_COUNTER_MAX = 3
+
+
+class BimodalPredictor:
+    """A classic table of 2-bit saturating counters indexed by PC."""
+
+    def __init__(self, entries: int = 4096) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError("bimodal entries must be a positive power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._counters = [_WEAKLY_TAKEN] * entries
+        self.lookups = 0
+        self.updates = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        self.lookups += 1
+        return self._counters[self._index(pc)] >= _WEAKLY_TAKEN
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter for the branch at ``pc`` with its outcome."""
+        self.updates += 1
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1

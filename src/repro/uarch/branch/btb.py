@@ -1,0 +1,51 @@
+"""Branch target buffer: set-associative PC -> target cache."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class BranchTargetBuffer:
+    """A 2-way (configurable) set-associative BTB with LRU replacement."""
+
+    def __init__(self, entries: int = 1024, associativity: int = 2) -> None:
+        if entries <= 0 or entries % associativity:
+            raise ConfigError("BTB entries must be a positive multiple of assoc")
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError("BTB set count must be a power of two")
+        # Each set is an LRU-ordered list of (tag, target), MRU last.
+        self._sets: list[list[tuple[int, int]]] = [[] for _ in range(self.num_sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def _set_and_tag(self, pc: int) -> tuple[int, int]:
+        index = (pc >> 2) & (self.num_sets - 1)
+        tag = pc >> 2
+        return index, tag
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for ``pc``, or None on a BTB miss."""
+        self.lookups += 1
+        index, tag = self._set_and_tag(pc)
+        ways = self._sets[index]
+        for position, (stored_tag, target) in enumerate(ways):
+            if stored_tag == tag:
+                ways.append(ways.pop(position))  # move to MRU
+                self.hits += 1
+                return target
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install or refresh the target for a taken branch."""
+        index, tag = self._set_and_tag(pc)
+        ways = self._sets[index]
+        for position, (stored_tag, _) in enumerate(ways):
+            if stored_tag == tag:
+                ways.pop(position)
+                break
+        if len(ways) >= self.associativity:
+            ways.pop(0)  # evict LRU
+        ways.append((tag, target))

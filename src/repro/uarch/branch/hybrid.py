@@ -1,0 +1,138 @@
+"""Hybrid predictor: bimodal + GAg selected by a bimodal-style chooser.
+
+This is SimpleScalar's "slightly simplified" hybrid of McFarling's
+combining predictor (paper Table 2): a per-PC chooser of 2-bit counters
+picks between the bimodal and the global two-level component.  The
+chooser trains toward whichever component was right when they disagree.
+Direction tables are updated speculatively at fetch; the global history
+is checkpointed per prediction so it can be repaired when a branch
+turns out mispredicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.uarch.branch.bimodal import BimodalPredictor
+from repro.uarch.branch.btb import BranchTargetBuffer
+from repro.uarch.branch.twolevel import GAgPredictor
+
+_WEAKLY_GLOBAL = 2
+_COUNTER_MAX = 3
+
+
+@dataclass(frozen=True)
+class BranchPrediction:
+    """Everything fetch needs to act on (and later repair) a prediction."""
+
+    taken: bool
+    target: int | None
+    bimodal_taken: bool
+    global_taken: bool
+    used_global: bool
+    history_checkpoint: int
+    history_at_predict: int
+
+
+class HybridPredictor:
+    """The paper's hybrid branch predictor with speculative update."""
+
+    def __init__(
+        self,
+        bimodal_entries: int = 4096,
+        global_entries: int = 4096,
+        global_history_bits: int = 12,
+        chooser_entries: int = 4096,
+        btb_entries: int = 1024,
+        btb_associativity: int = 2,
+    ) -> None:
+        if chooser_entries <= 0 or chooser_entries & (chooser_entries - 1):
+            raise ConfigError("chooser entries must be a positive power of two")
+        self.bimodal = BimodalPredictor(bimodal_entries)
+        self.gag = GAgPredictor(global_entries, global_history_bits)
+        self.btb = BranchTargetBuffer(btb_entries, btb_associativity)
+        self._chooser = [_WEAKLY_GLOBAL] * chooser_entries
+        self._chooser_mask = chooser_entries - 1
+        self.predictions = 0
+        self.direction_mispredicts = 0
+        self.target_mispredicts = 0
+
+    # -- prediction ----------------------------------------------------------
+    def predict(self, pc: int) -> BranchPrediction:
+        """Predict the branch at ``pc`` and speculatively update history."""
+        self.predictions += 1
+        bimodal_taken = self.bimodal.predict(pc)
+        history_at_predict = self.gag.history
+        global_taken = self.gag.predict(pc)
+        used_global = self._chooser[self._chooser_index(pc)] >= _WEAKLY_GLOBAL
+        taken = global_taken if used_global else bimodal_taken
+        target = self.btb.lookup(pc) if taken else None
+        checkpoint = self.gag.speculative_update_history(taken)
+        return BranchPrediction(
+            taken=taken,
+            target=target,
+            bimodal_taken=bimodal_taken,
+            global_taken=global_taken,
+            used_global=used_global,
+            history_checkpoint=checkpoint,
+            history_at_predict=history_at_predict,
+        )
+
+    # -- resolution -----------------------------------------------------------
+    def resolve(
+        self,
+        pc: int,
+        prediction: BranchPrediction,
+        taken: bool,
+        target: int,
+    ) -> bool:
+        """Train on the actual outcome; returns True on a misprediction.
+
+        On a direction misprediction the speculative global history is
+        repaired from the prediction's checkpoint (the paper: "updated
+        speculatively and repaired after a misprediction").
+        """
+        direction_wrong = prediction.taken != taken
+        target_wrong = taken and prediction.taken and prediction.target != target
+
+        self.bimodal.update(pc, taken)
+        self.gag.update(pc, taken, history=prediction.history_at_predict)
+        self._train_chooser(pc, prediction, taken)
+        if taken:
+            self.btb.update(pc, target)
+        if direction_wrong:
+            self.direction_mispredicts += 1
+            self.gag.repair_history(prediction.history_checkpoint, taken)
+            return True
+        if target_wrong:
+            self.target_mispredicts += 1
+            return True
+        return False
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Fraction of predictions that were wrong (direction or target)."""
+        if not self.predictions:
+            return 0.0
+        wrong = self.direction_mispredicts + self.target_mispredicts
+        return wrong / self.predictions
+
+    # -- internals --------------------------------------------------------------
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> 2) & self._chooser_mask
+
+    def _train_chooser(
+        self, pc: int, prediction: BranchPrediction, taken: bool
+    ) -> None:
+        bimodal_right = prediction.bimodal_taken == taken
+        global_right = prediction.global_taken == taken
+        if bimodal_right == global_right:
+            return  # both right or both wrong: no preference signal
+        index = self._chooser_index(pc)
+        counter = self._chooser[index]
+        if global_right:
+            if counter < _COUNTER_MAX:
+                self._chooser[index] = counter + 1
+        elif counter > 0:
+            self._chooser[index] = counter - 1

@@ -1,0 +1,47 @@
+"""Return address stack (32-entry in the paper's configuration).
+
+The synthetic ISA models calls/returns only implicitly, but the RAS is
+part of the Table 2 predictor and is exercised directly by tests and
+available to extended ISAs.  It behaves like hardware: a fixed-depth
+circular stack that silently wraps (overwriting the oldest entry) on
+overflow and returns a garbage (zero) prediction on underflow.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack."""
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth <= 0:
+            raise ConfigError("RAS depth must be positive")
+        self.depth = depth
+        self._entries = [0] * depth
+        self._top = 0  # index of the next free slot
+        self._valid = 0
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Push a return address (a call); wraps on overflow."""
+        self.pushes += 1
+        self._entries[self._top] = return_address
+        self._top = (self._top + 1) % self.depth
+        self._valid = min(self._valid + 1, self.depth)
+
+    def pop(self) -> int:
+        """Pop the predicted return address; 0 on underflow."""
+        self.pops += 1
+        if self._valid == 0:
+            self.underflows += 1
+            return 0
+        self._top = (self._top - 1) % self.depth
+        self._valid -= 1
+        return self._entries[self._top]
+
+    def __len__(self) -> int:
+        return self._valid

@@ -1,0 +1,71 @@
+"""GAg two-level adaptive predictor (global history, global PHT).
+
+The 4K-entry / 12-bit-history component of the paper's hybrid
+predictor.  The history register is updated *speculatively* at predict
+time (as the paper's predictor is) and can be checkpointed/repaired
+after a misprediction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+_WEAKLY_TAKEN = 2
+_COUNTER_MAX = 3
+
+
+class GAgPredictor:
+    """Global-history two-level predictor with speculative history."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError("GAg entries must be a positive power of two")
+        if history_bits <= 0 or (1 << history_bits) > entries * 16:
+            raise ConfigError("history_bits out of range")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [_WEAKLY_TAKEN] * entries
+        self._history = 0
+        self.lookups = 0
+        self.updates = 0
+
+    @property
+    def history(self) -> int:
+        """Current (speculative) global history register contents."""
+        return self._history
+
+    def _index(self, history: int) -> int:
+        return history & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction using the current global history."""
+        self.lookups += 1
+        return self._counters[self._index(self._history)] >= _WEAKLY_TAKEN
+
+    def speculative_update_history(self, taken: bool) -> int:
+        """Shift the predicted outcome into the history; returns a
+        checkpoint token (the pre-update history) for later repair."""
+        checkpoint = self._history
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return checkpoint
+
+    def repair_history(self, checkpoint: int, actual_taken: bool) -> None:
+        """Restore history after a misprediction, then apply the actual
+        outcome of the mispredicted branch."""
+        self._history = (
+            (checkpoint << 1) | int(actual_taken)
+        ) & self._history_mask
+
+    def update(self, pc: int, taken: bool, history: int | None = None) -> None:
+        """Train the counter selected by ``history`` (default: current)."""
+        self.updates += 1
+        selected = self._history if history is None else history
+        index = self._index(selected)
+        counter = self._counters[index]
+        if taken:
+            if counter < _COUNTER_MAX:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1

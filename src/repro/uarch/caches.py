@@ -1,0 +1,112 @@
+"""Set-associative caches and the Table 2 memory hierarchy.
+
+L1 I and D caches (64 KB, 2-way, 32 B blocks, 1-cycle), a unified
+write-back L2 (2 MB, 4-way, 32 B blocks, 11-cycle), and a flat
+100-cycle memory behind it.  Latencies compose: an L1 miss that hits in
+L2 costs ``l1.hit + l2.hit``; an L2 miss adds the memory latency.
+"""
+
+from __future__ import annotations
+
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+
+
+class Cache:
+    """One set-associative, write-back/write-allocate cache level."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"{config.name}: set count must be a power of two")
+        self._offset_bits = config.block_bytes.bit_length() - 1
+        self._index_bits = self.num_sets.bit_length() - 1
+        self._index_mask = self.num_sets - 1
+        # Per set: LRU-ordered list of (tag, dirty), MRU last.
+        self._sets: list[list[list[int | bool]]] = [
+            [] for _ in range(self.num_sets)
+        ]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _set_and_tag(self, address: int) -> tuple[int, int]:
+        block = address >> self._offset_bits
+        return block & self._index_mask, block >> self._index_bits
+
+    def probe(self, address: int) -> bool:
+        """True if ``address`` is resident (no state change, no stats)."""
+        index, tag = self._set_and_tag(address)
+        return any(line[0] == tag for line in self._sets[index])
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one block; returns True on hit.
+
+        On a miss the block is allocated; an evicted dirty block counts
+        a writeback.  The *latency* consequences are composed by
+        :class:`MemoryHierarchy`, which knows what sits below.
+        """
+        self.accesses += 1
+        index, tag = self._set_and_tag(address)
+        ways = self._sets[index]
+        for position, line in enumerate(ways):
+            if line[0] == tag:
+                ways.append(ways.pop(position))  # move to MRU
+                if is_write:
+                    line[1] = True
+                self.hits += 1
+                return True
+        self.misses += 1
+        if len(ways) >= self.config.associativity:
+            victim = ways.pop(0)
+            if victim[1]:
+                self.writebacks += 1
+        ways.append([tag, is_write])
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class MemoryHierarchy:
+    """L1 I/D + unified L2 + flat memory, with composed latencies."""
+
+    def __init__(
+        self,
+        l1_icache: CacheConfig,
+        l1_dcache: CacheConfig,
+        l2_cache: CacheConfig,
+        memory_latency: int = 100,
+    ) -> None:
+        if memory_latency <= 0:
+            raise ConfigError("memory latency must be positive")
+        self.il1 = Cache(l1_icache)
+        self.dl1 = Cache(l1_dcache)
+        self.ul2 = Cache(l2_cache)
+        self.memory_latency = memory_latency
+        self.l2_accesses_data = 0
+        self.l2_accesses_inst = 0
+
+    def instruction_fetch(self, address: int) -> int:
+        """Latency of an instruction fetch at ``address`` [cycles]."""
+        if self.il1.access(address):
+            return self.il1.config.hit_latency
+        self.l2_accesses_inst += 1
+        latency = self.il1.config.hit_latency + self.ul2.config.hit_latency
+        if not self.ul2.access(address):
+            latency += self.memory_latency
+        return latency
+
+    def data_access(self, address: int, is_write: bool = False) -> int:
+        """Latency of a data access at ``address`` [cycles]."""
+        if self.dl1.access(address, is_write):
+            return self.dl1.config.hit_latency
+        self.l2_accesses_data += 1
+        latency = self.dl1.config.hit_latency + self.ul2.config.hit_latency
+        if not self.ul2.access(address, is_write):
+            latency += self.memory_latency
+        return latency

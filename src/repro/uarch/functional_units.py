@@ -1,0 +1,79 @@
+"""Functional-unit pools (Table 2: 4 IntALU, 1 IntMult/Div, 2 FPALU,
+1 FPMult/Div, 2 memory ports).
+
+Units are fully pipelined: a pool limits how many operations of its
+class can *begin* in one cycle.  ``begin_cycle`` must be called as
+simulation time advances so per-cycle issue counts reset.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.instructions import OpClass
+
+
+class FunctionalUnitPool:
+    """Issue-bandwidth limiter for one class of functional units."""
+
+    def __init__(self, name: str, count: int) -> None:
+        if count <= 0:
+            raise SimulationError(f"{name}: unit count must be positive")
+        self.name = name
+        self.count = count
+        self._issued_this_cycle = 0
+        self.total_issued = 0
+
+    def begin_cycle(self) -> None:
+        """Reset the per-cycle issue counter."""
+        self._issued_this_cycle = 0
+
+    def can_issue(self) -> bool:
+        """True if another operation may start this cycle."""
+        return self._issued_this_cycle < self.count
+
+    def issue(self) -> None:
+        """Consume one issue slot this cycle."""
+        if not self.can_issue():
+            raise SimulationError(f"{self.name}: issued past capacity")
+        self._issued_this_cycle += 1
+        self.total_issued += 1
+
+
+class FunctionalUnits:
+    """All pools of Table 2, with op-class dispatch."""
+
+    def __init__(
+        self,
+        int_alus: int = 4,
+        int_mult_div: int = 1,
+        fp_alus: int = 2,
+        fp_mult_div: int = 1,
+        mem_ports: int = 2,
+    ) -> None:
+        self.int_alu = FunctionalUnitPool("int_alu", int_alus)
+        self.int_mult = FunctionalUnitPool("int_mult", int_mult_div)
+        self.fp_alu = FunctionalUnitPool("fp_alu", fp_alus)
+        self.fp_mult = FunctionalUnitPool("fp_mult", fp_mult_div)
+        self.mem_port = FunctionalUnitPool("mem_port", mem_ports)
+        self._pools = {
+            OpClass.INT_ALU: self.int_alu,
+            OpClass.INT_MULT: self.int_mult,
+            OpClass.FP_ALU: self.fp_alu,
+            OpClass.FP_MULT: self.fp_mult,
+            OpClass.LOAD: self.mem_port,
+            OpClass.STORE: self.mem_port,
+            OpClass.BRANCH: self.int_alu,
+            OpClass.NOP: self.int_alu,
+        }
+
+    def begin_cycle(self) -> None:
+        """Reset every pool's per-cycle counter."""
+        self.int_alu.begin_cycle()
+        self.int_mult.begin_cycle()
+        self.fp_alu.begin_cycle()
+        self.fp_mult.begin_cycle()
+        self.mem_port.begin_cycle()
+
+    def pool_for(self, op: OpClass) -> FunctionalUnitPool:
+        """The pool an operation class issues to."""
+        return self._pools[op]

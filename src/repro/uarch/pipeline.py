@@ -1,0 +1,358 @@
+"""Cycle-level out-of-order core (the sim-outorder stand-in).
+
+Stage model, oldest-first everywhere:
+
+* **fetch** -- up to ``fetch_width`` instructions per cycle in one
+  I-cache access of fetch-width granularity (the paper's fixed fetch
+  accounting); fetch stops at a predicted-taken branch, stalls on
+  I-cache misses, and is *gated* by the DTM actuator (fetch toggling /
+  throttling / speculation control).  Branches are predicted by the
+  hybrid predictor; on a misprediction the front end stalls until the
+  branch executes (trace-driven simulation does not execute wrong-path
+  instructions, but it does charge wrong-path fetch *power*).
+* **front pipeline** -- fetched instructions spend
+  ``2 + extra_pipe_stages`` cycles in decode/rename/enqueue (the paper
+  adds three stages to SimpleScalar's baseline) before dispatch.
+* **dispatch** -- into the RUU (and LSQ for memory ops) while space
+  remains, recording register producers for dependence tracking.
+* **issue** -- up to ``issue_width`` ready instructions per cycle,
+  limited per functional-unit pool; loads translate through the TLB
+  and access the D-cache at issue; execution latencies come from the
+  op class plus the memory system.
+* **commit** -- in-order, up to ``commit_width`` completed
+  instructions per cycle; stores access the D-cache at commit.
+
+Every stage increments :class:`ActivityCounters`, which the Wattch-style
+power model converts to per-structure power each cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, OpClass
+from repro.power.activity import MAX_ACCESS_RATES
+from repro.uarch.branch.hybrid import HybridPredictor
+from repro.uarch.caches import MemoryHierarchy
+from repro.uarch.functional_units import FunctionalUnits
+from repro.uarch.lsq import LoadStoreQueue
+from repro.uarch.stats import ActivityCounters, PipelineStats
+from repro.uarch.tlb import TLB
+
+_WAITING = 0
+_ISSUED = 1
+_DONE = 2
+
+
+class _Entry:
+    """One RUU slot."""
+
+    __slots__ = ("instr", "state", "done_cycle", "producers", "is_mem")
+
+    def __init__(self, instr: Instruction) -> None:
+        self.instr = instr
+        self.state = _WAITING
+        self.done_cycle = -1
+        self.producers: list["_Entry"] = []
+        self.is_mem = instr.op.is_memory
+
+
+@dataclass
+class CoreResult:
+    """Outcome of a detailed-core run."""
+
+    stats: PipelineStats
+    #: Mean per-structure utilization over the run (0..1).
+    mean_utilization: dict[str, float]
+
+    @property
+    def ipc(self) -> float:
+        """Committed IPC of the run."""
+        return self.stats.ipc
+
+
+class OutOfOrderCore:
+    """The simulated processor.  Drive it with :meth:`step` per cycle."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        instructions: Iterator[Instruction],
+        fetch_gate: Callable[[int], bool] | None = None,
+    ) -> None:
+        self.config = config
+        self._stream = instructions
+        self._fetch_gate = fetch_gate
+        bp = config.branch_predictor
+        self.predictor = HybridPredictor(
+            bimodal_entries=bp.bimodal_entries,
+            global_entries=bp.global_entries,
+            global_history_bits=bp.global_history_bits,
+            chooser_entries=bp.chooser_entries,
+            btb_entries=bp.btb_entries,
+            btb_associativity=bp.btb_associativity,
+        )
+        self.memory = MemoryHierarchy(
+            config.l1_icache, config.l1_dcache, config.l2_cache,
+            config.memory_latency,
+        )
+        self.tlb = TLB(config.tlb_entries, config.tlb_miss_penalty)
+        self.itlb = TLB(config.tlb_entries, config.tlb_miss_penalty)
+        self.lsq = LoadStoreQueue(config.lsq_entries)
+        self.units = FunctionalUnits(
+            config.int_alus, config.int_mult_div, config.fp_alus,
+            config.fp_mult_div, config.mem_ports,
+        )
+        self.stats = PipelineStats()
+        self.activity = ActivityCounters()
+
+        self._ruu: deque[_Entry] = deque()
+        self._front: deque[tuple[int, _Entry]] = deque()  # (ready_cycle, entry)
+        self._front_latency = 2 + config.extra_pipe_stages
+        self._reg_producer: dict[int, _Entry] = {}
+        self._cycle = 0
+        self._fetch_resume = 0  # I-cache miss stall
+        self._redirect_entry: _Entry | None = None  # unresolved mispredict
+        #: Throttling hook: instructions fetched per fetch cycle
+        #: (speculation-control & throttling mechanisms lower this).
+        self.fetch_width_limit = config.fetch_width
+        #: Speculation-control hook: max unresolved branches in flight.
+        self.max_unresolved_branches: int | None = None
+        self._unresolved_branches = 0
+        self._utilization_sums = {name: 0.0 for name in self.activity.counts}
+
+    # -- public API -----------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        """Current simulation cycle."""
+        return self._cycle
+
+    def step(self) -> ActivityCounters:
+        """Simulate one clock cycle; returns this cycle's activity."""
+        self.activity.reset()
+        self.units.begin_cycle()
+        self._commit()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self.stats.cycles += 1
+        self._cycle += 1
+        return self.activity
+
+    def run(
+        self,
+        max_cycles: int,
+        max_instructions: int | None = None,
+        per_cycle_hook: Callable[[int, ActivityCounters], None] | None = None,
+    ) -> CoreResult:
+        """Run until a cycle or committed-instruction budget is reached."""
+        if max_cycles <= 0:
+            raise SimulationError("max_cycles must be positive")
+        max_rates = _max_access_rates(self.config)
+        for _ in range(max_cycles):
+            activity = self.step()
+            for name, count in activity.counts.items():
+                rate = max_rates[name]
+                self._utilization_sums[name] += min(1.0, count / rate)
+            if per_cycle_hook is not None:
+                per_cycle_hook(self._cycle, activity)
+            if max_instructions is not None and self.stats.committed >= max_instructions:
+                break
+        cycles = max(1, self.stats.cycles)
+        mean_utilization = {
+            name: total / cycles for name, total in self._utilization_sums.items()
+        }
+        return CoreResult(stats=self.stats, mean_utilization=mean_utilization)
+
+    # -- commit ------------------------------------------------------------------
+    def _commit(self) -> None:
+        committed = 0
+        while (
+            committed < self.config.commit_width
+            and self._ruu
+            and self._ruu[0].state == _DONE
+            and self._ruu[0].done_cycle <= self._cycle
+        ):
+            entry = self._ruu.popleft()
+            instr = entry.instr
+            if entry.is_mem:
+                self.lsq.commit(instr.op is OpClass.STORE, instr.address)
+                self.activity.add("lsq")
+                if instr.op is OpClass.STORE:
+                    self.memory.data_access(instr.address, is_write=True)
+                    self.activity.add("dcache")
+            if instr.dest_reg >= 0:
+                self.activity.add("regfile")  # architectural write
+            if self._reg_producer.get(instr.dest_reg) is entry:
+                del self._reg_producer[instr.dest_reg]
+            self.activity.add("window")
+            self.stats.committed += 1
+            committed += 1
+
+    # -- issue ----------------------------------------------------------------------
+    def _issue(self) -> None:
+        issued = 0
+        int_issued = 0
+        fp_issued = 0
+        for entry in self._ruu:
+            if issued >= self.config.issue_width:
+                break
+            if entry.state != _WAITING:
+                continue
+            if not _operands_ready(entry, self._cycle):
+                continue
+            op = entry.instr.op
+            pool = self.units.pool_for(op)
+            if not pool.can_issue():
+                continue
+            if op.is_fp:
+                if fp_issued >= self.config.fp_issue_width:
+                    continue
+            elif int_issued >= self.config.int_issue_width:
+                continue
+            pool.issue()
+            latency = entry.instr.latency
+            if op is OpClass.LOAD:
+                latency += self.tlb.access(entry.instr.address)
+                if self.lsq.load_forwards(entry.instr.address):
+                    pass  # value supplied by an in-flight store: 1 cycle
+                else:
+                    latency += self.memory.data_access(entry.instr.address) - 1
+                    self.activity.add("dcache")
+                self.activity.add("lsq")
+            elif op is OpClass.STORE:
+                latency += self.tlb.access(entry.instr.address)
+                self.activity.add("lsq")  # address calculation + LSQ write
+            entry.state = _ISSUED
+            entry.done_cycle = self._cycle + max(1, latency)
+            entry.producers = []  # help the GC; operands were consumed
+            if entry.instr.is_branch:
+                self._unresolved_branches -= 1
+                if entry is self._redirect_entry:
+                    # The mispredicted branch now has a resolution time;
+                    # fetch restarts the cycle after it completes.
+                    self._fetch_resume = max(
+                        self._fetch_resume, entry.done_cycle + 1
+                    )
+                    self._redirect_entry = None
+            self.activity.add("window")  # wakeup/select
+            self.activity.add("regfile", 2.0)  # operand reads
+            if op.is_fp:
+                self.activity.add("fp_exec")
+                fp_issued += 1
+            else:
+                self.activity.add("int_exec")
+                int_issued += 1
+            self.stats.issued += 1
+            issued += 1
+        # Completion bookkeeping: mark entries whose latency elapsed.
+        for entry in self._ruu:
+            if entry.state == _ISSUED and entry.done_cycle <= self._cycle:
+                entry.state = _DONE
+
+    # -- dispatch ----------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        dispatched = 0
+        while (
+            dispatched < self.config.decode_width
+            and self._front
+            and self._front[0][0] <= self._cycle
+            and len(self._ruu) < self.config.ruu_entries
+        ):
+            if self._front[0][1].is_mem and self.lsq.full:
+                break
+            _, entry = self._front.popleft()
+            instr = entry.instr
+            producers = []
+            for reg in instr.src_regs:
+                producer = self._reg_producer.get(reg)
+                if producer is not None and producer.state != _DONE:
+                    producers.append(producer)
+            entry.producers = producers
+            if instr.dest_reg >= 0:
+                self._reg_producer[instr.dest_reg] = entry
+            if entry.is_mem:
+                self.lsq.dispatch(instr.op is OpClass.STORE, instr.address)
+                self.activity.add("lsq")
+            self._ruu.append(entry)
+            self.activity.add("window")
+            self.stats.dispatched += 1
+            dispatched += 1
+
+    # -- fetch ----------------------------------------------------------------------------
+    def _fetch(self) -> None:
+        if self._fetch_gate is not None and not self._fetch_gate(self._cycle):
+            self.stats.fetch_gated_cycles += 1
+            return
+        if self._redirect_entry is not None or self._cycle < self._fetch_resume:
+            # Misprediction recovery or I-cache miss: the real machine
+            # fetches down the wrong path / replays -- charge front-end
+            # power without admitting instructions.
+            self.stats.wrong_path_cycles += 1
+            if self._cycle < self._fetch_resume:
+                self.stats.icache_stall_cycles += 1
+            self.activity.add("bpred", 0.5)
+            return
+        room = 2 * self.config.fetch_width * self._front_latency - len(self._front)
+        if room <= 0:
+            return
+        width = min(self.fetch_width_limit, self.config.fetch_width, room)
+        if width <= 0:
+            self.stats.fetch_gated_cycles += 1
+            return
+        first_instruction = True
+        ready_at = self._cycle + self._front_latency
+        for _ in range(width):
+            if (
+                self.max_unresolved_branches is not None
+                and self._unresolved_branches >= self.max_unresolved_branches
+            ):
+                break
+            instr = next(self._stream)
+            if first_instruction:
+                # One I-cache access of fetch-width granularity per
+                # cycle, translated through the I-TLB.
+                latency = self.memory.instruction_fetch(instr.pc)
+                latency += self.itlb.access(instr.pc)
+                if latency > self.config.l1_icache.hit_latency:
+                    self._fetch_resume = self._cycle + latency
+                first_instruction = False
+            entry = _Entry(instr)
+            self._front.append((ready_at, entry))
+            self.stats.fetched += 1
+            if instr.is_branch:
+                self._handle_branch(entry)
+                break_fetch = instr.taken or entry is self._redirect_entry
+                if break_fetch:
+                    break
+
+    def _handle_branch(self, entry: _Entry) -> None:
+        instr = entry.instr
+        self.stats.branches += 1
+        self._unresolved_branches += 1
+        self.activity.add("bpred")
+        prediction = self.predictor.predict(instr.pc)
+        mispredicted = self.predictor.resolve(
+            instr.pc, prediction, instr.taken, instr.target
+        )
+        self.activity.add("bpred")  # update port
+        if mispredicted:
+            self.stats.mispredicts += 1
+            # Fetch goes down the wrong path until this branch executes.
+            self._redirect_entry = entry
+
+
+def _operands_ready(entry: _Entry, cycle: int) -> bool:
+    for producer in entry.producers:
+        if producer.state != _DONE or producer.done_cycle > cycle:
+            return False
+    return True
+
+
+def _max_access_rates(config: MachineConfig) -> dict[str, float]:
+    """Reference 'full utilization' access rates per structure."""
+    return dict(MAX_ACCESS_RATES)

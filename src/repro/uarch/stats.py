@@ -1,0 +1,67 @@
+"""Per-structure activity counting for the power model.
+
+The paper's flow (Section 5.2): "first the SimpleScalar pipeline model
+determines the activity of each structure; then Wattch computes power
+dissipation for each of them".  :class:`ActivityCounters` is that
+interface -- the core increments per-cycle access counts per monitored
+structure; the power model converts them to utilizations against each
+structure's maximum access rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.thermal.floorplan import STRUCTURES
+
+
+@dataclass
+class ActivityCounters:
+    """Access counts for one cycle (or one aggregation window)."""
+
+    counts: dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in STRUCTURES}
+    )
+
+    def add(self, structure: str, amount: float = 1.0) -> None:
+        """Record ``amount`` accesses to a structure."""
+        self.counts[structure] += amount
+
+    def reset(self) -> None:
+        """Zero all counters (start of a new cycle/window)."""
+        for name in self.counts:
+            self.counts[name] = 0.0
+
+    def utilization(self, max_rates: dict[str, float]) -> dict[str, float]:
+        """Counts normalized by each structure's maximum rate, in [0, 1]."""
+        result = {}
+        for name, count in self.counts.items():
+            rate = max_rates.get(name, 1.0)
+            result[name] = min(1.0, count / rate) if rate > 0 else 0.0
+        return result
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate statistics over a detailed-core run."""
+
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    fetch_gated_cycles: int = 0
+    wrong_path_cycles: int = 0
+    icache_stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        """Mispredictions per executed branch."""
+        return self.mispredicts / self.branches if self.branches else 0.0

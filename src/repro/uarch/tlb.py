@@ -1,0 +1,43 @@
+"""Data TLB: 128-entry fully-associative, 30-cycle miss penalty (Table 2)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+
+#: Page size used for virtual-to-physical translation [bytes].
+PAGE_BYTES = 4096
+
+
+class TLB:
+    """Fully-associative translation buffer with true-LRU replacement."""
+
+    def __init__(self, entries: int = 128, miss_penalty: int = 30) -> None:
+        if entries <= 0:
+            raise ConfigError("TLB entries must be positive")
+        if miss_penalty < 0:
+            raise ConfigError("TLB miss penalty must be non-negative")
+        self.entries = entries
+        self.miss_penalty = miss_penalty
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> int:
+        """Translate ``address``; returns the added latency [cycles]."""
+        self.accesses += 1
+        page = address // PAGE_BYTES
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            return 0
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.popitem(last=False)
+        self._pages[page] = None
+        return self.miss_penalty
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of translations that missed."""
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,94 @@
+"""Physical constants and unit helpers.
+
+The paper (Section 4.3) derives thermal R and C for each functional
+block from the material properties of silicon and the block geometry.
+This module centralizes those constants plus the handful of unit
+conversions used throughout the library, so every subsystem agrees on
+them.
+
+All quantities are SI unless a suffix says otherwise:
+
+* temperatures in degrees Celsius (the paper reports Celsius; only
+  temperature *differences* enter the RC equations, so Celsius and
+  Kelvin are interchangeable there),
+* lengths in meters, areas in square meters,
+* power in watts, energy in joules,
+* thermal resistance in K/W, thermal capacitance in J/K,
+* time in seconds.
+"""
+
+from __future__ import annotations
+
+# --- Silicon material properties near 100 degC (Section 4.3) -----------
+#: Thermal conductivity of silicon at ~100 degC [W/(m*K)].  Silicon's
+#: conductivity falls from ~148 at room temperature to ~100 at the
+#: operating temperatures the paper targets.
+SILICON_THERMAL_CONDUCTIVITY = 100.0
+
+#: Thermal resistivity of silicon [m*K/W] (reciprocal of conductivity).
+SILICON_THERMAL_RESISTIVITY = 1.0 / SILICON_THERMAL_CONDUCTIVITY
+
+#: Volumetric heat capacity of silicon [J/(m^3*K)] (density ~2330 kg/m^3
+#: times specific heat ~750 J/(kg*K)).
+SILICON_VOLUMETRIC_HEAT_CAPACITY = 1.75e6
+
+# --- Die geometry (Section 5.2) ----------------------------------------
+#: Thinned-wafer die thickness assumed by the paper [m] (0.1 mm).
+DIE_THICKNESS = 0.1e-3
+
+# --- Machine operating point (Section 5.1) ------------------------------
+#: Simulated clock frequency [Hz].
+CLOCK_HZ = 1.5e9
+
+#: One clock cycle [s].
+CYCLE_TIME = 1.0 / CLOCK_HZ
+
+#: Supply voltage [V] (0.18 um generation in the paper).
+VDD = 2.0
+
+#: Feature size [m].
+FEATURE_SIZE = 0.18e-6
+
+# --- DTM operating point (Sections 3 and 5.3) ---------------------------
+#: Controller sampling interval in cycles (1000 cycles = 667 ns).
+SAMPLING_INTERVAL_CYCLES = 1000
+
+#: Controller sampling interval [s].
+SAMPLING_INTERVAL_SECONDS = SAMPLING_INTERVAL_CYCLES * CYCLE_TIME
+
+#: Effective loop delay introduced by sampling: half the sample period.
+SAMPLING_DELAY_SECONDS = SAMPLING_INTERVAL_SECONDS / 2.0
+
+#: Cost of taking an OS interrupt to engage/disengage a DTM policy
+#: [cycles] (Section 2.1).
+INTERRUPT_COST_CYCLES = 250
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area from square millimeters to square meters."""
+    return area_mm2 * 1e-6
+
+
+def m2_to_mm2(area_m2: float) -> float:
+    """Convert an area from square meters to square millimeters."""
+    return area_m2 * 1e6
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float = CLOCK_HZ) -> float:
+    """Convert a cycle count to seconds at the given clock frequency."""
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float = CLOCK_HZ) -> float:
+    """Convert a duration in seconds to (fractional) clock cycles."""
+    return seconds * clock_hz
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert an absolute temperature from Celsius to Kelvin."""
+    return temp_c + 273.15
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert an absolute temperature from Kelvin to Celsius."""
+    return temp_k - 273.15

@@ -1,0 +1,50 @@
+"""Synthetic SPEC CPU2000 stand-in workloads.
+
+The paper evaluates 18 SPEC2000 benchmarks chosen to span "low,
+intermediate, and extreme thermal demands" (Tables 4-5).  We have no
+Alpha binaries or SPEC inputs, so each benchmark becomes a seeded,
+deterministic profile: a sequence of phases, each with a target IPC,
+per-structure activity levels, and instruction-stream statistics for
+the detailed core.  Profiles are calibrated so the suite reproduces the
+paper's thermal taxonomy (extreme / high / medium / low) and the
+behaviours the paper calls out by name (bursty ``art``,
+near-threshold-but-never-emergency ``mesa``/``facerec``/``eon``/
+``vortex``).
+"""
+
+from repro.workloads.generator import instruction_stream
+from repro.workloads.interleave import interleave_profiles
+from repro.workloads.patterns import (
+    ramp_profile,
+    square_wave_profile,
+    step_profile,
+    worst_case_burst_profile,
+)
+from repro.workloads.phases import Phase, StreamParameters
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    EXTENDED_BENCHMARKS,
+    BenchmarkProfile,
+    ThermalCategory,
+    get_profile,
+    profiles_by_category,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARKS",
+    "EXTENDED_BENCHMARKS",
+    "BenchmarkProfile",
+    "Phase",
+    "StreamParameters",
+    "ThermalCategory",
+    "get_profile",
+    "instruction_stream",
+    "interleave_profiles",
+    "profiles_by_category",
+    "ramp_profile",
+    "square_wave_profile",
+    "step_profile",
+    "worst_case_burst_profile",
+]

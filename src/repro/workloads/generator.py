@@ -1,0 +1,186 @@
+"""Synthetic instruction-stream generation for the detailed core.
+
+``instruction_stream`` turns a :class:`BenchmarkProfile` into an
+endless, seeded, deterministic stream of :class:`Instruction` objects
+whose statistics follow the active phase's :class:`StreamParameters`:
+
+* instruction mix (branches, loads, stores, FP, integer multiply),
+* register dependence distances (controls extractable ILP),
+* branch-site population and per-site outcome bias (controls what a
+  real predictor can learn, and hence the achieved prediction rate),
+* memory address streams mixing sequential walks with random accesses
+  over the phase's working set (controls cache miss rates).
+
+Determinism: the same ``(profile, seed)`` pair always yields the same
+stream -- the reproducibility property the paper gets from EIO traces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.isa.instructions import Instruction, OpClass
+from repro.workloads.phases import Phase, StreamParameters
+from repro.workloads.profiles import BenchmarkProfile
+
+#: Number of architectural registers the generator allocates across.
+_NUM_REGS = 64
+
+#: Base of the synthetic code segment.
+_CODE_BASE = 0x0040_0000
+
+#: Base of the synthetic data segment.
+_DATA_BASE = 0x1000_0000
+
+
+class _PhaseState:
+    """Mutable generator state for one phase's stream parameters."""
+
+    def __init__(self, phase: Phase, rng: random.Random) -> None:
+        self.params: StreamParameters = phase.stream
+        sites = self.params.branch_sites
+        # Each static branch site has a dominant direction; the dominant
+        # direction is followed with the phase's predictability, so a
+        # predictor that learns per-site bias approaches that rate.
+        self.site_pcs = [_CODE_BASE + 8 * index for index in range(sites)]
+        self.site_taken = [rng.random() < 0.6 for _ in range(sites)]
+        self.next_site = rng.randrange(sites)
+        self.pointer = _DATA_BASE + rng.randrange(self.params.working_set_bytes)
+
+
+def instruction_stream(
+    profile: BenchmarkProfile,
+    seed: int = 0,
+    start_instruction: int = 0,
+) -> Iterator[Instruction]:
+    """Yield the dynamic instruction stream of ``profile`` forever.
+
+    ``start_instruction`` selects where in the (looping) phase sequence
+    the stream begins, mirroring the paper's fast-forward past program
+    startup.
+    """
+    rng = random.Random((profile.seed << 20) ^ seed ^ 0x5EED)
+    states: dict[str, _PhaseState] = {}
+    recent_dests: list[int] = []
+    pc = _CODE_BASE
+    index = start_instruction
+    while True:
+        phase = profile.phase_at(index)
+        state = states.get(phase.name)
+        if state is None:
+            state = _PhaseState(phase, rng)
+            states[phase.name] = state
+        instruction, pc = _generate_one(state, rng, pc, recent_dests)
+        yield instruction
+        index += 1
+
+
+def _generate_one(
+    state: _PhaseState,
+    rng: random.Random,
+    pc: int,
+    recent_dests: list[int],
+) -> tuple[Instruction, int]:
+    params = state.params
+    draw = rng.random()
+    branch_cut = params.branch_fraction
+    load_cut = branch_cut + params.load_fraction
+    store_cut = load_cut + params.store_fraction
+
+    if draw < branch_cut:
+        instruction = _generate_branch(state, rng, recent_dests)
+        next_pc = instruction.target if instruction.taken else instruction.pc + 4
+        return instruction, next_pc
+    if draw < load_cut:
+        op = OpClass.LOAD
+    elif draw < store_cut:
+        op = OpClass.STORE
+    elif rng.random() < params.fp_fraction:
+        op = OpClass.FP_MULT if rng.random() < 0.3 else OpClass.FP_ALU
+    elif rng.random() < params.int_mult_fraction:
+        op = OpClass.INT_MULT
+    else:
+        op = OpClass.INT_ALU
+
+    sources = _pick_sources(params, rng, recent_dests, count=2)
+    dest = -1 if op is OpClass.STORE else rng.randrange(_NUM_REGS)
+    address = _next_address(state, rng) if op.is_memory else 0
+    instruction = Instruction(
+        pc=pc, op=op, dest_reg=dest, src_regs=sources, address=address
+    )
+    if dest >= 0:
+        recent_dests.append(dest)
+        if len(recent_dests) > 256:
+            del recent_dests[:128]
+    return instruction, pc + 4
+
+
+def _generate_branch(
+    state: _PhaseState, rng: random.Random, recent_dests: list[int]
+) -> Instruction:
+    params = state.params
+    sites = len(state.site_pcs)
+    # Walk branch sites mostly in order (loop structure) with occasional
+    # jumps to a random site (calls / data-dependent control).
+    if rng.random() < 0.9:
+        state.next_site = (state.next_site + 1) % sites
+    else:
+        state.next_site = rng.randrange(sites)
+    site = state.next_site
+    follows_bias = rng.random() < params.branch_predictability
+    taken = state.site_taken[site] if follows_bias else not state.site_taken[site]
+    site_pc = state.site_pcs[site]
+    target = state.site_pcs[(site + 1) % sites] if taken else site_pc + 4
+    # A branch tests a recently-computed condition, so its source
+    # follows the dependence-distance profile like any other consumer;
+    # otherwise mispredict recovery waits on arbitrarily old producers.
+    sources = _pick_sources(params, rng, recent_dests, count=1)
+    return Instruction(
+        pc=site_pc,
+        op=OpClass.BRANCH,
+        src_regs=sources,
+        taken=taken,
+        target=target,
+    )
+
+
+def _pick_sources(
+    params: StreamParameters,
+    rng: random.Random,
+    recent_dests: list[int],
+    count: int,
+) -> tuple[int, ...]:
+    """Choose source registers realizing the dependence-distance profile.
+
+    Each source reaches back a geometrically-distributed number of
+    recently-written registers; the mean of that distance is the
+    phase's ``dependency_distance``.  Larger distances mean a scheduler
+    can overlap more instructions (more ILP).
+    """
+    sources = []
+    mean = params.dependency_distance
+    success = 1.0 / mean
+    for _ in range(count):
+        if not recent_dests:
+            sources.append(rng.randrange(_NUM_REGS))
+            continue
+        distance = 1
+        while rng.random() > success and distance < len(recent_dests):
+            distance += 1
+        sources.append(recent_dests[-distance])
+    return tuple(sources)
+
+
+def _next_address(state: _PhaseState, rng: random.Random) -> int:
+    """Advance the phase's data-access stream one reference."""
+    params = state.params
+    if rng.random() < params.spatial_locality:
+        state.pointer += 8
+        if state.pointer >= _DATA_BASE + params.working_set_bytes:
+            state.pointer = _DATA_BASE
+    else:
+        state.pointer = _DATA_BASE + 8 * rng.randrange(
+            params.working_set_bytes // 8
+        )
+    return state.pointer

@@ -1,0 +1,100 @@
+"""Workload interleaving: time-sliced multiprogramming.
+
+The paper runs one benchmark at a time, but thermal state persists
+across OS context switches: a cool process inherits the hot spots of
+its predecessor.  ``interleave_profiles`` builds a multiprogrammed
+profile by alternating fixed instruction quanta from two (or more)
+profiles, slicing their phase sequences at quantum boundaries.  The
+result is an ordinary :class:`BenchmarkProfile`, so every engine and
+experiment works on it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import Phase
+from repro.workloads.profiles import BenchmarkProfile, ThermalCategory
+
+
+class _Cursor:
+    """Walks one profile's (looping) phase sequence in instruction steps."""
+
+    def __init__(self, profile: BenchmarkProfile) -> None:
+        self.profile = profile
+        self.position = 0  # instruction offset within the looping sequence
+
+    def take(self, quantum: int) -> list[Phase]:
+        """Consume ``quantum`` instructions, returning sliced phases."""
+        slices: list[Phase] = []
+        remaining = quantum
+        while remaining > 0:
+            phase = self.profile.phase_at(self.position)
+            offset = self._offset_within(phase)
+            available = phase.instructions - offset
+            taken = min(available, remaining)
+            slices.append(replace(phase, instructions=taken))
+            self.position += taken
+            remaining -= taken
+        return slices
+
+    def _offset_within(self, phase: Phase) -> int:
+        position = self.position % self.profile.total_instructions
+        for candidate in self.profile.phases:
+            if candidate is phase:
+                return position
+            position -= candidate.instructions
+        raise AssertionError("phase not found in its own profile")
+
+
+def interleave_profiles(
+    profiles: tuple[BenchmarkProfile, ...],
+    quantum_instructions: int = 250_000,
+    rounds: int | None = None,
+    name: str | None = None,
+) -> BenchmarkProfile:
+    """Alternate fixed quanta of several profiles into one workload.
+
+    ``rounds`` is how many times the scheduler cycles through all
+    profiles; by default, enough rounds that the *longest* profile
+    completes one full pass over its phase sequence.
+    """
+    if len(profiles) < 2:
+        raise WorkloadError("need at least two profiles to interleave")
+    if quantum_instructions <= 0:
+        raise WorkloadError("quantum must be positive")
+    if rounds is None:
+        longest = max(profile.total_instructions for profile in profiles)
+        rounds = max(2, -(-longest // quantum_instructions))  # ceil division
+
+    cursors = [_Cursor(profile) for profile in profiles]
+    phases: list[Phase] = []
+    for _ in range(rounds):
+        for cursor in cursors:
+            for sliced in cursor.take(quantum_instructions):
+                phases.append(
+                    replace(sliced, name=f"{cursor.profile.name}:{sliced.name}")
+                )
+
+    categories = [profile.category for profile in profiles]
+    hottest = min(categories, key=_category_rank)  # EXTREME ranks first
+    return BenchmarkProfile(
+        name=name
+        if name is not None
+        else "+".join(profile.name for profile in profiles),
+        category=hottest,
+        phases=tuple(phases),
+        is_fp=any(profile.is_fp for profile in profiles),
+        seed=sum(profile.seed for profile in profiles) % (1 << 20),
+    )
+
+
+def _category_rank(category: ThermalCategory) -> int:
+    order = (
+        ThermalCategory.EXTREME,
+        ThermalCategory.HIGH,
+        ThermalCategory.MEDIUM,
+        ThermalCategory.LOW,
+    )
+    return order.index(category)

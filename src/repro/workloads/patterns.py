@@ -1,0 +1,125 @@
+"""Synthetic stress patterns for controller characterization.
+
+Benchmarks exercise the DTM loop with whatever their phases happen to
+do; patterns exercise it *systematically*: power steps, square waves,
+ramps, and worst-case bursts, built as ordinary
+:class:`~repro.workloads.profiles.BenchmarkProfile` objects so every
+engine and experiment can consume them.  Used by controller
+characterization tests and available to users tuning their own
+controllers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import Phase, uniform_activity
+from repro.workloads.profiles import BenchmarkProfile, ThermalCategory
+
+
+def step_profile(
+    level: float = 0.9,
+    idle_instructions: int = 200_000,
+    active_instructions: int = 2_000_000,
+    ipc: float = 2.0,
+    hot_structure: str = "regfile",
+) -> BenchmarkProfile:
+    """Idle, then a sustained activity step -- the classic plant probe."""
+    if not 0.0 < level <= 1.0:
+        raise WorkloadError("level must be in (0, 1]")
+    return BenchmarkProfile(
+        name=f"step-{hot_structure}-{level:g}",
+        category=ThermalCategory.EXTREME,
+        phases=(
+            Phase("idle", idle_instructions, ipc,
+                  activity=uniform_activity(0.05), jitter=0.0),
+            Phase(
+                "active",
+                active_instructions,
+                ipc,
+                activity=uniform_activity(0.3, **{hot_structure: level}),
+                jitter=0.0,
+            ),
+        ),
+        seed=901,
+    )
+
+
+def square_wave_profile(
+    high: float = 0.9,
+    low: float = 0.1,
+    half_period_instructions: int = 600_000,
+    ipc: float = 1.8,
+    hot_structure: str = "regfile",
+) -> BenchmarkProfile:
+    """Alternating hot/cool phases -- periodic disturbance rejection."""
+    if not 0.0 <= low < high <= 1.0:
+        raise WorkloadError("need 0 <= low < high <= 1")
+    return BenchmarkProfile(
+        name=f"square-{hot_structure}",
+        category=ThermalCategory.HIGH,
+        phases=(
+            Phase("high", half_period_instructions, ipc,
+                  activity=uniform_activity(0.3, **{hot_structure: high}),
+                  jitter=0.0),
+            Phase("low", half_period_instructions, ipc,
+                  activity=uniform_activity(0.1, **{hot_structure: low}),
+                  jitter=0.0),
+        ),
+        seed=902,
+    )
+
+
+def ramp_profile(
+    steps: int = 8,
+    peak: float = 0.95,
+    instructions_per_step: int = 300_000,
+    ipc: float = 1.8,
+    hot_structure: str = "regfile",
+) -> BenchmarkProfile:
+    """A staircase ramp up to peak activity -- tracking behaviour."""
+    if steps < 2:
+        raise WorkloadError("need at least two ramp steps")
+    if not 0.0 < peak <= 1.0:
+        raise WorkloadError("peak must be in (0, 1]")
+    phases = tuple(
+        Phase(
+            f"ramp{i}",
+            instructions_per_step,
+            ipc,
+            activity=uniform_activity(
+                0.2, **{hot_structure: peak * (i + 1) / steps}
+            ),
+            jitter=0.0,
+        )
+        for i in range(steps)
+    )
+    return BenchmarkProfile(
+        name=f"ramp-{hot_structure}",
+        category=ThermalCategory.HIGH,
+        phases=phases,
+        seed=903,
+    )
+
+
+def worst_case_burst_profile(
+    burst_instructions: int = 1_200_000,
+    gap_instructions: int = 8_000_000,
+    ipc: float = 1.8,
+) -> BenchmarkProfile:
+    """Everything at peak at once, after a long idle -- max overshoot probe.
+
+    This is the adversarial input for setpoint selection: the longest
+    cool-down (integral windup pressure) followed by the steepest
+    possible heating ramp on every structure simultaneously.
+    """
+    return BenchmarkProfile(
+        name="worst-case-burst",
+        category=ThermalCategory.HIGH,
+        phases=(
+            Phase("gap", gap_instructions, ipc,
+                  activity=uniform_activity(0.05), jitter=0.0),
+            Phase("burst", burst_instructions, ipc,
+                  activity=uniform_activity(1.0), jitter=0.0),
+        ),
+        seed=904,
+    )

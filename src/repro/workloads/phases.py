@@ -1,0 +1,117 @@
+"""Phase descriptions for synthetic workloads.
+
+Programs exhibit phase behaviour -- the paper leans on it ("temporal
+non-uniformity in power density as many structures go from idle mode to
+full active mode and vice-versa").  A workload is a looped sequence of
+:class:`Phase` objects.  Each phase carries two coordinated views:
+
+* **activity view** (fast engine): a target IPC and a per-structure
+  activity level in [0, 1] (fraction of the structure's peak access
+  rate), plus a jitter amplitude for sample-to-sample variation;
+* **stream view** (detailed core): :class:`StreamParameters` describing
+  the instruction mix, branch predictability, dependence distances, and
+  memory locality that the trace generator uses to synthesize an
+  instruction stream whose pipeline behaviour approximates the activity
+  view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.thermal.floorplan import STRUCTURES
+
+
+@dataclass(frozen=True)
+class StreamParameters:
+    """Statistics of the synthetic instruction stream for one phase."""
+
+    #: Fraction of instructions that are conditional branches.
+    branch_fraction: float = 0.15
+    #: Probability the hybrid predictor ultimately gets a branch right.
+    branch_predictability: float = 0.92
+    #: Fractions of loads / stores among all instructions.
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    #: Fraction of compute instructions that are floating point.
+    fp_fraction: float = 0.05
+    #: Fraction of integer compute that uses the multiplier/divider.
+    int_mult_fraction: float = 0.03
+    #: Mean register dependence distance (larger = more ILP).
+    dependency_distance: float = 6.0
+    #: Data working-set size [bytes] -- drives cache miss rates.
+    working_set_bytes: int = 32 * 1024
+    #: Probability a memory access continues a sequential stream.
+    spatial_locality: float = 0.7
+    #: Number of distinct static branch sites (predictor pressure).
+    branch_sites: int = 256
+
+    def __post_init__(self) -> None:
+        fractions = {
+            "branch_fraction": self.branch_fraction,
+            "branch_predictability": self.branch_predictability,
+            "load_fraction": self.load_fraction,
+            "store_fraction": self.store_fraction,
+            "fp_fraction": self.fp_fraction,
+            "int_mult_fraction": self.int_mult_fraction,
+            "spatial_locality": self.spatial_locality,
+        }
+        for name, value in fractions.items():
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{name} must be in [0, 1], got {value}")
+        if self.branch_fraction + self.load_fraction + self.store_fraction > 0.9:
+            raise WorkloadError("branch+load+store fractions leave no compute")
+        if self.dependency_distance < 1.0:
+            raise WorkloadError("dependency_distance must be >= 1")
+        if self.working_set_bytes <= 0 or self.branch_sites <= 0:
+            raise WorkloadError("working set and branch sites must be positive")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a workload."""
+
+    name: str
+    #: Phase length in committed instructions.
+    instructions: int
+    #: Baseline (no-DTM) IPC the phase sustains.
+    ipc: float
+    #: Per-structure activity in [0, 1], keyed by floorplan block name.
+    activity: dict[str, float] = field(default_factory=dict)
+    #: Std-dev of per-sample activity jitter (fraction of activity).
+    jitter: float = 0.05
+    #: Instruction-stream statistics for the detailed core.
+    stream: StreamParameters = field(default_factory=StreamParameters)
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise WorkloadError(f"{self.name}: phase length must be positive")
+        if not 0.0 < self.ipc <= 6.0:
+            raise WorkloadError(f"{self.name}: ipc must be in (0, 6]")
+        if not 0.0 <= self.jitter <= 0.5:
+            raise WorkloadError(f"{self.name}: jitter must be in [0, 0.5]")
+        unknown = set(self.activity) - set(STRUCTURES)
+        if unknown:
+            raise WorkloadError(f"{self.name}: unknown structures {sorted(unknown)}")
+        for structure, level in self.activity.items():
+            if not 0.0 <= level <= 1.0:
+                raise WorkloadError(
+                    f"{self.name}: activity[{structure}] must be in [0, 1], got {level}"
+                )
+
+    def activity_vector(self, order: tuple[str, ...] = STRUCTURES) -> tuple[float, ...]:
+        """Activity levels in floorplan order (missing structures are 0)."""
+        return tuple(self.activity.get(name, 0.0) for name in order)
+
+
+def uniform_activity(level: float, **overrides: float) -> dict[str, float]:
+    """A convenience builder: every structure at ``level`` except overrides."""
+    if not 0.0 <= level <= 1.0:
+        raise WorkloadError("level must be in [0, 1]")
+    activity = {name: level for name in STRUCTURES}
+    for name, value in overrides.items():
+        if name not in activity:
+            raise WorkloadError(f"unknown structure {name!r}")
+        activity[name] = value
+    return activity

@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DTMConfig, MachineConfig, ThermalConfig
+from repro.thermal.floorplan import Floorplan
+
+
+@pytest.fixture(scope="session")
+def floorplan() -> Floorplan:
+    """The paper's default seven-structure floorplan."""
+    return Floorplan.default()
+
+
+@pytest.fixture(scope="session")
+def machine() -> MachineConfig:
+    """The Table 2 machine configuration."""
+    return MachineConfig()
+
+
+@pytest.fixture(scope="session")
+def thermal_config() -> ThermalConfig:
+    """The default thermal operating point."""
+    return ThermalConfig()
+
+
+@pytest.fixture(scope="session")
+def dtm_config() -> DTMConfig:
+    """The default DTM configuration."""
+    return DTMConfig()

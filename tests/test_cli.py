@@ -1,0 +1,61 @@
+"""Tests for the command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestReproCLI:
+    def test_list(self, capsys):
+        assert repro_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out
+        assert "pid" in out
+
+    def test_run(self, capsys):
+        code = repro_main(
+            ["run", "gzip", "--policy", "pid", "--instructions", "300000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "emergency cycles" in out
+        assert "% of non-DTM IPC" in out
+
+    def test_run_none_policy_skips_baseline(self, capsys):
+        code = repro_main(
+            ["run", "gzip", "--policy", "none", "--instructions", "200000"]
+        )
+        assert code == 0
+        assert "% of non-DTM IPC" not in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = repro_main(
+            ["compare", "gzip", "--policies", "pid", "--instructions", "200000"]
+        )
+        assert code == 0
+        assert "pid" in capsys.readouterr().out
+
+    def test_unknown_benchmark_errors(self):
+        with pytest.raises(Exception):
+            repro_main(["run", "linpack"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            repro_main(["run", "gzip", "--policy", "lqr"])
+
+
+class TestExperimentsCLI:
+    def test_list(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3_rc" in out
+        assert "validation_grid" in out
+
+    def test_run_one_static(self, capsys):
+        assert experiments_main(["table1_duality"]) == 0
+        assert "Thermal resistance" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["table99"])

@@ -1,0 +1,125 @@
+"""Tests for the configuration dataclasses (paper Table 2 defaults)."""
+
+import pytest
+
+from repro.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    DTMConfig,
+    MachineConfig,
+    ThermalConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cache = CacheConfig("dl1", 64 * 1024, 2, 32, 1)
+        assert cache.num_sets == 1024
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, 2, 32, 1)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1024, 0, 32, 1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", -1024, 2, 32, 1)
+
+
+class TestBranchPredictorConfig:
+    def test_defaults_match_table2(self):
+        bp = BranchPredictorConfig()
+        assert bp.bimodal_entries == 4096
+        assert bp.global_entries == 4096
+        assert bp.global_history_bits == 12
+        assert bp.chooser_entries == 4096
+        assert bp.btb_entries == 1024
+        assert bp.btb_associativity == 2
+        assert bp.ras_entries == 32
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(bimodal_entries=3000)
+
+    def test_rejects_zero_history(self):
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(global_history_bits=0)
+
+
+class TestMachineConfig:
+    def test_defaults_match_table2(self, machine):
+        assert machine.ruu_entries == 80
+        assert machine.lsq_entries == 40
+        assert machine.issue_width == 6
+        assert machine.int_issue_width == 4
+        assert machine.fp_issue_width == 2
+        assert machine.int_alus == 4
+        assert machine.mem_ports == 2
+        assert machine.l1_dcache.size_bytes == 64 * 1024
+        assert machine.l2_cache.size_bytes == 2 * 1024 * 1024
+        assert machine.l2_cache.hit_latency == 11
+        assert machine.memory_latency == 100
+        assert machine.tlb_entries == 128
+        assert machine.tlb_miss_penalty == 30
+        assert machine.extra_pipe_stages == 3
+
+    def test_cycle_time(self, machine):
+        assert machine.cycle_time == pytest.approx(1 / 1.5e9)
+
+    def test_lsq_cannot_exceed_ruu(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(ruu_entries=16, lsq_entries=32)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(issue_width=0)
+
+
+class TestThermalConfig:
+    def test_defaults(self, thermal_config):
+        assert thermal_config.heatsink_temperature == 100.0
+        assert thermal_config.emergency_temperature == 102.0
+        assert thermal_config.chip_thermal_resistance == pytest.approx(0.34)
+        assert thermal_config.heatsink_capacitance == pytest.approx(60.0)
+
+    def test_headroom(self, thermal_config):
+        assert thermal_config.headroom == pytest.approx(2.0)
+
+    def test_emergency_must_exceed_heatsink(self):
+        with pytest.raises(ConfigError):
+            ThermalConfig(heatsink_temperature=103.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ConfigError):
+            ThermalConfig(chip_thermal_resistance=0.0)
+
+
+class TestDTMConfig:
+    def test_defaults(self, dtm_config):
+        assert dtm_config.sampling_interval == 1000
+        assert dtm_config.nonct_trigger == 101.0
+        assert dtm_config.pid_setpoint == 101.8
+        assert dtm_config.pid_sensor_halfrange == 0.2
+        assert dtm_config.toggle_levels == 8
+        assert dtm_config.interrupt_cost == 250
+        assert not dtm_config.use_interrupts
+
+    def test_pid_trigger_within_point_two_of_emergency(
+        self, dtm_config, thermal_config
+    ):
+        # The abstract's claim: the CT trigger sits within 0.2-0.4 C of
+        # the emergency threshold.
+        trigger = dtm_config.pid_setpoint - dtm_config.pid_sensor_halfrange
+        assert thermal_config.emergency_temperature - trigger <= 0.4 + 1e-9
+
+    def test_rejects_single_toggle_level(self):
+        with pytest.raises(ConfigError):
+            DTMConfig(toggle_levels=1)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigError):
+            DTMConfig(policy_delay=-1)

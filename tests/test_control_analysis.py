@@ -1,0 +1,87 @@
+"""Tests for the closed-loop step-response analysis."""
+
+import pytest
+
+from repro.control.analysis import simulate_step_response
+from repro.control.pid import PIDController
+from repro.control.plant import FirstOrderPlant
+from repro.errors import ControllerError
+
+
+def simple_loop(kp=0.5, ki=2.0, limits=(-100.0, 100.0)):
+    controller = PIDController(
+        kp,
+        ki,
+        0.0,
+        sample_time=0.01,
+        output_limits=limits,
+        integral_non_negative=False,
+    )
+    plant = FirstOrderPlant(gain=2.0, time_constant=1.0, dead_time=0.02)
+    return controller, plant
+
+
+class TestStepResponse:
+    def test_reaches_setpoint(self):
+        controller, plant = simple_loop()
+        response = simulate_step_response(controller, plant, setpoint=5.0,
+                                          duration=30.0)
+        assert response.final_value == pytest.approx(5.0, abs=0.05)
+        assert response.stable
+
+    def test_settling_time_reported(self):
+        controller, plant = simple_loop()
+        response = simulate_step_response(controller, plant, setpoint=5.0,
+                                          duration=30.0)
+        assert 0 < response.settling_time < 30.0
+
+    def test_overshoot_non_negative(self):
+        controller, plant = simple_loop()
+        response = simulate_step_response(controller, plant, setpoint=5.0,
+                                          duration=30.0)
+        assert response.overshoot >= 0.0
+        assert response.overshoot_fraction == pytest.approx(
+            response.overshoot / 5.0
+        )
+
+    def test_unstable_loop_detected(self):
+        # Absurd gain on a delayed plant oscillates/diverges.
+        controller = PIDController(
+            kp=500.0, ki=0.0, kd=0.0, sample_time=0.01,
+            output_limits=(-1e9, 1e9), integral_non_negative=False,
+        )
+        plant = FirstOrderPlant(gain=2.0, time_constant=1.0, dead_time=0.05)
+        response = simulate_step_response(controller, plant, setpoint=5.0,
+                                          duration=20.0)
+        assert not response.stable
+
+    def test_disturbance_shifts_p_only_loop(self):
+        controller = PIDController(
+            kp=0.5, ki=0.0, kd=0.0, sample_time=0.01,
+            output_limits=(-100, 100), integral_non_negative=False,
+        )
+        plant = FirstOrderPlant(gain=2.0, time_constant=1.0)
+        with_disturbance = simulate_step_response(
+            controller, plant, setpoint=5.0, duration=30.0, disturbance=1.0
+        )
+        # P-only: nonzero steady-state error, reduced by the disturbance.
+        assert with_disturbance.steady_state_error != pytest.approx(0.0, abs=1e-3)
+
+    def test_integral_rejects_disturbance(self):
+        controller, plant = simple_loop()
+        response = simulate_step_response(
+            controller, plant, setpoint=5.0, duration=40.0, disturbance=1.0
+        )
+        assert abs(response.steady_state_error) < 0.05
+
+    def test_too_short_simulation_rejected(self):
+        controller, plant = simple_loop()
+        with pytest.raises(ControllerError):
+            simulate_step_response(controller, plant, setpoint=1.0, duration=0.01)
+
+    def test_downward_step(self):
+        controller, plant = simple_loop()
+        response = simulate_step_response(
+            controller, plant, setpoint=-3.0, initial_output=0.0, duration=30.0
+        )
+        assert response.final_value == pytest.approx(-3.0, abs=0.05)

@@ -1,0 +1,112 @@
+"""Tests for the frequency-domain loop analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.frequency import (
+    measure_margins,
+    open_loop_phase_deg,
+    open_loop_response,
+)
+from repro.control.plant import FirstOrderPlant, dtm_plant
+from repro.control.tuning import ControllerGains, tune
+from repro.errors import ControllerError
+from repro.thermal.floorplan import Floorplan
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return dtm_plant(Floorplan.default())
+
+
+class TestOpenLoop:
+    def test_magnitude_decreases_with_frequency(self, plant):
+        gains = tune(plant, "PI")
+        low = abs(open_loop_response(gains, plant, 1e3))
+        high = abs(open_loop_response(gains, plant, 1e6))
+        assert low > high
+
+    def test_analytic_phase_matches_principal_value_below_wrap(self, plant):
+        gains = tune(plant, "PI")
+        import cmath
+
+        omega = 1e5  # well below the wrap frequency pi/D
+        analytic = open_loop_phase_deg(gains, plant, omega)
+        principal = math.degrees(
+            cmath.phase(open_loop_response(gains, plant, omega))
+        )
+        assert analytic == pytest.approx(principal, abs=1e-6)
+
+    def test_phase_monotone_decreasing(self, plant):
+        gains = tune(plant, "PI")
+        omegas = [10 ** (3 + i / 4) for i in range(20)]
+        phases = [open_loop_phase_deg(gains, plant, w) for w in omegas]
+        assert all(a >= b for a, b in zip(phases, phases[1:]))
+
+    def test_rejects_nonpositive_frequency(self, plant):
+        gains = tune(plant, "PI")
+        with pytest.raises(ControllerError):
+            open_loop_response(gains, plant, 0.0)
+
+
+class TestMargins:
+    @pytest.mark.parametrize("family", ["P", "PI", "PD", "PID"])
+    def test_measured_pm_equals_designed(self, plant, family):
+        gains = tune(plant, family)
+        margins = measure_margins(gains, plant)
+        assert margins.phase_margin_deg == pytest.approx(
+            gains.phase_margin_deg, abs=0.2
+        )
+
+    @pytest.mark.parametrize("family", ["P", "PI", "PD", "PID"])
+    def test_measured_crossover_equals_designed(self, plant, family):
+        gains = tune(plant, family)
+        margins = measure_margins(gains, plant)
+        assert margins.gain_crossover_rad_s == pytest.approx(
+            gains.crossover_rad_s, rel=0.01
+        )
+
+    def test_gain_margin_positive_for_tuned_loops(self, plant):
+        for family in ("P", "PI", "PD", "PID"):
+            margins = measure_margins(tune(plant, family), plant)
+            assert margins.stable
+            if margins.gain_margin_db is not None:
+                assert margins.gain_margin_db > 0
+
+    def test_thinner_phase_margin_means_thinner_gain_margin(self, plant):
+        aggressive = measure_margins(
+            tune(plant, "PI", phase_margin_deg=40.0), plant
+        )
+        conservative = measure_margins(
+            tune(plant, "PI", phase_margin_deg=75.0), plant
+        )
+        assert aggressive.gain_margin_db < conservative.gain_margin_db
+
+    def test_doubled_gain_detected_as_reduced_margin(self, plant):
+        gains = tune(plant, "PI")
+        hot_gains = ControllerGains(
+            gains.family, 2 * gains.kp, 2 * gains.ki, 2 * gains.kd,
+            gains.crossover_rad_s, gains.phase_margin_deg,
+        )
+        nominal = measure_margins(gains, plant)
+        doubled = measure_margins(hot_gains, plant)
+        assert doubled.phase_margin_deg < nominal.phase_margin_deg
+        assert doubled.gain_margin_db == pytest.approx(
+            nominal.gain_margin_db - 20 * math.log10(2), abs=0.1
+        )
+
+    @given(
+        gain=st.floats(0.5, 10.0),
+        tau=st.floats(5e-5, 5e-3),
+        dead=st.floats(1e-8, 1e-6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_margins_positive_across_random_plants(self, gain, tau, dead):
+        """Property: every tuned PI loop has positive measured margins."""
+        random_plant = FirstOrderPlant(gain, tau, dead)
+        margins = measure_margins(tune(random_plant, "PI"), random_plant)
+        assert margins.phase_margin_deg > 30.0
+        assert margins.gain_margin_db is None or margins.gain_margin_db > 3.0

@@ -1,0 +1,152 @@
+"""Tests for the discrete PID controller (paper Section 3.2-3.3)."""
+
+import pytest
+
+from repro.control.pid import AntiWindup, PIDController
+from repro.errors import ControllerError
+
+
+def make_pid(**kwargs):
+    defaults = dict(
+        kp=1.0,
+        ki=0.0,
+        kd=0.0,
+        setpoint=0.0,
+        sample_time=1.0,
+        output_limits=(0.0, 1.0),
+        bias=0.0,
+        integral_non_negative=False,
+        anti_windup=AntiWindup.NONE,
+    )
+    defaults.update(kwargs)
+    return PIDController(**defaults)
+
+
+class TestProportional:
+    def test_output_proportional_to_error(self):
+        pid = make_pid(kp=2.0, setpoint=10.0, output_limits=(-100, 100))
+        assert pid.update(7.0) == pytest.approx(6.0)
+
+    def test_zero_error_outputs_bias(self):
+        pid = make_pid(kp=5.0, setpoint=3.0, bias=0.5)
+        assert pid.update(3.0) == pytest.approx(0.5)
+
+    def test_saturation_high(self):
+        pid = make_pid(kp=100.0, setpoint=10.0)
+        assert pid.update(0.0) == 1.0
+
+    def test_saturation_low(self):
+        pid = make_pid(kp=100.0, setpoint=0.0)
+        assert pid.update(10.0) == 0.0
+
+
+class TestIntegral:
+    def test_integral_accumulates(self):
+        pid = make_pid(ki=0.5, kp=0.0, setpoint=1.0, output_limits=(-10, 10))
+        first = pid.update(0.0)
+        second = pid.update(0.0)
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+
+    def test_integral_scales_with_sample_time(self):
+        fast = make_pid(ki=1.0, kp=0.0, setpoint=1.0, sample_time=0.1,
+                        output_limits=(-10, 10))
+        slow = make_pid(ki=1.0, kp=0.0, setpoint=1.0, sample_time=1.0,
+                        output_limits=(-10, 10))
+        assert slow.update(0.0) == pytest.approx(10 * fast.update(0.0))
+
+    def test_non_negative_clamp(self):
+        pid = make_pid(
+            ki=1.0, kp=0.0, setpoint=0.0, integral_non_negative=True,
+            output_limits=(-10, 10),
+        )
+        pid.update(5.0)  # strongly negative error
+        assert pid.integral == 0.0
+
+    def test_conditional_anti_windup_freezes_when_saturated(self):
+        pid = make_pid(
+            kp=0.0, ki=1.0, setpoint=10.0, anti_windup=AntiWindup.CONDITIONAL
+        )
+        for _ in range(100):
+            pid.update(0.0)  # large positive error, output pinned at 1
+        # The integral may reach the saturation boundary but not run away.
+        assert pid.integral <= 1.0 + 10.0  # one step past the limit at most
+
+    def test_no_anti_windup_runs_away(self):
+        pid = make_pid(kp=0.0, ki=1.0, setpoint=10.0, anti_windup=AntiWindup.NONE)
+        for _ in range(100):
+            pid.update(0.0)
+        assert pid.integral == pytest.approx(100 * 10.0)
+
+    def test_clamp_anti_windup_bounds_to_output_range(self):
+        pid = make_pid(kp=0.0, ki=1.0, setpoint=10.0, anti_windup=AntiWindup.CLAMP)
+        for _ in range(100):
+            pid.update(0.0)
+        assert pid.integral <= 1.0
+
+    def test_windup_recovery_latency(self):
+        # The Section 3.3 scenario: after a long saturated stretch, the
+        # protected controller reacts immediately when the error flips;
+        # the unprotected one stays saturated while unwinding.
+        protected = make_pid(
+            kp=0.1, ki=1.0, setpoint=1.0, anti_windup=AntiWindup.CONDITIONAL
+        )
+        unprotected = make_pid(
+            kp=0.1, ki=1.0, setpoint=1.0, anti_windup=AntiWindup.NONE
+        )
+        for _ in range(50):
+            protected.update(0.0)
+            unprotected.update(0.0)
+        # Error flips sign (system overheats).
+        assert protected.update(2.0) < 1.0
+        assert unprotected.update(2.0) == 1.0
+
+
+class TestDerivative:
+    def test_derivative_on_measurement_opposes_rise(self):
+        pid = make_pid(kp=0.0, kd=1.0, setpoint=0.0, output_limits=(-10, 10))
+        pid.update(0.0)
+        # Measurement rising at 2 per sample -> derivative term -2.
+        assert pid.update(2.0) == pytest.approx(-2.0)
+
+    def test_first_sample_has_no_derivative(self):
+        pid = make_pid(kp=0.0, kd=5.0, setpoint=0.0, output_limits=(-10, 10))
+        assert pid.update(3.0) == pytest.approx(0.0)
+
+    def test_derivative_on_error_mode(self):
+        pid = make_pid(
+            kp=0.0, kd=1.0, setpoint=0.0, output_limits=(-10, 10),
+            derivative_on_measurement=False,
+        )
+        pid.update(0.0)
+        # Error falls by 2 -> derivative term -2 (same direction here).
+        assert pid.update(2.0) == pytest.approx(-2.0)
+
+    def test_no_derivative_kick_on_setpoint_change(self):
+        pid = make_pid(kp=0.0, kd=10.0, setpoint=0.0, output_limits=(-100, 100))
+        pid.update(5.0)
+        pid.setpoint = 50.0  # big setpoint step
+        # Measurement unchanged: derivative-on-measurement sees no slope.
+        assert pid.update(5.0) == pytest.approx(0.0)
+
+
+class TestLifecycle:
+    def test_reset_clears_state(self):
+        pid = make_pid(ki=1.0, setpoint=1.0, output_limits=(-10, 10))
+        pid.update(0.0)
+        pid.reset()
+        assert pid.integral == 0.0
+        assert pid.last_output == pid.bias
+
+    def test_rejects_nonpositive_sample_time(self):
+        with pytest.raises(ControllerError):
+            make_pid(sample_time=0.0)
+
+    def test_rejects_inverted_limits(self):
+        with pytest.raises(ControllerError):
+            make_pid(output_limits=(1.0, 0.0))
+
+    def test_last_output_tracks(self):
+        pid = make_pid(kp=1.0, setpoint=0.5)
+        out = pid.update(0.2)
+        assert pid.last_output == out

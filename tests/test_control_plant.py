@@ -1,0 +1,51 @@
+"""Tests for the FOPDT plant model of the controlled thermal process."""
+
+import pytest
+
+from repro.control.plant import FirstOrderPlant, dtm_plant
+from repro.errors import ControllerError
+
+
+class TestFirstOrderPlant:
+    def test_steady_state_output(self):
+        plant = FirstOrderPlant(gain=3.2, time_constant=175e-6)
+        assert plant.steady_state_output(0.5) == pytest.approx(1.6)
+
+    def test_rejects_zero_gain(self):
+        with pytest.raises(ControllerError):
+            FirstOrderPlant(gain=0.0, time_constant=1.0)
+
+    def test_rejects_nonpositive_time_constant(self):
+        with pytest.raises(ControllerError):
+            FirstOrderPlant(gain=1.0, time_constant=0.0)
+
+    def test_rejects_negative_dead_time(self):
+        with pytest.raises(ControllerError):
+            FirstOrderPlant(gain=1.0, time_constant=1.0, dead_time=-1.0)
+
+
+class TestDTMPlant:
+    def test_worst_case_gain_is_max_peak_rise(self, floorplan):
+        plant = dtm_plant(floorplan)
+        expected = max(b.peak_temperature_rise for b in floorplan.blocks)
+        assert plant.gain == pytest.approx(expected)
+
+    def test_time_constant_is_longest_block_rc(self, floorplan):
+        plant = dtm_plant(floorplan)
+        assert plant.time_constant == pytest.approx(
+            floorplan.longest_block_time_constant
+        )
+
+    def test_dead_time_is_half_sampling_period(self, floorplan):
+        plant = dtm_plant(floorplan, sampling_interval_cycles=1000)
+        assert plant.dead_time == pytest.approx(500 / 1.5e9)
+
+    def test_single_block_plant(self, floorplan):
+        plant = dtm_plant(floorplan, block="lsq")
+        assert plant.gain == pytest.approx(
+            floorplan.block("lsq").peak_temperature_rise
+        )
+
+    def test_rejects_nonpositive_sampling(self, floorplan):
+        with pytest.raises(ControllerError):
+            dtm_plant(floorplan, sampling_interval_cycles=0)

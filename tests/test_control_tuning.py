@@ -1,0 +1,137 @@
+"""Tests for Laplace-domain controller tuning."""
+
+import pytest
+
+from repro.control.analysis import simulate_step_response
+from repro.control.pid import PIDController
+from repro.control.plant import FirstOrderPlant, dtm_plant
+from repro.control.tuning import tune
+from repro.errors import ControllerError
+from repro.thermal.floorplan import Floorplan
+
+
+@pytest.fixture(scope="module")
+def plant():
+    return dtm_plant(Floorplan.default())
+
+
+class TestGainStructure:
+    def test_p_has_only_kp(self, plant):
+        gains = tune(plant, "P")
+        assert gains.kp > 0
+        assert gains.ki == 0
+        assert gains.kd == 0
+
+    def test_pi_has_kp_ki(self, plant):
+        gains = tune(plant, "PI")
+        assert gains.kp > 0 and gains.ki > 0 and gains.kd == 0
+
+    def test_pd_has_kp_kd(self, plant):
+        gains = tune(plant, "PD")
+        assert gains.kp > 0 and gains.ki == 0 and gains.kd > 0
+
+    def test_pid_has_all(self, plant):
+        gains = tune(plant, "PID")
+        assert gains.kp > 0 and gains.ki > 0 and gains.kd > 0
+
+    def test_pi_integral_cancels_plant_pole(self, plant):
+        # Ti = Kp/Ki = tau (pole cancellation).
+        gains = tune(plant, "PI")
+        assert gains.kp / gains.ki == pytest.approx(plant.time_constant)
+
+    def test_pid_derivative_absorbs_half_dead_time(self, plant):
+        gains = tune(plant, "PID")
+        assert gains.kd / gains.kp == pytest.approx(plant.dead_time / 2)
+
+    def test_case_insensitive(self, plant):
+        assert tune(plant, "pid").family == "PID"
+
+    def test_unknown_family_rejected(self, plant):
+        with pytest.raises(ControllerError):
+            tune(plant, "LQR")
+
+    def test_silly_phase_margin_rejected(self, plant):
+        with pytest.raises(ControllerError):
+            tune(plant, "PI", phase_margin_deg=120.0)
+
+    def test_describe_mentions_gains(self, plant):
+        text = tune(plant, "PI").describe()
+        assert "Kp=" in text and "PM=" in text
+
+
+class TestGainScaling:
+    def test_kp_inverse_in_plant_gain(self, plant):
+        weak = FirstOrderPlant(plant.gain / 2, plant.time_constant, plant.dead_time)
+        assert tune(weak, "PI").kp == pytest.approx(2 * tune(plant, "PI").kp)
+
+    def test_crossover_set_by_dead_time_for_pi(self, plant):
+        # For PI with pole cancellation, wc = (90 - PM) in radians / D.
+        gains = tune(plant, "PI", phase_margin_deg=60.0)
+        import math
+
+        expected = (30.0 * math.pi / 180.0) / plant.dead_time
+        assert gains.crossover_rad_s == pytest.approx(expected, rel=1e-3)
+
+    def test_larger_margin_means_smaller_gain(self, plant):
+        aggressive = tune(plant, "PI", phase_margin_deg=40.0)
+        conservative = tune(plant, "PI", phase_margin_deg=80.0)
+        assert conservative.kp < aggressive.kp
+
+
+class TestClosedLoopStability:
+    @pytest.mark.parametrize("family", ["P", "PI", "PD", "PID"])
+    def test_tuned_loop_is_stable(self, plant, family):
+        gains = tune(plant, family)
+        controller = PIDController(
+            gains.kp,
+            gains.ki,
+            gains.kd,
+            sample_time=667e-9,
+            output_limits=(0.0, 1.0),
+            bias=0.5 if family in ("P", "PD") else 0.0,
+        )
+        response = simulate_step_response(
+            controller, plant, setpoint=1.8, duration=0.005
+        )
+        assert response.stable
+        assert response.overshoot < 0.1  # < 0.1 K over the setpoint
+
+    @pytest.mark.parametrize("family", ["PI", "PID"])
+    def test_integral_families_have_no_steady_state_error(self, plant, family):
+        gains = tune(plant, family)
+        controller = PIDController(
+            gains.kp, gains.ki, gains.kd,
+            sample_time=667e-9, output_limits=(0.0, 1.0),
+        )
+        response = simulate_step_response(
+            controller, plant, setpoint=1.8, duration=0.005
+        )
+        assert abs(response.steady_state_error) < 0.02
+
+    def test_settling_well_inside_a_policy_delay(self, plant):
+        # The CT advantage: settling in ~a thermal time constant.
+        gains = tune(plant, "PID")
+        controller = PIDController(
+            gains.kp, gains.ki, gains.kd,
+            sample_time=667e-9, output_limits=(0.0, 1.0),
+        )
+        response = simulate_step_response(
+            controller, plant, setpoint=1.8, duration=0.005
+        )
+        assert response.settling_time < 2 * plant.time_constant
+
+    def test_robust_to_plant_mismatch(self, plant):
+        # The paper: feedback control keeps working when the plant is
+        # mis-modeled.  Tune against the nominal plant, run against one
+        # with 2x gain and half the time constant.
+        gains = tune(plant, "PI")
+        controller = PIDController(
+            gains.kp, gains.ki, 0.0, sample_time=667e-9, output_limits=(0.0, 1.0)
+        )
+        mismatched = FirstOrderPlant(
+            plant.gain * 2, plant.time_constant / 2, plant.dead_time
+        )
+        response = simulate_step_response(
+            controller, mismatched, setpoint=1.8, duration=0.005
+        )
+        assert response.stable

@@ -1,0 +1,132 @@
+"""Tests for the DTM response mechanisms."""
+
+import pytest
+
+from repro.dtm.mechanisms import (
+    DVFSOperatingPoint,
+    DVFSScaling,
+    FetchThrottling,
+    FetchToggling,
+    SpeculationControl,
+)
+from repro.errors import ConfigError
+
+
+class TestFetchToggling:
+    def test_quantizes_to_eight_levels(self):
+        toggling = FetchToggling(levels=8)
+        assert toggling.quantize(0.0) == 0.0
+        assert toggling.quantize(1.0) == 1.0
+        assert toggling.quantize(0.5) == pytest.approx(
+            round(0.5 * 7) / 7
+        )
+
+    def test_quantization_grid(self):
+        toggling = FetchToggling(levels=8)
+        levels = {toggling.quantize(x / 100) for x in range(101)}
+        assert levels == {k / 7 for k in range(8)}
+
+    def test_clamps_out_of_range_output(self):
+        toggling = FetchToggling()
+        assert toggling.set_output(1.7) == 1.0
+        assert toggling.set_output(-0.3) == 0.0
+
+    def test_duty_one_always_allows(self):
+        toggling = FetchToggling()
+        toggling.set_output(1.0)
+        assert all(toggling.allows(c) for c in range(100))
+
+    def test_duty_zero_never_allows(self):
+        toggling = FetchToggling()
+        toggling.set_output(0.0)
+        assert not any(toggling.allows(c) for c in range(100))
+
+    def test_duty_half_is_toggle2(self):
+        toggling = FetchToggling(levels=3)  # levels 0, 0.5, 1
+        toggling.set_output(0.5)
+        pattern = [toggling.allows(c) for c in range(10)]
+        assert sum(pattern) == 5
+        # Evenly spread: no two consecutive allowed cycles.
+        for a, b in zip(pattern, pattern[1:]):
+            assert not (a and b)
+
+    def test_fractional_duty_density(self):
+        toggling = FetchToggling(levels=8)
+        toggling.set_output(3 / 7)
+        allowed = sum(toggling.allows(c) for c in range(7000))
+        assert allowed == pytest.approx(3000, abs=1)
+
+    def test_reset(self):
+        toggling = FetchToggling()
+        toggling.set_output(0.0)
+        toggling.reset()
+        assert toggling.duty == 1.0
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigError):
+            FetchToggling(levels=1)
+
+
+class TestFetchThrottling:
+    def test_full_output_full_width(self):
+        throttling = FetchThrottling(full_width=4)
+        assert throttling.set_output(1.0) == 4
+
+    def test_low_output_keeps_at_least_one(self):
+        throttling = FetchThrottling(full_width=4)
+        assert throttling.set_output(0.0) == 1
+
+    def test_midrange(self):
+        throttling = FetchThrottling(full_width=4)
+        assert throttling.set_output(0.5) == 2
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigError):
+            FetchThrottling(full_width=0)
+
+
+class TestSpeculationControl:
+    def test_full_output_unlimited(self):
+        spec = SpeculationControl()
+        assert spec.set_output(1.0) is None
+
+    def test_reduced_output_limits_branches(self):
+        spec = SpeculationControl(max_levels=8)
+        assert spec.set_output(0.5) == 4
+
+    def test_zero_output_allows_one_branch(self):
+        spec = SpeculationControl()
+        assert spec.set_output(0.0) == 1
+
+
+class TestDVFS:
+    def test_power_scales_as_f_v_squared(self):
+        point = DVFSOperatingPoint(0.5, 0.8)
+        assert point.power_scale == pytest.approx(0.5 * 0.64)
+
+    def test_full_output_full_speed(self):
+        dvfs = DVFSScaling()
+        point, stall = dvfs.set_output(1.0)
+        assert point.frequency_scale == 1.0
+        assert stall == 0  # already at full speed
+
+    def test_transition_costs_resync(self):
+        dvfs = DVFSScaling(resync_cycles=15_000)
+        _, stall = dvfs.set_output(0.0)
+        assert stall == 15_000
+        assert dvfs.transitions == 1
+
+    def test_no_stall_without_change(self):
+        dvfs = DVFSScaling()
+        dvfs.set_output(0.0)
+        _, stall = dvfs.set_output(0.0)
+        assert stall == 0
+
+    def test_points_sorted_fastest_first(self):
+        dvfs = DVFSScaling()
+        scales = [p.frequency_scale for p in dvfs.points]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ConfigError):
+            DVFSScaling(points=())

@@ -1,0 +1,165 @@
+"""Tests for the DTM policies (toggle1/2, M, P/PD/PI/PID)."""
+
+import pytest
+
+from repro.config import DTMConfig
+from repro.dtm.policies import (
+    ControlTheoreticPolicy,
+    FixedTogglePolicy,
+    ManualProportionalPolicy,
+    NoDTMPolicy,
+    make_policy,
+)
+from repro.errors import ConfigError
+
+
+class TestNoDTM:
+    def test_always_full_duty(self):
+        policy = NoDTMPolicy()
+        assert policy.decide(150.0) == 1.0
+        assert policy.decide(20.0) == 1.0
+
+
+class TestFixedToggle:
+    def test_engages_above_trigger(self):
+        policy = FixedTogglePolicy(0.0, trigger=101.0, check_interval_samples=10)
+        assert policy.decide(100.5) == 1.0
+        assert policy.decide(101.2) == 0.0
+        assert policy.engaged
+
+    def test_disengages_below_trigger(self):
+        policy = FixedTogglePolicy(0.0, trigger=101.0, check_interval_samples=10)
+        policy.decide(101.5)
+        assert policy.decide(100.8) == 1.0
+        assert not policy.engaged
+
+    def test_toggle2_uses_half_duty(self):
+        policy = FixedTogglePolicy(0.5, trigger=101.0, check_interval_samples=10)
+        assert policy.decide(101.5) == 0.5
+
+    def test_is_interrupt_driven(self):
+        assert FixedTogglePolicy(0.0, 101.0, 10).is_interrupt_driven
+
+    def test_reset_disengages(self):
+        policy = FixedTogglePolicy(0.0, 101.0, 10)
+        policy.decide(101.5)
+        policy.reset()
+        assert not policy.engaged
+
+    def test_rejects_full_engaged_duty(self):
+        with pytest.raises(ConfigError):
+            FixedTogglePolicy(1.0, 101.0, 10)
+
+
+class TestManualProportional:
+    def test_band_endpoints(self):
+        policy = ManualProportionalPolicy(100.0, 102.0)
+        assert policy.decide(100.0) == 1.0
+        assert policy.decide(102.0) == 0.0
+
+    def test_midpoint_is_toggle2(self):
+        # Paper: 101 C -> 50 % error -> toggle every other cycle.
+        policy = ManualProportionalPolicy(100.0, 102.0)
+        assert policy.decide(101.0) == pytest.approx(0.5)
+
+    def test_clamps_outside_band(self):
+        policy = ManualProportionalPolicy(100.0, 102.0)
+        assert policy.decide(95.0) == 1.0
+        assert policy.decide(110.0) == 0.0
+
+    def test_linear_in_between(self):
+        policy = ManualProportionalPolicy(100.0, 102.0)
+        assert policy.decide(100.5) == pytest.approx(0.75)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ConfigError):
+            ManualProportionalPolicy(102.0, 100.0)
+
+
+class TestControlTheoretic:
+    def test_cool_system_full_duty(self):
+        policy = make_policy("pid")
+        assert policy.decide(100.0) == 1.0
+
+    def test_hot_system_cuts_duty(self):
+        policy = make_policy("pid")
+        assert policy.decide(103.0) < 0.5
+
+    def test_trigger_is_bottom_of_sensor_range(self):
+        policy = make_policy("pid")
+        config = DTMConfig()
+        assert policy.trigger == pytest.approx(
+            config.pid_setpoint - config.pid_sensor_halfrange
+        )
+
+    def test_measurement_clamped_to_sensor_range(self):
+        # Readings beyond the range must not change the response.
+        policy_a = make_policy("pid")
+        policy_b = make_policy("pid")
+        assert policy_a.decide(103.0) == policy_b.decide(200.0)
+
+    def test_reset_clears_controller(self):
+        policy = make_policy("pi")
+        for _ in range(10):
+            policy.decide(101.9)
+        policy.reset()
+        assert policy.controller.integral == 0.0
+
+    def test_rejects_nonpositive_halfrange(self):
+        policy = make_policy("pid")
+        with pytest.raises(ConfigError):
+            ControlTheoreticPolicy(policy.controller, 101.8, 0.0, "x")
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name, type_", [
+            ("none", NoDTMPolicy),
+            ("toggle1", FixedTogglePolicy),
+            ("toggle2", FixedTogglePolicy),
+            ("m", ManualProportionalPolicy),
+            ("p", ControlTheoreticPolicy),
+            ("pd", ControlTheoreticPolicy),
+            ("pi", ControlTheoreticPolicy),
+            ("pid", ControlTheoreticPolicy),
+        ],
+    )
+    def test_factory_names(self, name, type_):
+        assert isinstance(make_policy(name), type_)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError):
+            make_policy("fuzzy")
+
+    def test_toggle1_full_stop(self):
+        policy = make_policy("toggle1")
+        assert policy.engaged_duty == 0.0
+
+    def test_toggle2_half(self):
+        policy = make_policy("toggle2")
+        assert policy.engaged_duty == 0.5
+
+    def test_nonct_check_interval_from_policy_delay(self):
+        config = DTMConfig()
+        policy = make_policy("toggle1", dtm_config=config)
+        assert policy.check_interval_samples == (
+            config.policy_delay // config.sampling_interval
+        )
+
+    def test_ct_checks_every_sample(self):
+        assert make_policy("pid").check_interval_samples == 1
+
+    def test_setpoint_override(self):
+        policy = make_policy("pid", setpoint=101.4)
+        assert policy.setpoint == 101.4
+        toggle = make_policy("toggle1", setpoint=101.5)
+        assert toggle.comparator.threshold == 101.5
+
+    def test_p_family_has_midrange_bias(self):
+        assert make_policy("p").controller.bias == 0.5
+        assert make_policy("pd").controller.bias == 0.5
+        assert make_policy("pid").controller.bias == 0.0
+
+    def test_integral_families_have_integral_gain(self):
+        assert make_policy("pi").controller.ki > 0
+        assert make_policy("p").controller.ki == 0

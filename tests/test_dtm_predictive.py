@@ -1,0 +1,92 @@
+"""Tests for the model-predictive DTM policy (extension E3)."""
+
+import math
+
+import pytest
+
+from repro.dtm.policies import PredictivePolicy, make_policy
+from repro.errors import ConfigError
+from repro.sim.sweep import run_one
+
+
+def make_mpc(**overrides):
+    defaults = dict(
+        setpoint=101.8,
+        resistance=0.4,
+        time_constant=175e-6,
+        heatsink_temperature=100.0,
+        idle_power=1.2,
+        sample_seconds=667e-9,
+    )
+    defaults.update(overrides)
+    return PredictivePolicy(**defaults)
+
+
+class TestPowerInference:
+    def test_first_sample_runs_free(self):
+        policy = make_mpc()
+        assert policy.decide(100.0) == 1.0
+
+    def test_infers_power_from_trajectory(self):
+        # Simulate a block heating toward S = 103.2 (P = 8 W at R=0.4):
+        # feed two consecutive exact samples; the policy must infer the
+        # steady target and back off.
+        policy = make_mpc()
+        tau, h = 175e-6, 667e-9
+        steady = 103.2
+        t0 = 101.0
+        t1 = steady + (t0 - steady) * math.exp(-h / tau)
+        policy.decide(t0)
+        duty = policy.decide(t1)
+        # Target power = 1.8/0.4 = 4.5 W; inferred slope ~ (8-1.2)/1.0;
+        # duty should be ~ (4.5-1.2)/6.8 = 0.485.
+        assert duty == pytest.approx(0.485, abs=0.05)
+
+    def test_cool_system_stays_at_full_duty(self):
+        policy = make_mpc()
+        policy.decide(100.5)
+        duty = policy.decide(100.5)  # flat trajectory at low temp
+        assert duty == 1.0
+
+    def test_reset_forgets_history(self):
+        policy = make_mpc()
+        policy.decide(101.0)
+        policy.decide(101.5)
+        policy.reset()
+        assert policy.decide(103.0) == 1.0  # first sample again
+
+
+class TestValidation:
+    def test_rejects_bad_plant(self):
+        with pytest.raises(ConfigError):
+            make_mpc(resistance=0.0)
+        with pytest.raises(ConfigError):
+            make_mpc(time_constant=-1.0)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ConfigError):
+            make_mpc(smoothing=0.0)
+
+    def test_factory_builds_mpc(self):
+        policy = make_policy("mpc")
+        assert isinstance(policy, PredictivePolicy)
+        assert policy.setpoint == pytest.approx(101.8)
+
+
+class TestEndToEnd:
+    def test_mpc_holds_setpoint_without_emergencies(self):
+        result = run_one("gcc", "mpc", instructions=2_000_000)
+        assert result.emergency_fraction == 0.0
+        assert result.max_temperature == pytest.approx(101.8, abs=0.05)
+
+    def test_mpc_does_not_throttle_cool_workloads(self):
+        baseline = run_one("gzip", "none", instructions=1_000_000)
+        result = run_one("gzip", "mpc", instructions=1_000_000)
+        assert result.relative_ipc(baseline) > 0.99
+
+    def test_mpc_competitive_with_pid(self):
+        baseline = run_one("gcc", "none", instructions=2_000_000)
+        pid = run_one("gcc", "pid", instructions=2_000_000)
+        mpc = run_one("gcc", "mpc", instructions=2_000_000)
+        # Within 15 points of the PID (both safe; PID slightly ahead).
+        assert mpc.relative_ipc(baseline) > pid.relative_ipc(baseline) - 0.15

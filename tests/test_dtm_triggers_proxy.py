@@ -1,0 +1,140 @@
+"""Tests for trigger comparators, the interrupt model, and boxcar proxies."""
+
+import pytest
+
+from repro.dtm.proxy import BoxcarPowerProxy, ProxyComparison
+from repro.dtm.triggers import InterruptModel, TriggerComparator
+from repro.errors import ConfigError
+
+
+class TestTriggerComparator:
+    def test_engages_above_threshold(self):
+        trigger = TriggerComparator(101.0)
+        assert not trigger.update(100.9)
+        assert trigger.update(101.1)
+
+    def test_hysteresis_band(self):
+        trigger = TriggerComparator(101.0, hysteresis=0.5)
+        trigger.update(101.1)
+        assert trigger.update(100.8)  # inside the band: stays engaged
+        assert not trigger.update(100.4)
+
+    def test_event_counting(self):
+        trigger = TriggerComparator(101.0)
+        trigger.update(101.5)
+        trigger.update(100.5)
+        trigger.update(101.5)
+        assert trigger.engage_events == 2
+        assert trigger.disengage_events == 1
+
+    def test_rejects_negative_hysteresis(self):
+        with pytest.raises(ConfigError):
+            TriggerComparator(101.0, hysteresis=-0.1)
+
+
+class TestInterruptModel:
+    def test_disabled_is_free(self):
+        interrupts = InterruptModel(enabled=False)
+        assert interrupts.on_transition() == 0
+        assert interrupts.events == 1
+        assert interrupts.stall_cycles == 0
+
+    def test_enabled_costs_250_cycles(self):
+        interrupts = InterruptModel(enabled=True)
+        assert interrupts.on_transition() == 250
+        assert interrupts.stall_cycles == 250
+
+    def test_accumulates(self):
+        interrupts = InterruptModel(enabled=True, cost_cycles=100)
+        for _ in range(5):
+            interrupts.on_transition()
+        assert interrupts.stall_cycles == 500
+
+
+class TestBoxcarProxy:
+    def test_average_of_constant_signal(self):
+        proxy = BoxcarPowerProxy(1000, trigger_power=5.0)
+        proxy.update(3.0, 500)
+        assert proxy.average == pytest.approx(3.0)
+
+    def test_window_eviction(self):
+        proxy = BoxcarPowerProxy(100, trigger_power=5.0)
+        proxy.update(0.0, 100)
+        proxy.update(10.0, 50)  # half the window now at 10
+        assert proxy.average == pytest.approx(5.0)
+
+    def test_partial_segment_eviction(self):
+        proxy = BoxcarPowerProxy(100, trigger_power=5.0)
+        proxy.update(2.0, 80)
+        proxy.update(10.0, 60)  # evicts 40 cycles of the first segment
+        expected = (2.0 * 40 + 10.0 * 60) / 100
+        assert proxy.average == pytest.approx(expected)
+
+    def test_trigger_predicate(self):
+        proxy = BoxcarPowerProxy(100, trigger_power=5.0)
+        proxy.update(6.0, 100)
+        assert proxy.triggered
+        proxy.update(1.0, 100)
+        assert not proxy.triggered
+
+    def test_lag_behind_step(self):
+        # The proxy's defining flaw: it lags a power step by ~a window.
+        proxy = BoxcarPowerProxy(1000, trigger_power=5.0)
+        proxy.update(0.0, 1000)
+        proxy.update(10.0, 400)
+        assert not proxy.triggered  # only 40 % of the window is hot
+        proxy.update(10.0, 200)
+        assert proxy.triggered
+
+    def test_empty_average_is_zero(self):
+        assert BoxcarPowerProxy(100, 5.0).average == 0.0
+
+    def test_reset(self):
+        proxy = BoxcarPowerProxy(100, 5.0)
+        proxy.update(10.0, 100)
+        proxy.reset()
+        assert proxy.average == 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            BoxcarPowerProxy(0, 5.0)
+        proxy = BoxcarPowerProxy(100, 5.0)
+        with pytest.raises(ConfigError):
+            proxy.update(1.0, 0)
+
+
+class TestProxyComparison:
+    def test_missed_emergency_accounting(self):
+        comparison = ProxyComparison()
+        # Emergency present, proxy silent: all emergency cycles missed.
+        comparison.record(1000, 0.5, proxy_triggered=False,
+                          true_above_trigger_fraction=1.0)
+        assert comparison.missed_emergency_cycles == 500
+        assert comparison.missed_fraction_of_emergencies == 1.0
+
+    def test_false_trigger_accounting(self):
+        comparison = ProxyComparison()
+        # Proxy fires while the structure is cold the whole segment.
+        comparison.record(1000, 0.0, proxy_triggered=True,
+                          true_above_trigger_fraction=0.0)
+        assert comparison.false_trigger_cycles == 1000
+        assert comparison.false_trigger_rate == 1.0
+
+    def test_correct_trigger_counts_nothing(self):
+        comparison = ProxyComparison()
+        comparison.record(1000, 0.5, proxy_triggered=True,
+                          true_above_trigger_fraction=1.0)
+        assert comparison.false_trigger_cycles == 0
+        assert comparison.missed_emergency_cycles == 0
+
+    def test_rates_normalized_by_total(self):
+        comparison = ProxyComparison()
+        comparison.record(500, 1.0, False, 1.0)
+        comparison.record(500, 0.0, False, 0.0)
+        assert comparison.missed_emergency_rate == pytest.approx(0.5)
+
+    def test_empty_comparison_rates_are_zero(self):
+        comparison = ProxyComparison()
+        assert comparison.missed_emergency_rate == 0.0
+        assert comparison.false_trigger_rate == 0.0
+        assert comparison.missed_fraction_of_emergencies == 0.0

@@ -1,0 +1,165 @@
+"""Edge-case tests across subsystem boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.config import DTMConfig, MachineConfig
+from repro.dtm.manager import DTMManager
+from repro.dtm.policies import make_policy
+from repro.isa.instructions import Instruction, OpClass
+from repro.sim.fast import FastEngine
+from repro.sim.simulator import DetailedSimulator
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.workloads.profiles import get_profile
+
+
+class TestManagerEdges:
+    def test_disengage_also_costs_an_interrupt(self):
+        config = DTMConfig(
+            use_interrupts=True, policy_delay=1000, sampling_interval=1000
+        )
+        manager = DTMManager(make_policy("toggle1", dtm_config=config), config)
+        manager.on_sample(103.0)  # engage (first check at index 0)
+        _, stall = manager.on_sample(100.0)  # disengage
+        assert stall == config.interrupt_cost
+        assert manager.interrupts.events == 2
+
+    def test_quantization_changes_do_not_count_as_transitions(self):
+        # CT duty moves between nonzero levels: engaged state unchanged,
+        # so no interrupt events even when interrupts are enabled for
+        # a hypothetical interrupt-driven CT policy.
+        config = DTMConfig(use_interrupts=True)
+        manager = DTMManager(make_policy("m", dtm_config=config), config)
+        manager.on_sample(100.8)
+        manager.on_sample(101.1)
+        manager.on_sample(101.4)
+        # M is not interrupt-driven, so the interrupt model is disabled.
+        assert manager.interrupts.stall_cycles == 0
+
+    def test_manager_with_custom_sampling_interval(self):
+        config = DTMConfig(sampling_interval=4000)
+        manager = DTMManager(make_policy("pid", dtm_config=config), config)
+        assert manager.sampling_interval == 4000
+
+
+class TestFastEngineEdges:
+    def test_max_cycles_terminates_starved_run(self):
+        # toggle1 pinned on (trigger below any achievable temperature)
+        # makes zero progress; the cycle budget must end the run.
+        policy = make_policy("toggle1", setpoint=0.0)
+        engine = FastEngine(get_profile("gzip"), policy=policy)
+        result = engine.run(instructions=1_000_000, max_cycles=200_000)
+        assert result.cycles <= 200_000
+
+    def test_single_sample_run(self):
+        result = FastEngine(get_profile("gzip")).run(
+            instructions=1, max_cycles=1000
+        )
+        assert result.cycles == 1000
+
+    def test_zero_jitter_profile_is_exactly_repeatable(self):
+        from repro.workloads.patterns import step_profile
+
+        a = FastEngine(step_profile(), seed=1).run(instructions=400_000)
+        b = FastEngine(step_profile(), seed=99).run(instructions=400_000)
+        # No jitter: the seed cannot matter.
+        assert a.mean_chip_power == b.mean_chip_power
+        assert a.max_temperature == b.max_temperature
+
+    def test_history_with_warmup_excludes_warmup_samples(self):
+        engine = FastEngine(get_profile("gzip"), record_history=True)
+        with_warmup = engine.run(
+            instructions=200_000, warmup_instructions=200_000
+        )
+        expected_samples = with_warmup.cycles // 1000
+        assert with_warmup.history.samples == expected_samples
+
+
+class TestDetailedSimEdges:
+    def test_sampling_interval_respected(self):
+        config = DTMConfig(sampling_interval=2500)
+        sim = DetailedSimulator(
+            get_profile("gzip"), policy=make_policy("pid", dtm_config=config),
+            dtm_config=config, seed=1,
+        )
+        sim.run(max_cycles=10_000)
+        assert sim.manager.samples == 4  # checks at 0, 2500, 5000, 7500
+
+    def test_interrupt_stall_blocks_fetch(self):
+        config = DTMConfig(
+            use_interrupts=True, policy_delay=1000, interrupt_cost=500
+        )
+        # Trigger below idle temperature: engages on the first check.
+        policy = make_policy("toggle1", setpoint=99.0, dtm_config=config)
+        sim = DetailedSimulator(
+            get_profile("gzip"), policy=policy, dtm_config=config, seed=1
+        )
+        result = sim.run(max_cycles=5_000)
+        assert result.interrupt_stall_cycles > 0
+
+
+class TestPipelineEdges:
+    def test_nop_stream_commits(self):
+        def nops():
+            index = 0
+            while True:
+                yield Instruction(
+                    pc=0x400000 + (index * 4) % 1024, op=OpClass.NOP
+                )
+                index += 1
+
+        core = OutOfOrderCore(MachineConfig(), nops())
+        result = core.run(max_cycles=5000)
+        assert result.stats.committed > 1000
+
+    def test_store_only_stream_bounded_by_mem_ports(self):
+        def stores():
+            index = 0
+            while True:
+                yield Instruction(
+                    pc=0x400000 + (index * 4) % 1024,
+                    op=OpClass.STORE,
+                    src_regs=(1,),
+                    address=0x1000_0000 + (index % 512) * 8,
+                )
+                index += 1
+
+        core = OutOfOrderCore(MachineConfig(), stores())
+        core.run(max_cycles=4000)  # warm
+        committed0 = core.stats.committed
+        cycles0 = core.stats.cycles
+        core.run(max_cycles=4000)
+        ipc = (core.stats.committed - committed0) / (core.stats.cycles - cycles0)
+        assert ipc <= 2.05  # two memory ports
+
+    def test_narrow_machine_configuration_runs(self):
+        config = MachineConfig(
+            fetch_width=1, decode_width=1, issue_width=1,
+            int_issue_width=1, fp_issue_width=1, commit_width=1,
+            ruu_entries=8, lsq_entries=4,
+        )
+        core = OutOfOrderCore(
+            config,
+            (Instruction(pc=0x400000 + (i * 4) % 512, op=OpClass.INT_ALU,
+                         dest_reg=i % 8) for i in range(10**9)),
+        )
+        result = core.run(max_cycles=3000)
+        assert 0 < result.ipc <= 1.0
+
+
+class TestNumericalEdges:
+    def test_thermal_model_handles_zero_length_history(self):
+        from repro.thermal.floorplan import Floorplan
+        from repro.thermal.lumped import LumpedThermalModel
+
+        model = LumpedThermalModel(Floorplan.default(), 100.0)
+        frac = model.fraction_above(
+            np.full(7, 100.0), np.full(7, 100.0), 1e-9, 102.0
+        )
+        assert np.all(frac == 0.0)
+
+    def test_controller_with_extreme_measurement(self):
+        policy = make_policy("pid")
+        assert policy.decide(1e6) == 0.0  # clamped, fully throttled
+        policy.reset()
+        assert policy.decide(-1e6) == 1.0  # clamped, fully open

@@ -1,0 +1,139 @@
+"""Integration tests: the paper's quantitative claims, end to end.
+
+These run the fast engine over real profiles with real controllers and
+assert the phenomena the paper reports.  Budgets are kept moderate so
+the suite stays fast; the full-budget numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.sim.sweep import run_one
+
+INSTRUCTIONS = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def gcc_baseline():
+    return run_one("gcc", "none", instructions=INSTRUCTIONS)
+
+
+@pytest.fixture(scope="module")
+def mesa_baseline():
+    return run_one("mesa", "none", instructions=INSTRUCTIONS)
+
+
+class TestUnmanagedBehaviour:
+    def test_extreme_benchmark_has_emergencies(self, gcc_baseline):
+        assert gcc_baseline.emergency_fraction > 0.2
+
+    def test_mesa_is_near_threshold_but_safe(self, mesa_baseline):
+        # Section 5.4: mesa spends nearly all its time above the stress
+        # trigger but (almost) never in emergency.
+        assert mesa_baseline.stress_fraction > 0.5
+        assert mesa_baseline.emergency_fraction < 0.001
+
+    def test_localized_hot_spot_structure_identified(self, gcc_baseline):
+        # gcc's hot spot must be the register file (the highest power
+        # density in the floorplan).
+        hottest = max(
+            gcc_baseline.max_block_temperature,
+            key=gcc_baseline.max_block_temperature.get,
+        )
+        assert hottest == "regfile"
+
+
+class TestEmergencyElimination:
+    """Paper: the goal is that DTM never allows a thermal emergency."""
+
+    @pytest.mark.parametrize("policy", ["toggle1", "m", "p", "pd", "pi", "pid"])
+    def test_policies_eliminate_emergencies_on_gcc(self, policy):
+        result = run_one("gcc", policy, instructions=INSTRUCTIONS)
+        assert result.emergency_fraction == 0.0, policy
+
+    def test_toggle2_cannot_eliminate_emergencies(self):
+        # Section 2.1: "toggle1 is able to eliminate emergencies,
+        # because it stops fetching entirely; toggle2 is not."
+        result = run_one("gcc", "toggle2", instructions=INSTRUCTIONS)
+        assert result.emergency_fraction > 0.0
+
+
+class TestControlTheoreticAdvantage:
+    """Paper headline: CT-DTM sharply cuts the performance loss."""
+
+    def test_pid_beats_toggle1_on_hot_benchmark(self, gcc_baseline):
+        toggle1 = run_one("gcc", "toggle1", instructions=INSTRUCTIONS)
+        pid = run_one("gcc", "pid", instructions=INSTRUCTIONS)
+        assert pid.relative_ipc(gcc_baseline) > toggle1.relative_ipc(gcc_baseline)
+
+    def test_pid_barely_penalizes_near_threshold_benchmark(self, mesa_baseline):
+        # "Any successful DTM scheme should minimize the penalties for
+        # these programs" (mesa-class) -- CT-DTM does.
+        pid = run_one("mesa", "pid", instructions=INSTRUCTIONS)
+        assert pid.relative_ipc(mesa_baseline) > 0.95
+
+    def test_toggle1_punishes_near_threshold_benchmark(self, mesa_baseline):
+        toggle1 = run_one("mesa", "toggle1", instructions=INSTRUCTIONS)
+        assert toggle1.relative_ipc(mesa_baseline) < 0.7
+
+    def test_loss_reduction_at_least_half_on_gcc_and_mesa(
+        self, gcc_baseline, mesa_baseline
+    ):
+        # The paper reports a 65 % suite-mean loss reduction; require at
+        # least 50 % on these two representative benchmarks.
+        for benchmark, baseline in (("gcc", gcc_baseline), ("mesa", mesa_baseline)):
+            toggle1 = run_one(benchmark, "toggle1", instructions=INSTRUCTIONS)
+            pid = run_one(benchmark, "pid", instructions=INSTRUCTIONS)
+            loss_toggle1 = toggle1.performance_loss(baseline)
+            loss_pid = pid.performance_loss(baseline)
+            assert loss_pid < 0.5 * loss_toggle1, benchmark
+
+    def test_pid_holds_temperature_at_setpoint(self):
+        pid = run_one("gcc", "pid", instructions=INSTRUCTIONS)
+        assert pid.max_temperature == pytest.approx(101.8, abs=0.05)
+
+    def test_pi_and_pid_equivalent_here(self, gcc_baseline):
+        pi = run_one("gcc", "pi", instructions=INSTRUCTIONS)
+        pid = run_one("gcc", "pid", instructions=INSTRUCTIONS)
+        assert pi.relative_ipc(gcc_baseline) == pytest.approx(
+            pid.relative_ipc(gcc_baseline), abs=0.03
+        )
+
+
+class TestTriggerPlacement:
+    """Abstract: the CT trigger can sit within 0.2 C of the maximum."""
+
+    def test_pid_safe_at_aggressive_setpoint(self):
+        result = run_one("gcc", "pid", instructions=INSTRUCTIONS, setpoint=101.8)
+        assert result.emergency_fraction == 0.0
+
+    def test_toggle1_unsafe_at_aggressive_trigger(self):
+        result = run_one(
+            "gcc", "toggle1", instructions=INSTRUCTIONS, setpoint=101.8
+        )
+        assert result.emergency_fraction > 0.0
+
+    def test_toggle1_safe_at_conservative_trigger(self):
+        result = run_one(
+            "gcc", "toggle1", instructions=INSTRUCTIONS, setpoint=101.0
+        )
+        assert result.emergency_fraction == 0.0
+
+    def test_higher_setpoint_means_less_loss(self, gcc_baseline):
+        low = run_one("gcc", "pid", instructions=INSTRUCTIONS, setpoint=101.4)
+        high = run_one("gcc", "pid", instructions=INSTRUCTIONS, setpoint=101.8)
+        assert high.relative_ipc(gcc_baseline) > low.relative_ipc(gcc_baseline)
+
+
+class TestBurstyWorkload:
+    def test_art_is_bursty_unmanaged(self):
+        result = run_one("art", "none", instructions=14_000_000)
+        # Little total stress time, a good chunk of it in emergency.
+        assert 0.05 < result.stress_fraction < 0.3
+        assert result.emergency_fraction > 0.01
+        assert result.emergency_fraction < result.stress_fraction
+
+    def test_pid_tames_art_cheaply(self):
+        baseline = run_one("art", "none", instructions=14_000_000)
+        pid = run_one("art", "pid", instructions=14_000_000)
+        assert pid.emergency_fraction == 0.0
+        assert pid.relative_ipc(baseline) > 0.9

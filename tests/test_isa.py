@@ -1,0 +1,119 @@
+"""Tests for the synthetic ISA: instructions and trace serialization."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.instructions import EXECUTION_LATENCY, Instruction, OpClass
+from repro.isa.trace import load_trace, save_trace
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+
+    def test_fp_classification(self):
+        assert OpClass.FP_ALU.is_fp
+        assert OpClass.FP_MULT.is_fp
+        assert not OpClass.LOAD.is_fp
+
+    def test_every_class_has_a_latency(self):
+        for op in OpClass:
+            assert EXECUTION_LATENCY[op] >= 1
+
+    def test_multiplies_slower_than_adds(self):
+        assert EXECUTION_LATENCY[OpClass.INT_MULT] > EXECUTION_LATENCY[OpClass.INT_ALU]
+        assert EXECUTION_LATENCY[OpClass.FP_MULT] > EXECUTION_LATENCY[OpClass.FP_ALU]
+
+
+class TestInstruction:
+    def test_branch_flag(self):
+        branch = Instruction(pc=0x400000, op=OpClass.BRANCH, taken=True, target=4)
+        alu = Instruction(pc=0x400004, op=OpClass.INT_ALU)
+        assert branch.is_branch
+        assert not alu.is_branch
+
+    def test_latency_property(self):
+        inst = Instruction(pc=0, op=OpClass.FP_MULT)
+        assert inst.latency == EXECUTION_LATENCY[OpClass.FP_MULT]
+
+    def test_defaults(self):
+        inst = Instruction(pc=4, op=OpClass.NOP)
+        assert inst.dest_reg == -1
+        assert inst.src_regs == ()
+        assert not inst.taken
+
+
+class TestTraceRoundTrip:
+    def make_instructions(self):
+        return [
+            Instruction(pc=0x400000, op=OpClass.INT_ALU, dest_reg=3,
+                        src_regs=(1, 2)),
+            Instruction(pc=0x400004, op=OpClass.LOAD, dest_reg=5,
+                        src_regs=(3,), address=0x10000040),
+            Instruction(pc=0x400008, op=OpClass.STORE, src_regs=(5, 3),
+                        address=0x10000048),
+            Instruction(pc=0x40000C, op=OpClass.BRANCH, src_regs=(5,),
+                        taken=True, target=0x400000),
+            Instruction(pc=0x400010, op=OpClass.NOP),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        originals = self.make_instructions()
+        count = save_trace(path, originals)
+        assert count == len(originals)
+        loaded = load_trace(path)
+        assert loaded == originals
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "nope.txt")
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(path, self.make_instructions()[:1])
+        content = path.read_text()
+        path.write_text("# header comment\n\n" + content)
+        assert len(load_trace(path)) == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("not a valid line\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_unknown_op_raises(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("400000 warp 3 1,2 0 0 0\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+
+class TestTraceReplayEquivalence:
+    def test_saved_trace_reproduces_pipeline_results(self, tmp_path):
+        """Replaying a saved trace through the core gives identical
+        results to the live generator -- the EIO reproducibility
+        property, end to end."""
+        import itertools
+
+        from repro.config import MachineConfig
+        from repro.uarch.pipeline import OutOfOrderCore
+        from repro.workloads.generator import instruction_stream
+        from repro.workloads.profiles import get_profile
+
+        profile = get_profile("gzip")
+        instructions = list(
+            itertools.islice(instruction_stream(profile, seed=11), 20_000)
+        )
+        path = tmp_path / "gzip.trace"
+        save_trace(path, instructions)
+
+        live = OutOfOrderCore(MachineConfig(), iter(instructions))
+        replay = OutOfOrderCore(MachineConfig(), iter(load_trace(path)))
+        live_result = live.run(max_cycles=12_000)
+        replay_result = replay.run(max_cycles=12_000)
+        assert live_result.stats.committed == replay_result.stats.committed
+        assert live_result.stats.mispredicts == replay_result.stats.mispredicts
+        assert live_result.mean_utilization == replay_result.mean_utilization

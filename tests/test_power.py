@@ -1,0 +1,172 @@
+"""Tests for the Wattch-style power model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.capacitance import (
+    STRUCTURE_GEOMETRIES,
+    ArrayGeometry,
+    array_access_energy,
+    array_switched_capacitance,
+    column_decoder_capacitance,
+    row_decoder_capacitance,
+)
+from repro.power.clock_gating import ClockGatingStyle, effective_power
+from repro.power.wattch import PowerModel
+
+
+class TestCapacitance:
+    def test_energy_scales_with_vdd_squared(self):
+        geometry = ArrayGeometry("x", 128, 64)
+        assert array_access_energy(geometry, vdd=2.0) == pytest.approx(
+            4 * array_access_energy(geometry, vdd=1.0)
+        )
+
+    def test_more_ports_more_capacitance(self):
+        few = ArrayGeometry("x", 128, 64, read_ports=1, write_ports=1)
+        many = ArrayGeometry("x", 128, 64, read_ports=8, write_ports=4)
+        assert array_switched_capacitance(many) > array_switched_capacitance(few)
+
+    def test_bigger_array_more_capacitance(self):
+        small = ArrayGeometry("x", 64, 32)
+        large = ArrayGeometry("x", 1024, 256)
+        assert array_switched_capacitance(large) > array_switched_capacitance(small)
+
+    def test_column_decoder_term_present(self):
+        # The paper adds column decoders to Wattch 1.02; dropping the
+        # term must change the total.
+        geometry = ArrayGeometry("x", 128, 64)
+        total = array_switched_capacitance(geometry)
+        assert column_decoder_capacitance(64) > 0
+        assert column_decoder_capacitance(64) < total
+
+    def test_regfile_energy_exceeds_lsq(self):
+        # Heavily multi-ported regfile must cost more per access than
+        # the small LSQ -- consistent with its higher power density.
+        regfile = array_access_energy(STRUCTURE_GEOMETRIES["regfile"])
+        lsq = array_access_energy(STRUCTURE_GEOMETRIES["lsq"])
+        assert regfile > lsq
+
+    def test_all_floorplan_structures_have_geometry(self, floorplan):
+        assert set(STRUCTURE_GEOMETRIES) == set(floorplan.names)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            ArrayGeometry("x", 0, 64)
+        with pytest.raises(ConfigError):
+            row_decoder_capacitance(0)
+
+    def test_access_energies_in_cacti_range(self):
+        # 0.18 um array accesses cost hundreds of picojoules.
+        for geometry in STRUCTURE_GEOMETRIES.values():
+            energy = array_access_energy(geometry)
+            assert 50e-12 < energy < 5e-9, geometry.name
+
+    def test_derived_regfile_peak_matches_calibration(self, floorplan):
+        # The regfile is a pure array, so the bottom-up derivation
+        # should land close to the calibrated floorplan peak.
+        from repro.power.activity import MAX_ACCESS_RATES
+        from repro.power.capacitance import derived_peak_power
+
+        derived = derived_peak_power(
+            STRUCTURE_GEOMETRIES["regfile"], MAX_ACCESS_RATES["regfile"]
+        )
+        calibrated = floorplan.block("regfile").peak_power
+        assert derived == pytest.approx(calibrated, rel=0.25)
+
+    def test_derived_peaks_never_exceed_calibrated(self, floorplan):
+        # The array model covers only the RAM portion of each structure
+        # (exec units add datapath logic, caches add tag/miss machinery),
+        # so the bottom-up number is a lower bound on the calibrated peak.
+        from repro.power.activity import MAX_ACCESS_RATES
+        from repro.power.capacitance import derived_peak_power
+
+        for name, geometry in STRUCTURE_GEOMETRIES.items():
+            derived = derived_peak_power(geometry, MAX_ACCESS_RATES[name])
+            assert derived <= floorplan.block(name).peak_power * 1.05, name
+
+    def test_derived_peak_rejects_bad_rate(self):
+        from repro.power.capacitance import derived_peak_power
+
+        with pytest.raises(ConfigError):
+            derived_peak_power(STRUCTURE_GEOMETRIES["lsq"], 0.0)
+
+
+class TestClockGating:
+    def test_cc0_always_peak(self):
+        assert effective_power(10.0, 0.0, ClockGatingStyle.CC0) == 10.0
+        assert effective_power(10.0, 1.0, ClockGatingStyle.CC0) == 10.0
+
+    def test_cc1_all_or_nothing(self):
+        assert effective_power(10.0, 0.0, ClockGatingStyle.CC1) == 0.0
+        assert effective_power(10.0, 0.3, ClockGatingStyle.CC1) == 10.0
+
+    def test_cc2_linear(self):
+        assert effective_power(10.0, 0.5, ClockGatingStyle.CC2) == 5.0
+
+    def test_cc3_idle_floor(self):
+        assert effective_power(10.0, 0.0, ClockGatingStyle.CC3) == pytest.approx(1.5)
+        assert effective_power(10.0, 1.0, ClockGatingStyle.CC3) == pytest.approx(10.0)
+
+    def test_cc3_interpolates(self):
+        half = effective_power(10.0, 0.5, ClockGatingStyle.CC3)
+        assert half == pytest.approx(10.0 * (0.15 + 0.85 * 0.5))
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(ConfigError):
+            effective_power(10.0, 1.5)
+
+
+class TestPowerModel:
+    @pytest.fixture
+    def model(self, floorplan):
+        return PowerModel(floorplan)
+
+    def test_peak_chip_power_is_130w(self, model):
+        assert model.peak_chip_power == pytest.approx(130.0)
+
+    def test_idle_floor(self, model):
+        assert model.min_chip_power == pytest.approx(130.0 * 0.15)
+
+    def test_full_utilization_hits_peaks(self, model, floorplan):
+        powers = model.block_powers(np.ones(7))
+        expected = [block.peak_power for block in floorplan.blocks]
+        assert np.allclose(powers, expected)
+
+    def test_power_monotonic_in_utilization(self, model):
+        low = model.block_powers(np.full(7, 0.2))
+        high = model.block_powers(np.full(7, 0.8))
+        assert np.all(high > low)
+
+    def test_chip_power_between_bounds(self, model):
+        power = model.chip_power(np.full(7, 0.5))
+        assert model.min_chip_power < power < model.peak_chip_power
+
+    def test_counts_path_matches_vector_path(self, model, floorplan):
+        from repro.power.activity import MAX_ACCESS_RATES
+
+        counts = {name: MAX_ACCESS_RATES[name] / 2 for name in floorplan.names}
+        via_counts = model.powers_from_counts(counts)
+        via_vector = model.block_powers(np.full(7, 0.5))
+        assert np.allclose(via_counts, via_vector)
+
+    def test_counts_clip_at_max_rate(self, model, floorplan):
+        counts = {name: 1000.0 for name in floorplan.names}
+        powers = model.powers_from_counts(counts)
+        expected = [block.peak_power for block in floorplan.blocks]
+        assert np.allclose(powers, expected)
+
+    def test_cc1_model(self, floorplan):
+        model = PowerModel(floorplan, gating=ClockGatingStyle.CC1)
+        powers = model.block_powers(np.array([0, 0.5, 0, 0, 0, 0, 0.0]))
+        assert powers[0] == 0.0
+        assert powers[1] == floorplan.blocks[1].peak_power
+
+    def test_wrong_vector_length_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.block_powers(np.zeros(3))
+
+    def test_rejects_bad_idle_fraction(self, floorplan):
+        with pytest.raises(ConfigError):
+            PowerModel(floorplan, idle_fraction=1.5)

@@ -1,0 +1,110 @@
+"""Tests for the temperature-dependent leakage model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.leakage import LeakageModel
+from repro.sim.fast import FastEngine
+from repro.thermal.floorplan import Floorplan
+from repro.workloads.profiles import get_profile
+
+
+class TestLeakagePower:
+    def test_reference_point(self):
+        model = LeakageModel(fraction_of_peak=0.1, reference_temperature=100.0)
+        power = model.power(np.array([10.0]), np.array([100.0]))
+        assert power[0] == pytest.approx(1.0)
+
+    def test_doubles_per_interval(self):
+        model = LeakageModel(
+            fraction_of_peak=0.1, reference_temperature=100.0, doubling_interval=12.0
+        )
+        cold = model.power(np.array([10.0]), np.array([100.0]))[0]
+        hot = model.power(np.array([10.0]), np.array([112.0]))[0]
+        assert hot == pytest.approx(2 * cold)
+
+    def test_monotone_in_temperature(self):
+        model = LeakageModel(fraction_of_peak=0.2)
+        temps = np.array([95.0, 100.0, 105.0, 110.0])
+        powers = model.power(np.full(4, 10.0), temps)
+        assert np.all(np.diff(powers) > 0)
+
+    def test_zero_fraction_is_zero_power(self):
+        model = LeakageModel(fraction_of_peak=0.0)
+        assert np.all(model.power(np.full(3, 10.0), np.full(3, 120.0)) == 0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            LeakageModel(fraction_of_peak=-0.1)
+        with pytest.raises(ConfigError):
+            LeakageModel(doubling_interval=0.0)
+
+
+class TestRunawayAnalysis:
+    @pytest.fixture(scope="class")
+    def regfile(self):
+        return Floorplan.default().block("regfile")
+
+    def test_slope_matches_numeric_derivative(self, regfile):
+        model = LeakageModel(fraction_of_peak=0.3)
+        t = 105.0
+        analytic = model.slope(regfile.peak_power, t)
+        eps = 1e-4
+        hi = model.power(np.array([regfile.peak_power]), np.array([t + eps]))[0]
+        lo = model.power(np.array([regfile.peak_power]), np.array([t - eps]))[0]
+        assert analytic == pytest.approx((hi - lo) / (2 * eps), rel=1e-5)
+
+    def test_runaway_temperature_is_slope_crossover(self, regfile):
+        model = LeakageModel(fraction_of_peak=0.5, doubling_interval=8.0)
+        t_star = model.runaway_temperature(regfile)
+        # At T*, leakage slope equals the conduction slope 1/R.
+        assert model.slope(regfile.peak_power, t_star) == pytest.approx(
+            1.0 / regfile.resistance, rel=1e-9
+        )
+
+    def test_zero_leakage_never_runs_away(self, regfile):
+        assert LeakageModel(fraction_of_peak=0.0).runaway_temperature(
+            regfile
+        ) == float("inf")
+
+    def test_throttled_floor_grows_with_leakage(self, regfile):
+        weak = LeakageModel(fraction_of_peak=0.1).throttled_floor_temperature(
+            regfile, 100.0
+        )
+        strong = LeakageModel(fraction_of_peak=0.4).throttled_floor_temperature(
+            regfile, 100.0
+        )
+        assert strong > weak > 100.0
+
+    def test_throttled_floor_is_equilibrium(self, regfile):
+        model = LeakageModel(fraction_of_peak=0.3)
+        floor = model.throttled_floor_temperature(regfile, 100.0)
+        leak = model.power(
+            np.array([regfile.peak_power]), np.array([floor])
+        )[0]
+        reconstructed = 100.0 + regfile.resistance * (
+            0.15 * regfile.peak_power + leak
+        )
+        assert reconstructed == pytest.approx(floor, abs=1e-6)
+
+
+class TestEngineIntegration:
+    def test_leakage_raises_temperatures(self):
+        base = FastEngine(get_profile("gcc")).run(instructions=800_000)
+        leaky = FastEngine(
+            get_profile("gcc"), leakage=LeakageModel(fraction_of_peak=0.2)
+        ).run(instructions=800_000)
+        assert leaky.max_temperature > base.max_temperature
+        assert leaky.mean_chip_power > base.mean_chip_power
+
+    def test_strong_leakage_defeats_fetch_side_dtm(self):
+        from repro.dtm.policies import make_policy
+
+        result = FastEngine(
+            get_profile("gcc"),
+            policy=make_policy("pid"),
+            leakage=LeakageModel(fraction_of_peak=0.5),
+        ).run(instructions=800_000)
+        # The throttled floor is above 102: emergencies are unavoidable.
+        assert result.emergency_fraction > 0.5

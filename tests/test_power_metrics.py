@@ -1,0 +1,75 @@
+"""Tests for power breakdowns and energy accounting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.power.metrics import energy_summary, power_breakdown
+from repro.sim.fast import FastEngine
+from repro.thermal.floorplan import Floorplan
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def gcc_run():
+    return FastEngine(get_profile("gcc"), record_history=True).run(
+        instructions=800_000
+    )
+
+
+class TestPowerBreakdown:
+    def test_components_sum_to_total(self, gcc_run, floorplan):
+        for entry in power_breakdown(gcc_run.history, floorplan):
+            assert entry.mean_dynamic_w + entry.mean_idle_w == pytest.approx(
+                entry.mean_total_w, rel=1e-9
+            )
+
+    def test_shares_sum_to_one(self, gcc_run, floorplan):
+        shares = [
+            entry.fraction_of_monitored
+            for entry in power_breakdown(gcc_run.history, floorplan)
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_idle_component_bounded_by_floor(self, gcc_run, floorplan):
+        for entry, block in zip(
+            power_breakdown(gcc_run.history, floorplan), floorplan.blocks
+        ):
+            assert entry.mean_idle_w <= 0.15 * block.peak_power + 1e-9
+
+    def test_busy_structure_is_dynamic_dominated(self, gcc_run, floorplan):
+        by_name = {
+            entry.name: entry
+            for entry in power_breakdown(gcc_run.history, floorplan)
+        }
+        # gcc hammers the window and barely touches the FP unit.
+        assert by_name["window"].dynamic_share > 0.5
+        assert by_name["fp_exec"].dynamic_share < 0.3
+
+    def test_rejects_bad_idle_fraction(self, gcc_run, floorplan):
+        with pytest.raises(ConfigError):
+            power_breakdown(gcc_run.history, floorplan, idle_fraction=1.0)
+
+
+class TestEnergySummary:
+    def test_baseline_relative_epi_is_one(self, gcc_run):
+        rows = energy_summary({"none": gcc_run})
+        assert rows[0].relative_epi == pytest.approx(1.0)
+
+    def test_throttling_raises_epi(self):
+        from repro.dtm.policies import make_policy
+
+        profile = get_profile("gcc")
+        baseline = FastEngine(profile).run(instructions=800_000)
+        toggled = FastEngine(profile, policy=make_policy("toggle1")).run(
+            instructions=800_000
+        )
+        rows = {
+            row.policy: row
+            for row in energy_summary({"none": baseline, "toggle1": toggled})
+        }
+        assert rows["toggle1"].relative_epi > 1.0
+        assert rows["toggle1"].mean_power_w < rows["none"].mean_power_w
+
+    def test_missing_baseline_rejected(self, gcc_run):
+        with pytest.raises(ConfigError):
+            energy_summary({"pid": gcc_run})

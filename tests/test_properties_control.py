@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for controllers and tuning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.analysis import simulate_step_response
+from repro.control.pid import AntiWindup, PIDController
+from repro.control.plant import FirstOrderPlant
+from repro.control.tuning import tune
+
+plant_strategy = st.builds(
+    FirstOrderPlant,
+    gain=st.floats(min_value=0.5, max_value=10.0),
+    time_constant=st.floats(min_value=5e-5, max_value=5e-3),
+    dead_time=st.floats(min_value=1e-8, max_value=1e-6),
+)
+
+
+class TestTuningProperties:
+    @given(plant=plant_strategy, family=st.sampled_from(["P", "PI", "PD", "PID"]))
+    @settings(max_examples=40, deadline=None)
+    def test_gains_positive_and_finite(self, plant, family):
+        gains = tune(plant, family)
+        assert gains.kp > 0
+        assert gains.ki >= 0
+        assert gains.kd >= 0
+        assert gains.crossover_rad_s > 0
+
+    @given(plant=plant_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_tuned_pi_loop_stable_across_plants(self, plant):
+        """Whatever FOPDT plant we draw, the tuned PI loop must be
+        stable with bounded overshoot -- the paper's design-methodology
+        guarantee."""
+        gains = tune(plant, "PI")
+        controller = PIDController(
+            gains.kp,
+            gains.ki,
+            0.0,
+            sample_time=667e-9,
+            output_limits=(0.0, 1.0),
+        )
+        setpoint = 0.6 * plant.gain  # reachable within actuator range
+        response = simulate_step_response(
+            controller, plant, setpoint=setpoint,
+            duration=max(20 * plant.time_constant, 1e-3),
+        )
+        assert response.stable
+        assert response.overshoot_fraction < 0.25
+
+
+class TestControllerProperties:
+    output_limits = (0.0, 1.0)
+
+    @given(
+        kp=st.floats(0.0, 100.0),
+        ki=st.floats(0.0, 1e6),
+        measurements=st.lists(st.floats(90.0, 110.0), min_size=1, max_size=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_output_always_saturated_to_limits(self, kp, ki, measurements):
+        controller = PIDController(
+            kp, ki, 0.0, setpoint=101.8, sample_time=667e-9,
+            output_limits=self.output_limits,
+        )
+        for measurement in measurements:
+            output = controller.update(measurement)
+            assert 0.0 <= output <= 1.0
+
+    @given(
+        ki=st.floats(1e3, 1e6),
+        measurements=st.lists(st.floats(90.0, 101.0), min_size=10, max_size=80),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conditional_windup_keeps_integral_bounded(self, ki, measurements):
+        """Cool measurements (positive error) with a saturated actuator
+        must not grow the integral without bound."""
+        controller = PIDController(
+            10.0, ki, 0.0, setpoint=101.8, sample_time=667e-9,
+            output_limits=self.output_limits,
+            anti_windup=AntiWindup.CONDITIONAL,
+        )
+        for measurement in measurements:
+            controller.update(measurement)
+        # One sample's worth past the saturation boundary at most.
+        max_step = ki * 12.0 * 667e-9
+        assert controller.integral <= 1.0 + max_step
+
+    @given(measurements=st.lists(st.floats(90.0, 110.0), min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_reset_restores_initial_behaviour(self, measurements):
+        fresh = PIDController(5.0, 1e4, 1e-6, setpoint=101.8,
+                              sample_time=667e-9)
+        used = PIDController(5.0, 1e4, 1e-6, setpoint=101.8,
+                             sample_time=667e-9)
+        for measurement in measurements:
+            used.update(measurement)
+        used.reset()
+        for measurement in measurements[:5]:
+            assert used.update(measurement) == fresh.update(measurement)
+
+    @given(
+        error=st.floats(-5.0, 5.0),
+        kp=st.floats(0.01, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_response_sign(self, error, kp):
+        """Positive error (cool) never lowers output below bias;
+        negative error never raises it above bias."""
+        controller = PIDController(
+            kp, 0.0, 0.0, setpoint=0.0, sample_time=1.0,
+            output_limits=(-100.0, 100.0), bias=0.0,
+        )
+        output = controller.update(-error)  # measurement = -error
+        if error > 0:
+            assert output >= 0.0
+        elif error < 0:
+            assert output <= 0.0

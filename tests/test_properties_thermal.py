@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the thermal models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.lumped import LumpedThermalModel
+from repro.thermal.rc_network import ThermalRCNetwork
+
+FLOORPLAN = Floorplan.default()
+
+powers_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=25.0, allow_nan=False),
+    min_size=7,
+    max_size=7,
+).map(np.array)
+
+temps_strategy = st.lists(
+    st.floats(min_value=80.0, max_value=120.0, allow_nan=False),
+    min_size=7,
+    max_size=7,
+).map(np.array)
+
+
+class TestLumpedModelProperties:
+    @given(powers=powers_strategy, cycles=st.integers(1, 500_000))
+    @settings(max_examples=60, deadline=None)
+    def test_temperature_bounded_by_start_and_steady(self, powers, cycles):
+        """Exponential approach: T stays between start and steady state."""
+        model = LumpedThermalModel(FLOORPLAN, 100.0)
+        steady = model.steady_state(powers)
+        end = model.advance(powers, cycles)
+        low = np.minimum(100.0, steady) - 1e-9
+        high = np.maximum(100.0, steady) + 1e-9
+        assert np.all(end >= low)
+        assert np.all(end <= high)
+
+    @given(powers=powers_strategy, cycles=st.integers(1, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_advance_is_composable(self, powers, cycles):
+        """advance(a+b) == advance(a); advance(b) under constant power."""
+        one = LumpedThermalModel(FLOORPLAN, 100.0)
+        two = LumpedThermalModel(FLOORPLAN, 100.0)
+        one.advance(powers, 2 * cycles)
+        two.advance(powers, cycles)
+        two.advance(powers, cycles)
+        assert np.allclose(one.temperatures, two.temperatures, atol=1e-9)
+
+    @given(powers=powers_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_power(self, powers):
+        """More power never yields lower temperatures."""
+        base = LumpedThermalModel(FLOORPLAN, 100.0)
+        hotter = LumpedThermalModel(FLOORPLAN, 100.0)
+        base.advance(powers, 100_000)
+        hotter.advance(powers + 1.0, 100_000)
+        assert np.all(hotter.temperatures >= base.temperatures - 1e-12)
+
+    @given(powers=powers_strategy, start=temps_strategy,
+           threshold=st.floats(90.0, 115.0))
+    @settings(max_examples=80, deadline=None)
+    def test_fraction_above_in_unit_interval(self, powers, start, threshold):
+        model = LumpedThermalModel(FLOORPLAN, 100.0)
+        model._temps = start.copy()
+        steady = model.steady_state(powers)
+        frac = model.fraction_above(start, steady, 1000 / 1.5e9, threshold)
+        assert np.all(frac >= 0.0)
+        assert np.all(frac <= 1.0)
+
+    @given(powers=powers_strategy, start=temps_strategy,
+           threshold=st.floats(90.0, 115.0))
+    @settings(max_examples=80, deadline=None)
+    def test_fraction_above_consistent_with_endpoints(
+        self, powers, start, threshold
+    ):
+        """If both endpoints are above, fraction is 1; both below, 0."""
+        model = LumpedThermalModel(FLOORPLAN, 100.0)
+        model._temps = start.copy()
+        steady = model.steady_state(powers)
+        duration = 1000 / 1.5e9  # the interval advance(powers, 1000) covers
+        end = model.advance(powers, 1000)
+        frac = model.fraction_above(start, steady, duration, threshold)
+        both_above = (start > threshold) & (end > threshold)
+        both_below = (start <= threshold) & (end <= threshold)
+        assert np.all(frac[both_above] == 1.0)
+        assert np.all(frac[both_below] == 0.0)
+
+
+class TestNetworkProperties:
+    @given(
+        powers=st.lists(st.floats(0.0, 30.0), min_size=3, max_size=3),
+        resistances=st.lists(st.floats(0.05, 5.0), min_size=3, max_size=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_steady_state_above_reference_for_positive_power(
+        self, powers, resistances
+    ):
+        network = ThermalRCNetwork()
+        names = ["a", "b", "c"]
+        for name, resistance in zip(names, resistances):
+            network.add_node(name, 1e-3, 100.0)
+            network.connect_reference(name, 100.0, resistance)
+        network.connect("a", "b", 10.0)
+        network.connect("b", "c", 10.0)
+        steady = network.steady_state(dict(zip(names, powers)))
+        for temp in steady.values():
+            assert temp >= 100.0 - 1e-9
+
+    @given(power=st.floats(0.0, 50.0), resistance=st.floats(0.05, 5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_single_node_steady_state_is_ohms_law(self, power, resistance):
+        network = ThermalRCNetwork()
+        network.add_node("die", 0.5, 27.0)
+        network.connect_reference("die", 27.0, resistance)
+        steady = network.steady_state({"die": power})
+        assert steady["die"] == (
+            27.0 + power * resistance
+        ) or abs(steady["die"] - (27.0 + power * resistance)) < 1e-9

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) for uarch data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.dtm.mechanisms import FetchToggling
+from repro.dtm.proxy import BoxcarPowerProxy
+from repro.uarch.caches import Cache
+from repro.uarch.tlb import TLB
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=300
+)
+
+
+class TestCacheProperties:
+    @given(stream=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, stream):
+        cache = Cache(CacheConfig("t", 512, 2, 32, 1))
+        for address in stream:
+            cache.access(address)
+        assert cache.hits + cache.misses == cache.accesses == len(stream)
+
+    @given(stream=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        config = CacheConfig("t", 512, 2, 32, 1)
+        cache = Cache(config)
+        for address in stream:
+            cache.access(address)
+        total_lines = sum(len(ways) for ways in cache._sets)
+        assert total_lines <= config.size_bytes // config.block_bytes
+        for ways in cache._sets:
+            assert len(ways) <= config.associativity
+
+    @given(stream=addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_immediate_reaccess_always_hits(self, stream):
+        cache = Cache(CacheConfig("t", 512, 2, 32, 1))
+        for address in stream:
+            cache.access(address)
+            assert cache.access(address)  # block was just installed
+
+    @given(stream=addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_writebacks_bounded_by_write_misses(self, stream):
+        cache = Cache(CacheConfig("t", 256, 2, 32, 1))
+        writes = 0
+        for address in stream:
+            cache.access(address, is_write=True)
+            writes += 1
+        assert cache.writebacks <= cache.misses
+
+
+class TestTLBProperties:
+    @given(stream=addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_entry_count_bounded(self, stream):
+        tlb = TLB(entries=8)
+        for address in stream:
+            tlb.access(address * 517)  # spread across pages
+        assert len(tlb._pages) <= 8
+
+    @given(stream=addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_is_zero_or_penalty(self, stream):
+        tlb = TLB(entries=8, miss_penalty=30)
+        for address in stream:
+            assert tlb.access(address) in (0, 30)
+
+
+class TestTogglingProperties:
+    @given(
+        level=st.integers(0, 7),
+        horizon=st.integers(70, 5000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_long_run_density_matches_duty(self, level, horizon):
+        """Over any horizon, allowed cycles track duty within one cycle
+        of rounding -- the accumulator never drifts."""
+        toggling = FetchToggling(levels=8)
+        duty = toggling.set_output(level / 7)
+        allowed = sum(toggling.allows(cycle) for cycle in range(horizon))
+        assert abs(allowed - duty * horizon) <= 1.0
+
+    @given(outputs=st.lists(st.floats(-0.5, 1.5), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_quantize_always_on_grid(self, outputs):
+        toggling = FetchToggling(levels=8)
+        grid = {k / 7 for k in range(8)}
+        for output in outputs:
+            assert toggling.quantize(output) in grid
+
+
+class TestBoxcarProperties:
+    @given(
+        segments=st.lists(
+            st.tuples(st.floats(0.0, 50.0), st.integers(1, 500)),
+            min_size=1,
+            max_size=60,
+        ),
+        window=st.integers(10, 2000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_windowed_average(self, segments, window):
+        """The incremental proxy equals a naive recomputation over the
+        expanded cycle list."""
+        proxy = BoxcarPowerProxy(window, trigger_power=1.0)
+        expanded: list[float] = []
+        for power, cycles in segments:
+            proxy.update(power, cycles)
+            expanded.extend([power] * cycles)
+        tail = expanded[-window:]
+        naive = sum(tail) / len(tail)
+        assert abs(proxy.average - naive) < 1e-9
+
+    @given(
+        powers=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=200),
+        window=st.integers(1, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_average_within_input_range(self, powers, window):
+        proxy = BoxcarPowerProxy(window, trigger_power=1.0)
+        for power in powers:
+            proxy.update(power, 1)
+        assert min(powers) - 1e-9 <= proxy.average <= max(powers) + 1e-9

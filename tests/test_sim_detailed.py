@@ -1,0 +1,68 @@
+"""Tests for the detailed cycle-level coupled simulator."""
+
+import pytest
+
+from repro.dtm.policies import make_policy
+from repro.errors import SimulationError
+from repro.sim.simulator import DetailedSimulator
+from repro.workloads.profiles import get_profile
+
+
+class TestDetailedSimulator:
+    def test_runs_and_commits(self):
+        sim = DetailedSimulator(get_profile("gcc"), seed=1)
+        result = sim.run(max_cycles=15_000)
+        assert result.instructions > 0
+        assert result.cycles == 15_000
+
+    def test_temperatures_rise_from_heatsink(self):
+        sim = DetailedSimulator(get_profile("gcc"), seed=1)
+        result = sim.run(max_cycles=15_000)
+        assert all(t >= 100.0 for t in result.mean_block_temperature.values())
+        assert result.max_temperature > 100.0
+
+    def test_power_within_chip_bounds(self):
+        sim = DetailedSimulator(get_profile("gcc"), seed=1)
+        result = sim.run(max_cycles=15_000)
+        assert 130.0 * 0.15 <= result.mean_chip_power <= 130.0
+
+    def test_extra_stats_exposed(self):
+        sim = DetailedSimulator(get_profile("gcc"), seed=1)
+        result = sim.run(max_cycles=15_000)
+        assert "mispredict_rate" in result.extra
+        assert "dl1_miss_rate" in result.extra
+
+    def test_max_instructions_stops_early(self):
+        sim = DetailedSimulator(get_profile("gcc"), seed=1)
+        result = sim.run(max_cycles=100_000, max_instructions=1000)
+        assert result.cycles < 100_000
+
+    def test_duty_zero_policy_gates_fetch(self):
+        # A toggle1 policy pinned on (trigger below heatsink temp)
+        # should stop fetch entirely after the first check.
+        policy = make_policy("toggle1", setpoint=99.0)
+        sim = DetailedSimulator(get_profile("gcc"), policy=policy, seed=1)
+        result = sim.run(max_cycles=10_000)
+        gated = result.extra["fetch_gated_cycles"]
+        assert gated > 8000
+
+    def test_rejects_nonpositive_cycles(self):
+        sim = DetailedSimulator(get_profile("gcc"), seed=1)
+        with pytest.raises(SimulationError):
+            sim.run(max_cycles=0)
+
+    def test_deterministic(self):
+        a = DetailedSimulator(get_profile("gzip"), seed=4).run(max_cycles=8000)
+        b = DetailedSimulator(get_profile("gzip"), seed=4).run(max_cycles=8000)
+        assert a.instructions == b.instructions
+        assert a.mean_chip_power == pytest.approx(b.mean_chip_power)
+
+    def test_dtm_reduces_throughput_under_forced_trigger(self):
+        # Force the PID setpoint below the idle temperature so the
+        # controller throttles constantly; IPC must drop.
+        free = DetailedSimulator(get_profile("gcc"), seed=2).run(max_cycles=12_000)
+        clamped_policy = make_policy("pid", setpoint=99.5)
+        clamped = DetailedSimulator(
+            get_profile("gcc"), policy=clamped_policy, seed=2
+        ).run(max_cycles=12_000)
+        assert clamped.ipc < free.ipc

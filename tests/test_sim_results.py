@@ -1,0 +1,75 @@
+"""Tests for result containers and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.sim.results import History, RunResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        benchmark="gcc",
+        policy="pid",
+        cycles=1_000_000,
+        instructions=1_500_000.0,
+        emergency_fraction=0.0,
+        stress_fraction=0.5,
+        block_emergency_fraction={"regfile": 0.0},
+        block_stress_fraction={"regfile": 0.5},
+        mean_block_temperature={"regfile": 101.5},
+        max_block_temperature={"regfile": 101.8, "lsq": 100.5},
+        mean_chip_power=80.0,
+        max_chip_power=95.0,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestRunResult:
+    def test_ipc(self):
+        assert make_result().ipc == pytest.approx(1.5)
+
+    def test_zero_cycles_ipc(self):
+        assert make_result(cycles=0).ipc == 0.0
+
+    def test_max_temperature_over_blocks(self):
+        assert make_result().max_temperature == pytest.approx(101.8)
+
+    def test_relative_ipc(self):
+        baseline = make_result(instructions=2_000_000.0)
+        managed = make_result(instructions=1_000_000.0)
+        assert managed.relative_ipc(baseline) == pytest.approx(0.5)
+
+    def test_performance_loss(self):
+        baseline = make_result(instructions=2_000_000.0)
+        managed = make_result(instructions=1_500_000.0)
+        assert managed.performance_loss(baseline) == pytest.approx(0.25)
+
+    def test_relative_to_zero_baseline(self):
+        baseline = make_result(instructions=0.0)
+        assert make_result().relative_ipc(baseline) == 0.0
+
+
+class TestHistory:
+    def make_history(self, samples=10):
+        blocks = 7
+        return History(
+            sample_cycles=1000,
+            names=tuple(f"b{i}" for i in range(blocks)),
+            max_temp=np.zeros(samples),
+            duty=np.ones(samples),
+            chip_power=np.full(samples, 50.0),
+            block_temps=np.zeros((samples, blocks)),
+            block_powers=np.zeros((samples, blocks)),
+            block_emergency=np.zeros((samples, blocks)),
+            block_stress=np.zeros((samples, blocks)),
+        )
+
+    def test_sample_count(self):
+        assert self.make_history(25).samples == 25
+
+    def test_time_axis_in_microseconds(self):
+        history = self.make_history(3)
+        times = history.time_microseconds(cycle_time=1 / 1.5e9)
+        assert times[0] == pytest.approx(1000 / 1.5e9 * 1e6)
+        assert times[-1] == pytest.approx(3 * 1000 / 1.5e9 * 1e6)

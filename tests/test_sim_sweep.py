@@ -1,0 +1,54 @@
+"""Tests for the suite sweep helpers."""
+
+import pytest
+
+from repro.sim.sweep import run_one, run_suite, suite_summary
+
+
+class TestRunOne:
+    def test_returns_named_result(self):
+        result = run_one("gzip", "pid", instructions=300_000)
+        assert result.benchmark == "gzip"
+        assert result.policy == "pid"
+
+    def test_history_flag(self):
+        result = run_one("gzip", "none", instructions=300_000,
+                         record_history=True)
+        assert result.history is not None
+
+
+class TestRunSuite:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_suite(
+            policies=("pid",),
+            benchmarks=("gzip", "mesa"),
+            instructions=300_000,
+        )
+
+    def test_includes_baseline(self, results):
+        assert ("gzip", "none") in results
+        assert ("mesa", "none") in results
+
+    def test_all_pairs_present(self, results):
+        assert set(results) == {
+            ("gzip", "none"), ("gzip", "pid"),
+            ("mesa", "none"), ("mesa", "pid"),
+        }
+
+    def test_baseline_not_duplicated(self):
+        results = run_suite(
+            policies=("none", "pid"),
+            benchmarks=("gzip",),
+            instructions=200_000,
+        )
+        assert len(results) == 2
+
+    def test_summary_statistics(self, results):
+        summary = suite_summary(results, "pid")
+        assert 0.0 < summary["mean_relative_ipc"] <= 1.0 + 1e-9
+        assert summary["mean_emergency_fraction"] == 0.0
+
+    def test_summary_of_absent_policy_is_zero(self, results):
+        summary = suite_summary(results, "toggle1")
+        assert summary["mean_relative_ipc"] == 0.0

@@ -1,0 +1,49 @@
+"""Tests for the thermal/electrical duality helpers (Table 1)."""
+
+import pytest
+
+from repro.thermal import duality
+
+
+class TestEquivalenceTable:
+    def test_has_five_rows(self):
+        assert len(duality.EQUIVALENCE_TABLE) == 5
+
+    def test_units_match_paper(self):
+        units = {
+            row.thermal_quantity: (row.thermal_unit, row.electrical_unit)
+            for row in duality.EQUIVALENCE_TABLE
+        }
+        assert units["Thermal resistance"] == ("K/W", "Ohm")
+        assert units["Thermal mass, capacitance"] == ("J/K", "F")
+
+    def test_rc_rows_share_unit_seconds(self):
+        row = duality.EQUIVALENCE_TABLE[-1]
+        assert row.thermal_unit == row.electrical_unit == "s"
+
+
+class TestThermalOhmsLaw:
+    def test_temperature_drop(self):
+        assert duality.temperature_drop(25.0, 2.0) == pytest.approx(50.0)
+
+    def test_heat_flow_inverts_drop(self):
+        drop = duality.temperature_drop(10.0, 0.4)
+        assert duality.heat_flow(drop, 0.4) == pytest.approx(10.0)
+
+    def test_heat_flow_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            duality.heat_flow(1.0, 0.0)
+
+    def test_section_4_1_worked_example(self):
+        # 25 W through 1+1 K/W over a 27 C ambient -> 77 C.
+        assert duality.steady_state_temperature(
+            25.0, 2.0, 27.0
+        ) == pytest.approx(77.0)
+
+    def test_zero_power_sits_at_reference(self):
+        assert duality.steady_state_temperature(0.0, 5.0, 40.0) == 40.0
+
+    def test_rc_time_constant(self):
+        # Section 4.1: 60 J/K * 2 K/W ~ a minute or two.
+        tau = duality.rc_time_constant(2.0, 60.0)
+        assert tau == pytest.approx(120.0)

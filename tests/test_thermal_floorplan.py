@@ -1,0 +1,124 @@
+"""Tests for the Table 3 floorplan."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.floorplan import (
+    Block,
+    Floorplan,
+    STRUCTURES,
+    scaled_floorplan,
+)
+
+
+class TestBlock:
+    def test_derives_r_and_c_from_area(self):
+        block = Block("x", 5e-6, 8.0)
+        assert block.resistance == pytest.approx(0.2)
+        assert block.capacitance == pytest.approx(8.75e-4)
+
+    def test_explicit_overrides_win(self):
+        block = Block("x", 5e-6, 8.0, resistance=1.0, capacitance=2.0)
+        assert block.resistance == 1.0
+        assert block.time_constant == pytest.approx(2.0)
+
+    def test_peak_temperature_rise(self):
+        block = Block("x", 5e-6, 10.0)
+        assert block.peak_temperature_rise == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ThermalModelError):
+            Block("x", 5e-6, 0.0)
+
+
+class TestDefaultFloorplan:
+    def test_has_seven_monitored_structures(self, floorplan):
+        assert floorplan.names == STRUCTURES
+        assert len(floorplan.blocks) == 7
+
+    def test_chip_peak_power_is_130w(self, floorplan):
+        # Matches the paper's "peak power may soon be as high as 130 W".
+        assert floorplan.chip_peak_power == pytest.approx(130.0)
+
+    def test_chip_time_constant_is_tens_of_seconds(self, floorplan):
+        assert 10.0 < floorplan.chip_time_constant < 60.0
+
+    def test_block_time_constants_are_microseconds(self, floorplan):
+        for block in floorplan.blocks:
+            assert 10e-6 < block.time_constant < 1000e-6
+
+    def test_peak_rises_span_headroom(self, floorplan):
+        # Some blocks must be able to exceed the 2 K emergency headroom
+        # at peak, others must not (the hot-spot diversity of Table 6).
+        rises = [block.peak_temperature_rise for block in floorplan.blocks]
+        assert max(rises) > 2.0
+        assert min(rises) < 2.0
+
+    def test_regfile_is_hottest_potential_spot(self, floorplan):
+        rises = {b.name: b.peak_temperature_rise for b in floorplan.blocks}
+        assert max(rises, key=rises.get) == "regfile"
+
+    def test_lookup_by_name(self, floorplan):
+        assert floorplan.block("lsq").name == "lsq"
+        assert floorplan.index("window") == 1
+
+    def test_unknown_block_raises(self, floorplan):
+        with pytest.raises(ThermalModelError):
+            floorplan.block("l3")
+        with pytest.raises(ThermalModelError):
+            floorplan.index("l3")
+
+    def test_table3_rows_include_chip(self, floorplan):
+        rows = floorplan.table3_rows()
+        assert len(rows) == 8
+        assert rows[-1]["structure"] == "chip"
+        assert rows[-1]["r_k_per_w"] == pytest.approx(0.34)
+
+    def test_with_block_overrides_one_block(self, floorplan):
+        modified = floorplan.with_block("lsq", peak_power=99.0)
+        assert modified.block("lsq").peak_power == 99.0
+        assert modified.block("window").peak_power == floorplan.block(
+            "window"
+        ).peak_power
+
+    def test_with_block_unknown_name(self, floorplan):
+        with pytest.raises(ThermalModelError):
+            floorplan.with_block("nope", peak_power=1.0)
+
+
+class TestFloorplanValidation:
+    def test_rejects_duplicate_names(self):
+        block = Block("dup", 1e-6, 1.0)
+        with pytest.raises(ThermalModelError):
+            Floorplan(blocks=(block, block))
+
+    def test_rejects_blocks_exceeding_die(self):
+        big = Block("big", 200e-6, 1.0)
+        with pytest.raises(ThermalModelError):
+            Floorplan(blocks=(big,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ThermalModelError):
+            Floorplan(blocks=())
+
+
+class TestScaledFloorplan:
+    def test_identity_scale(self, floorplan):
+        scaled = scaled_floorplan(1.0, 1.0)
+        assert scaled.chip_peak_power == pytest.approx(floorplan.chip_peak_power)
+
+    def test_power_scale_scales_peaks(self):
+        scaled = scaled_floorplan(power_scale=0.5)
+        assert scaled.block("lsq").peak_power == pytest.approx(4.0)
+
+    def test_area_scale_preserves_time_constant(self):
+        # R*C is area-independent, so scaling area must not change tau.
+        scaled = scaled_floorplan(area_scale=2.0)
+        base = Floorplan.default()
+        assert scaled.block("lsq").time_constant == pytest.approx(
+            base.block("lsq").time_constant
+        )
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ThermalModelError):
+            scaled_floorplan(area_scale=0.0)

@@ -1,0 +1,141 @@
+"""Tests for the floorplan geometry and the 2D grid thermal model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.geometry import Rectangle, slicing_layout
+from repro.thermal.grid import GridThermalModel
+from repro.thermal.lumped import LumpedThermalModel
+
+
+class TestRectangle:
+    def test_area(self):
+        assert Rectangle("r", 0, 0, 2e-3, 3e-3).area == pytest.approx(6e-6)
+
+    def test_contains(self):
+        rect = Rectangle("r", 1e-3, 1e-3, 2e-3, 2e-3)
+        assert rect.contains(2e-3, 2e-3)
+        assert not rect.contains(0.5e-3, 2e-3)
+        assert not rect.contains(3e-3, 3.5e-3)
+
+    def test_overlap_detection(self):
+        a = Rectangle("a", 0, 0, 2e-3, 2e-3)
+        b = Rectangle("b", 1e-3, 1e-3, 2e-3, 2e-3)
+        c = Rectangle("c", 2e-3, 0, 1e-3, 1e-3)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching edges do not overlap
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ThermalModelError):
+            Rectangle("r", 0, 0, 0.0, 1e-3)
+
+
+class TestSlicingLayout:
+    def test_areas_preserved(self, floorplan):
+        layout = slicing_layout(floorplan)
+        for block in floorplan.blocks:
+            rect = layout.rectangle(block.name)
+            assert rect.area == pytest.approx(block.area_m2, rel=1e-9)
+
+    def test_no_overlaps(self, floorplan):
+        layout = slicing_layout(floorplan)
+        rects = layout.rectangles
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                assert not a.overlaps(b), (a.name, b.name)
+
+    def test_fits_on_die(self, floorplan):
+        layout = slicing_layout(floorplan)
+        for rect in layout.rectangles:
+            assert rect.x + rect.width <= layout.die_width + 1e-12
+            assert rect.y + rect.height <= layout.die_height + 1e-12
+
+    def test_occupied_fraction_matches_floorplan(self, floorplan):
+        layout = slicing_layout(floorplan)
+        expected = sum(b.area_m2 for b in floorplan.blocks) / floorplan.die_area_m2
+        assert layout.occupied_fraction == pytest.approx(expected, rel=1e-9)
+
+    def test_block_at_lookup(self, floorplan):
+        layout = slicing_layout(floorplan)
+        rect = layout.rectangle("regfile")
+        center = (rect.x + rect.width / 2, rect.y + rect.height / 2)
+        assert layout.block_at(*center) == "regfile"
+        assert layout.block_at(layout.die_width * 0.99, layout.die_height * 0.99) is None
+
+    def test_unknown_block_raises(self, floorplan):
+        with pytest.raises(ThermalModelError):
+            slicing_layout(floorplan).rectangle("l3")
+
+
+class TestGridModel:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return GridThermalModel(Floorplan.default(), resolution=32)
+
+    def peak_powers(self, floorplan):
+        return np.array([b.peak_power for b in floorplan.blocks])
+
+    def test_starts_at_heatsink(self, grid):
+        assert grid.max_temperature == pytest.approx(100.0)
+
+    def test_zero_power_stays_isothermal(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=16)
+        grid.advance(np.zeros(7), 1e-3)
+        assert np.allclose(grid.temperatures, 100.0, atol=1e-9)
+
+    def test_heating_bounded_by_physics(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=16)
+        grid.advance(self.peak_powers(floorplan), 2e-3)
+        # No cell can exceed the hottest lumped steady state by much.
+        assert grid.max_temperature < 104.0
+        assert grid.max_temperature > 101.0
+
+    def test_steady_state_close_to_lumped(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=32)
+        lumped = LumpedThermalModel(floorplan, 100.0)
+        powers = self.peak_powers(floorplan)
+        grid_steady = grid.steady_state(powers)
+        lumped_steady = lumped.steady_state(powers)
+        assert np.max(np.abs(grid_steady - lumped_steady)) < 0.3
+
+    def test_transient_close_to_lumped(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=32)
+        lumped = LumpedThermalModel(floorplan, 100.0)
+        powers = self.peak_powers(floorplan)
+        grid_temps = grid.advance(powers, 100e-6)
+        lumped_temps = lumped.advance(powers, 150_000)
+        assert np.max(np.abs(grid_temps - lumped_temps)) < 0.3
+
+    def test_lateral_spreading_warms_background(self, floorplan):
+        # Heat only the regfile: neighboring background cells must warm.
+        grid = GridThermalModel(floorplan, resolution=32)
+        powers = np.zeros(7)
+        powers[floorplan.index("regfile")] = 8.0
+        grid.steady_state(powers)
+        field = grid.temperatures
+        hot_cells = (field > 100.05).sum()
+        regfile_cells = grid._block_masks[floorplan.index("regfile")].sum()
+        assert hot_cells > regfile_cells  # spread beyond the block
+
+    def test_hot_block_is_the_powered_one(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=32)
+        powers = np.zeros(7)
+        powers[floorplan.index("bpred")] = 8.0
+        temps = grid.steady_state(powers)
+        assert int(np.argmax(temps)) == floorplan.index("bpred")
+
+    def test_reset(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=16)
+        grid.advance(self.peak_powers(floorplan), 1e-4)
+        grid.reset()
+        assert grid.max_temperature == pytest.approx(100.0)
+
+    def test_wrong_power_shape_rejected(self, grid):
+        with pytest.raises(ThermalModelError):
+            grid.advance(np.zeros(3), 1e-6)
+
+    def test_too_coarse_grid_rejected(self, floorplan):
+        with pytest.raises(ThermalModelError):
+            GridThermalModel(floorplan, resolution=4)

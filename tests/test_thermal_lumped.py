@@ -1,0 +1,173 @@
+"""Tests for the simplified per-block thermal model (Figure 3C, Eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.lumped import LumpedThermalModel
+
+
+@pytest.fixture
+def model(floorplan):
+    return LumpedThermalModel(floorplan, heatsink_temperature=100.0)
+
+
+def peak_powers(floorplan):
+    return np.array([block.peak_power for block in floorplan.blocks])
+
+
+class TestState:
+    def test_starts_at_heatsink_temperature(self, model):
+        assert np.allclose(model.temperatures, 100.0)
+
+    def test_custom_initial_temperature(self, floorplan):
+        model = LumpedThermalModel(floorplan, 100.0, initial_temperature=85.0)
+        assert np.allclose(model.temperatures, 85.0)
+
+    def test_reset(self, model, floorplan):
+        model.advance(peak_powers(floorplan), 100_000)
+        model.reset()
+        assert np.allclose(model.temperatures, 100.0)
+
+    def test_named_temperature(self, model):
+        assert model.temperature("regfile") == pytest.approx(100.0)
+
+    def test_time_constants_exposed(self, model):
+        assert np.allclose(model.time_constants, 175e-6)
+
+
+class TestStepCycle:
+    def test_zero_power_cools_toward_heatsink(self, floorplan):
+        model = LumpedThermalModel(floorplan, 100.0, initial_temperature=102.0)
+        before = model.temperatures
+        after = model.step_cycle(np.zeros(7))
+        assert np.all(after < before)
+
+    def test_heating_is_monotonic(self, model, floorplan):
+        powers = peak_powers(floorplan)
+        previous = model.temperatures
+        for _ in range(100):
+            current = model.step_cycle(powers)
+            assert np.all(current >= previous)
+            previous = current
+
+    def test_equilibrium_is_fixed_point(self, floorplan):
+        model = LumpedThermalModel(floorplan, 100.0)
+        powers = peak_powers(floorplan)
+        model._temps = model.steady_state(powers)  # place at equilibrium
+        after = model.step_cycle(powers)
+        assert np.allclose(after, model.steady_state(powers), atol=1e-9)
+
+    def test_wrong_shape_rejected(self, model):
+        with pytest.raises(ThermalModelError):
+            model.step_cycle(np.zeros(3))
+
+
+class TestAdvance:
+    def test_matches_euler_integration(self, floorplan):
+        powers = peak_powers(floorplan)
+        euler = LumpedThermalModel(floorplan, 100.0)
+        exact = LumpedThermalModel(floorplan, 100.0)
+        cycles = 50_000
+        for _ in range(cycles):
+            euler.step_cycle(powers)
+        exact.advance(powers, cycles)
+        assert np.allclose(euler.temperatures, exact.temperatures, atol=1e-3)
+
+    def test_composable(self, floorplan):
+        powers = peak_powers(floorplan)
+        one_shot = LumpedThermalModel(floorplan, 100.0)
+        split = LumpedThermalModel(floorplan, 100.0)
+        one_shot.advance(powers, 100_000)
+        split.advance(powers, 60_000)
+        split.advance(powers, 40_000)
+        assert np.allclose(one_shot.temperatures, split.temperatures)
+
+    def test_long_advance_reaches_steady_state(self, model, floorplan):
+        powers = peak_powers(floorplan)
+        model.advance(powers, 10_000_000)  # ~38 time constants
+        assert np.allclose(model.temperatures, model.steady_state(powers), atol=1e-6)
+
+    def test_regfile_peak_steady_state(self, model, floorplan):
+        # regfile: 8 W * 0.4 K/W = 3.2 K over the 100 C heatsink.
+        powers = peak_powers(floorplan)
+        steady = model.steady_state(powers)
+        index = floorplan.index("regfile")
+        assert steady[index] == pytest.approx(103.2)
+
+    def test_rejects_nonpositive_cycles(self, model):
+        with pytest.raises(ThermalModelError):
+            model.advance(np.zeros(7), 0)
+
+    def test_hottest_block_tracking(self, model, floorplan):
+        powers = np.zeros(7)
+        powers[floorplan.index("bpred")] = 8.0
+        model.advance(powers, 500_000)
+        assert model.hottest_block == "bpred"
+        assert model.max_temperature == model.temperature("bpred")
+
+
+class TestFractionAbove:
+    def test_entirely_below(self, model):
+        start = np.full(7, 100.0)
+        steady = np.full(7, 101.0)
+        frac = model.fraction_above(start, steady, 1e-3, 102.0)
+        assert np.all(frac == 0.0)
+
+    def test_entirely_above(self, model):
+        start = np.full(7, 103.0)
+        steady = np.full(7, 102.5)
+        frac = model.fraction_above(start, steady, 1e-3, 102.0)
+        assert np.all(frac == 1.0)
+
+    def test_rising_crossing_matches_analytic(self, model):
+        # One block rising from 100 toward 103.2 crosses 102 at
+        # t* = tau * ln(3.2 / 1.2).
+        tau = 175e-6
+        duration = 4 * tau
+        start = np.full(7, 100.0)
+        steady = np.full(7, 103.2)
+        frac = model.fraction_above(start, steady, duration, 102.0)
+        t_cross = tau * np.log(3.2 / 1.2)
+        assert frac[0] == pytest.approx(1 - t_cross / duration, rel=1e-6)
+
+    def test_falling_crossing_matches_analytic(self, model):
+        tau = 175e-6
+        duration = 4 * tau
+        start = np.full(7, 103.0)
+        steady = np.full(7, 100.0)
+        frac = model.fraction_above(start, steady, duration, 102.0)
+        t_cross = tau * np.log(3.0 / 2.0)
+        assert frac[0] == pytest.approx(t_cross / duration, rel=1e-6)
+
+    def test_crossing_after_interval_counts_zero(self, model):
+        # Steady above threshold but the interval ends before crossing.
+        tau = 175e-6
+        start = np.full(7, 100.0)
+        steady = np.full(7, 103.2)
+        frac = model.fraction_above(start, steady, tau / 100, 102.0)
+        assert np.all(frac == 0.0)
+
+    def test_asymptotic_approach_never_crosses(self, model):
+        start = np.full(7, 100.0)
+        steady = np.full(7, 102.0)  # approaches exactly the threshold
+        frac = model.fraction_above(start, steady, 1.0, 102.0)
+        assert np.all(frac == 0.0)
+
+
+class TestHelpers:
+    def test_power_for_temperature(self, model, floorplan):
+        power = model.power_for_temperature("regfile", 101.0)
+        assert power == pytest.approx(1.0 / 0.4)
+
+    def test_time_to_temperature_matches_exponential(self, model):
+        # regfile at 8 W heads to 103.2; time to 102 = tau*ln(3.2/1.2).
+        t = model.time_to_temperature("regfile", 8.0, 102.0)
+        assert t == pytest.approx(175e-6 * np.log(3.2 / 1.2), rel=1e-6)
+
+    def test_time_to_unreachable_temperature_is_infinite(self, model):
+        assert model.time_to_temperature("regfile", 1.0, 102.0) == float("inf")
+
+    def test_time_to_current_temperature_is_zero(self, model):
+        assert model.time_to_temperature("regfile", 8.0, 100.0) == 0.0

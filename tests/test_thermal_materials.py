@@ -1,0 +1,86 @@
+"""Tests for the Section 4.3 material derivations of thermal R and C."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal import materials
+
+
+class TestBlockCapacitance:
+    def test_scales_linearly_with_area(self):
+        small = materials.block_capacitance(1e-6)
+        large = materials.block_capacitance(4e-6)
+        assert large == pytest.approx(4 * small)
+
+    def test_scales_linearly_with_thickness(self):
+        thin = materials.block_capacitance(5e-6, thickness=0.05e-3)
+        thick = materials.block_capacitance(5e-6, thickness=0.1e-3)
+        assert thick == pytest.approx(2 * thin)
+
+    def test_known_value(self):
+        # c_v * A * t = 1.75e6 * 5e-6 * 1e-4 = 8.75e-4 J/K.
+        assert materials.block_capacitance(5e-6) == pytest.approx(8.75e-4)
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ThermalModelError):
+            materials.block_capacitance(0.0)
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ThermalModelError):
+            materials.block_capacitance(5e-6, thickness=-1.0)
+
+
+class TestBlockNormalResistance:
+    def test_inverse_in_area(self):
+        small = materials.block_normal_resistance(1e-6)
+        large = materials.block_normal_resistance(2e-6)
+        assert small == pytest.approx(2 * large)
+
+    def test_known_value(self):
+        # rho * t / A = 0.01 * 1e-4 / 5e-6 = 0.2 K/W.
+        assert materials.block_normal_resistance(5e-6) == pytest.approx(0.2)
+
+    def test_rejects_nonpositive_area(self):
+        with pytest.raises(ThermalModelError):
+            materials.block_normal_resistance(-1e-6)
+
+
+class TestTangentialResistance:
+    def test_much_larger_than_normal(self):
+        # The Figure 3C simplification: R_tan >> R_normal.
+        ratio = materials.tangential_to_normal_ratio(5e-6, 100e-6)
+        assert ratio > 50
+
+    def test_grows_with_die_area(self):
+        near = materials.block_tangential_resistance(5e-6, 50e-6)
+        far = materials.block_tangential_resistance(5e-6, 200e-6)
+        assert far > near
+
+    def test_rejects_die_smaller_than_block(self):
+        with pytest.raises(ThermalModelError):
+            materials.block_tangential_resistance(5e-6, 4e-6)
+
+
+class TestTimeConstant:
+    def test_area_independent(self):
+        tau_small = materials.block_time_constant(1e-6)
+        tau_large = materials.block_time_constant(10e-6)
+        assert tau_small == pytest.approx(tau_large)
+
+    def test_is_rc_product(self):
+        area = 3.5e-6
+        tau = materials.block_time_constant(area)
+        rc = materials.block_normal_resistance(area) * materials.block_capacitance(
+            area
+        )
+        assert tau == pytest.approx(rc)
+
+    def test_in_paper_range(self):
+        # "tens to hundreds of microseconds"
+        tau = materials.block_time_constant(5e-6)
+        assert 10e-6 < tau < 1000e-6
+
+    def test_quadratic_in_thickness(self):
+        thin = materials.block_time_constant(5e-6, thickness=0.05e-3)
+        thick = materials.block_time_constant(5e-6, thickness=0.1e-3)
+        assert thick == pytest.approx(4 * thin)

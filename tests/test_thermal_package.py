@@ -1,0 +1,74 @@
+"""Tests for the chip-level package model (Figure 2, Section 4.1)."""
+
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.package import PackageModel
+
+
+class TestSteadyState:
+    def test_section_4_1_example(self):
+        # 25 W, 1 K/W + 1 K/W, 27 C ambient -> 77 C die, 52 C heatsink.
+        die, sink = PackageModel().steady_state(25.0)
+        assert die == pytest.approx(77.0)
+        assert sink == pytest.approx(52.0)
+
+    def test_zero_power_is_ambient(self):
+        die, sink = PackageModel().steady_state(0.0)
+        assert die == sink == pytest.approx(27.0)
+
+    def test_total_resistance(self):
+        assert PackageModel().total_resistance == pytest.approx(2.0)
+
+    def test_dominant_time_constant_on_the_order_of_a_minute(self):
+        tau = PackageModel().dominant_time_constant
+        assert 60.0 <= tau <= 180.0
+
+
+class TestTransient:
+    def test_integration_converges_to_steady_state(self):
+        package = PackageModel()
+        for _ in range(2400):
+            package.step(25.0, 0.5)
+        assert package.die_temperature == pytest.approx(77.0, abs=0.2)
+        assert package.heatsink_temperature == pytest.approx(52.0, abs=0.2)
+
+    def test_die_heats_faster_than_heatsink(self):
+        package = PackageModel()
+        package.step(25.0, 2.0)
+        assert package.die_temperature > package.heatsink_temperature
+
+    def test_cooling_returns_to_ambient(self):
+        package = PackageModel()
+        for _ in range(600):
+            package.step(25.0, 0.5)
+        for _ in range(4800):
+            package.step(0.0, 0.5)
+        assert package.die_temperature == pytest.approx(27.0, abs=0.2)
+
+    def test_reset(self):
+        package = PackageModel()
+        package.step(25.0, 10.0)
+        package.reset()
+        assert package.die_temperature == pytest.approx(27.0)
+        assert package.heatsink_temperature == pytest.approx(27.0)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ThermalModelError):
+            PackageModel().step(25.0, 0.0)
+
+    def test_heatsink_is_five_orders_slower_than_blocks(self):
+        # The justification for holding the heatsink constant in the
+        # block model (Section 4.3).
+        block_tau = 175e-6
+        assert PackageModel().dominant_time_constant / block_tau > 1e5
+
+
+class TestValidation:
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ThermalModelError):
+            PackageModel(r_die_case=0.0)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ThermalModelError):
+            PackageModel(c_heatsink=-1.0)

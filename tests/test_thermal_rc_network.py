@@ -1,0 +1,141 @@
+"""Tests for the general thermal RC network solver (Figure 3B model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.thermal.rc_network import ThermalRCNetwork
+
+
+def single_node_network(r=2.0, c=60.0, ambient=27.0):
+    network = ThermalRCNetwork()
+    network.add_node("die", c, ambient)
+    network.connect_reference("die", ambient, r)
+    return network
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        network = ThermalRCNetwork()
+        network.add_node("a", 1.0, 0.0)
+        with pytest.raises(ThermalModelError):
+            network.add_node("a", 1.0, 0.0)
+
+    def test_self_connection_rejected(self):
+        network = ThermalRCNetwork()
+        network.add_node("a", 1.0, 0.0)
+        with pytest.raises(ThermalModelError):
+            network.connect("a", "a", 1.0)
+
+    def test_unknown_node_rejected(self):
+        network = ThermalRCNetwork()
+        network.add_node("a", 1.0, 0.0)
+        with pytest.raises(ThermalModelError):
+            network.connect("a", "b", 1.0)
+
+    def test_nonpositive_resistance_rejected(self):
+        network = ThermalRCNetwork()
+        network.add_node("a", 1.0, 0.0)
+        network.add_node("b", 1.0, 0.0)
+        with pytest.raises(ThermalModelError):
+            network.connect("a", "b", 0.0)
+
+    def test_nonpositive_capacitance_rejected(self):
+        network = ThermalRCNetwork()
+        with pytest.raises(ThermalModelError):
+            network.add_node("a", 0.0, 0.0)
+
+    def test_empty_network_cannot_step(self):
+        network = ThermalRCNetwork()
+        with pytest.raises(ThermalModelError):
+            network.step({}, 1.0)
+
+
+class TestSingleNode:
+    def test_steady_state_matches_ohms_law(self):
+        network = single_node_network()
+        steady = network.steady_state({"die": 25.0})
+        assert steady["die"] == pytest.approx(77.0)
+
+    def test_step_approaches_steady_state(self):
+        network = single_node_network()
+        for _ in range(100):
+            network.step({"die": 25.0}, 10.0)
+        assert network.temperature("die") == pytest.approx(77.0, abs=0.1)
+
+    def test_one_time_constant_reaches_63_percent(self):
+        network = single_node_network(r=2.0, c=60.0)
+        network.run({"die": 25.0}, duration=120.0, dt=0.05)
+        expected = 27.0 + 50.0 * (1 - np.exp(-1))
+        assert network.temperature("die") == pytest.approx(expected, abs=0.3)
+
+    def test_cooling_returns_to_ambient(self):
+        network = single_node_network()
+        network.run({"die": 25.0}, duration=600.0, dt=0.1)
+        network.run({}, duration=1200.0, dt=0.1)
+        assert network.temperature("die") == pytest.approx(27.0, abs=0.1)
+
+    def test_reset_restores_initial(self):
+        network = single_node_network()
+        network.run({"die": 25.0}, duration=100.0, dt=0.1)
+        network.reset()
+        assert network.temperature("die") == pytest.approx(27.0)
+
+
+class TestTwoNodes:
+    def build(self):
+        network = ThermalRCNetwork()
+        network.add_node("die", 0.1, 27.0)
+        network.add_node("sink", 60.0, 27.0)
+        network.connect("die", "sink", 1.0)
+        network.connect_reference("sink", 27.0, 1.0)
+        return network
+
+    def test_steady_state_stacks_resistances(self):
+        steady = self.build().steady_state({"die": 25.0})
+        assert steady["sink"] == pytest.approx(52.0)
+        assert steady["die"] == pytest.approx(77.0)
+
+    def test_integration_matches_steady_state(self):
+        network = self.build()
+        network.run({"die": 25.0}, duration=1200.0, dt=0.5)
+        assert network.temperature("die") == pytest.approx(77.0, abs=0.5)
+
+    def test_die_leads_sink_during_heating(self):
+        network = self.build()
+        network.run({"die": 25.0}, duration=5.0, dt=0.01)
+        temps = network.temperatures()
+        assert temps["die"] > temps["sink"]
+
+    def test_no_reference_steady_state_raises(self):
+        network = ThermalRCNetwork()
+        network.add_node("a", 1.0, 0.0)
+        network.add_node("b", 1.0, 0.0)
+        network.connect("a", "b", 1.0)
+        with pytest.raises(ThermalModelError):
+            network.steady_state({"a": 1.0})
+
+
+class TestConservation:
+    def test_zero_power_isothermal_equilibrium(self):
+        network = ThermalRCNetwork()
+        for name in ("a", "b", "c"):
+            network.add_node(name, 1e-3, 100.0)
+        network.connect("a", "b", 5.0)
+        network.connect("b", "c", 3.0)
+        network.connect_reference("a", 100.0, 1.0)
+        network.run({}, duration=1.0, dt=1e-3)
+        for temp in network.temperatures().values():
+            assert temp == pytest.approx(100.0, abs=1e-9)
+
+    def test_unknown_power_node_raises(self):
+        network = single_node_network()
+        with pytest.raises(ThermalModelError):
+            network.step({"nope": 1.0}, 1.0)
+
+    def test_substepping_keeps_explicit_euler_stable(self):
+        # dt far above the stability bound must still converge (the
+        # integrator sub-steps internally).
+        network = single_node_network(r=0.1, c=1e-4)  # tau = 10 us
+        network.step({"die": 10.0}, dt=1.0)  # 100,000x the bound
+        assert network.temperature("die") == pytest.approx(28.0, abs=1e-3)

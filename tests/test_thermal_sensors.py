@@ -1,0 +1,54 @@
+"""Tests for the temperature sensor models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.thermal.sensors import IdealSensor, NoisySensor, QuantizedSensor
+
+
+class TestIdealSensor:
+    def test_reports_truth(self):
+        sensor = IdealSensor()
+        assert sensor.read(101.84) == 101.84
+
+
+class TestNoisySensor:
+    def test_zero_noise_is_offset_only(self):
+        sensor = NoisySensor(noise_sigma=0.0, offset=0.5)
+        assert sensor.read(100.0) == pytest.approx(100.5)
+
+    def test_deterministic_per_seed(self):
+        a = NoisySensor(noise_sigma=0.1, seed=42)
+        b = NoisySensor(noise_sigma=0.1, seed=42)
+        readings_a = [a.read(100.0) for _ in range(10)]
+        readings_b = [b.read(100.0) for _ in range(10)]
+        assert readings_a == readings_b
+
+    def test_noise_is_zero_mean(self):
+        sensor = NoisySensor(noise_sigma=0.2, seed=7)
+        mean = sum(sensor.read(100.0) for _ in range(5000)) / 5000
+        assert mean == pytest.approx(100.0, abs=0.02)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigError):
+            NoisySensor(noise_sigma=-0.1)
+
+
+class TestQuantizedSensor:
+    def test_rounds_to_step(self):
+        sensor = QuantizedSensor(step=0.25)
+        assert sensor.read(101.87) == pytest.approx(101.75)
+        assert sensor.read(101.88) == pytest.approx(102.0 - 0.125, abs=0.13)
+
+    def test_exact_multiples_unchanged(self):
+        sensor = QuantizedSensor(step=0.5)
+        assert sensor.read(101.5) == pytest.approx(101.5)
+
+    def test_quantization_error_bounded(self):
+        sensor = QuantizedSensor(step=0.25)
+        for raw in (100.01, 100.49, 101.87, 102.12):
+            assert abs(sensor.read(raw) - raw) <= 0.125 + 1e-12
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ConfigError):
+            QuantizedSensor(step=0.0)

@@ -1,0 +1,240 @@
+"""Tests for the branch prediction stack (Table 2 hybrid predictor)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.branch.bimodal import BimodalPredictor
+from repro.uarch.branch.btb import BranchTargetBuffer
+from repro.uarch.branch.hybrid import HybridPredictor
+from repro.uarch.branch.ras import ReturnAddressStack
+from repro.uarch.branch.twolevel import GAgPredictor
+
+
+class TestBimodal:
+    def test_learns_taken_bias(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x100, True)
+        assert predictor.predict(0x100)
+
+    def test_learns_not_taken_bias(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x100, False)
+        assert not predictor.predict(0x100)
+
+    def test_hysteresis_survives_one_anomaly(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x100, True)
+        predictor.update(0x100, False)  # single not-taken
+        assert predictor.predict(0x100)  # still predicts taken
+
+    def test_counters_saturate(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(100):
+            predictor.update(0x100, True)
+        predictor.update(0x100, False)
+        predictor.update(0x100, False)
+        assert not predictor.predict(0x100)  # 2 updates flip a saturated ctr
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x100, True)
+            predictor.update(0x104, False)
+        assert predictor.predict(0x100)
+        assert not predictor.predict(0x104)
+
+    def test_aliasing_wraps_table(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(4):
+            predictor.update(0x0, False)
+        # PC 64 maps to (64 >> 2) & 15 = 0: same counter as PC 0.
+        assert not predictor.predict(64)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(100)
+
+
+class TestGAg:
+    def test_learns_alternating_pattern(self):
+        # T,N,T,N...: with history, GAg predicts it perfectly; bimodal
+        # cannot.  Train by driving history with actual outcomes.
+        gag = GAgPredictor(1024, 10)
+        outcome = True
+        for _ in range(200):
+            gag.update(0x100, outcome)
+            gag.speculative_update_history(outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            prediction = gag.predict(0x100)
+            correct += prediction == outcome
+            gag.update(0x100, outcome)
+            gag.speculative_update_history(outcome)
+            outcome = not outcome
+        assert correct >= 95
+
+    def test_history_checkpoint_repair(self):
+        gag = GAgPredictor(1024, 8)
+        gag.speculative_update_history(True)
+        checkpoint = gag.speculative_update_history(True)  # mispredicted
+        gag.speculative_update_history(True)  # wrong-path update
+        gag.repair_history(checkpoint, actual_taken=False)
+        # History = checkpoint with the actual outcome shifted in.
+        assert gag.history == ((checkpoint << 1) | 0) & 0xFF
+
+    def test_history_masked_to_width(self):
+        gag = GAgPredictor(1024, 4)
+        for _ in range(100):
+            gag.speculative_update_history(True)
+        assert gag.history == 0b1111
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            GAgPredictor(1000, 10)
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 2)
+        assert btb.lookup(0x100) is None
+        btb.update(0x100, 0x500)
+        assert btb.lookup(0x100) == 0x500
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(64, 2)
+        btb.update(0x100, 0x500)
+        btb.update(0x100, 0x900)
+        assert btb.lookup(0x100) == 0x900
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(4, 2)  # 2 sets, 2 ways
+        set_stride = 4 * 2  # pcs hitting the same set differ by sets*4
+        pc_a, pc_b, pc_c = 0x100, 0x100 + set_stride, 0x100 + 2 * set_stride
+        btb.update(pc_a, 1)
+        btb.update(pc_b, 2)
+        btb.lookup(pc_a)  # touch A: B becomes LRU
+        btb.update(pc_c, 3)  # evicts B
+        assert btb.lookup(pc_a) == 1
+        assert btb.lookup(pc_b) is None
+        assert btb.lookup(pc_c) == 3
+
+    def test_hit_statistics(self):
+        btb = BranchTargetBuffer(64, 2)
+        btb.update(0x100, 0x500)
+        btb.lookup(0x100)
+        btb.lookup(0x104)
+        assert btb.hits == 1
+        assert btb.lookups == 2
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            BranchTargetBuffer(10, 3)
+
+
+class TestRAS:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_zero(self):
+        ras = ReturnAddressStack(8)
+        assert ras.pop() == 0
+        assert ras.underflows == 1
+
+    def test_overflow_wraps_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1; valid entries stay capped at depth
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() == 0  # entry 1 was lost to the wrap: underflow
+        assert ras.underflows == 1
+
+    def test_len_tracks_valid_entries(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.push(2)
+        assert len(ras) == 2
+        ras.pop()
+        assert len(ras) == 1
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ConfigError):
+            ReturnAddressStack(0)
+
+
+class TestHybrid:
+    def test_resolve_detects_direction_mispredict(self):
+        hybrid = HybridPredictor()
+        prediction = hybrid.predict(0x100)
+        mispredicted = hybrid.resolve(
+            0x100, prediction, taken=not prediction.taken, target=0x500
+        )
+        assert mispredicted
+
+    def test_learns_biased_branch(self):
+        hybrid = HybridPredictor()
+        for _ in range(10):
+            prediction = hybrid.predict(0x100)
+            hybrid.resolve(0x100, prediction, taken=True, target=0x500)
+        prediction = hybrid.predict(0x100)
+        assert prediction.taken
+        assert prediction.target == 0x500
+
+    def test_btb_miss_counts_target_mispredict(self):
+        hybrid = HybridPredictor()
+        # Train direction taken but give a fresh target PC each time so
+        # the BTB entry is stale exactly once.
+        for _ in range(8):
+            prediction = hybrid.predict(0x100)
+            hybrid.resolve(0x100, prediction, True, 0x500)
+        prediction = hybrid.predict(0x100)
+        assert prediction.taken
+        hybrid.resolve(0x100, prediction, True, 0x900)  # target changed
+        assert hybrid.target_mispredicts >= 1
+
+    def test_chooser_prefers_global_for_alternating_pattern(self):
+        hybrid = HybridPredictor()
+        outcome = True
+        for _ in range(400):
+            prediction = hybrid.predict(0x100)
+            hybrid.resolve(0x100, prediction, outcome, 0x500)
+            outcome = not outcome
+        # After training, the alternating branch should be predicted well.
+        correct = 0
+        for _ in range(100):
+            prediction = hybrid.predict(0x100)
+            correct += prediction.taken == outcome
+            hybrid.resolve(0x100, prediction, outcome, 0x500)
+            outcome = not outcome
+        assert correct >= 90
+
+    def test_mispredict_rate_bounded_on_biased_stream(self):
+        hybrid = HybridPredictor()
+        import random
+
+        rng = random.Random(3)
+        for _ in range(3000):
+            pc = 0x100 + 8 * rng.randrange(32)
+            prediction = hybrid.predict(pc)
+            taken = rng.random() < 0.9  # 90 % biased-taken sites
+            hybrid.resolve(pc, prediction, taken, pc + 64)
+        assert hybrid.mispredict_rate < 0.25
+
+    def test_history_repaired_after_mispredict(self):
+        hybrid = HybridPredictor()
+        before = hybrid.gag.history
+        prediction = hybrid.predict(0x100)
+        hybrid.resolve(0x100, prediction, not prediction.taken, 0x500)
+        expected = ((before << 1) | int(not prediction.taken)) & (
+            (1 << hybrid.gag.history_bits) - 1
+        )
+        assert hybrid.gag.history == expected

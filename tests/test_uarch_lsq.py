@@ -1,0 +1,107 @@
+"""Tests for the load-store queue and store-to-load forwarding."""
+
+import itertools
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, OpClass
+from repro.uarch.lsq import LoadStoreQueue
+from repro.uarch.pipeline import OutOfOrderCore
+
+
+class TestOccupancy:
+    def test_dispatch_and_commit(self):
+        lsq = LoadStoreQueue(capacity=4)
+        lsq.dispatch(is_store=False, address=0x100)
+        lsq.dispatch(is_store=True, address=0x200)
+        assert lsq.occupancy == 2
+        lsq.commit(is_store=False, address=0x100)
+        assert lsq.occupancy == 1
+
+    def test_full_flag(self):
+        lsq = LoadStoreQueue(capacity=2)
+        lsq.dispatch(False, 0)
+        lsq.dispatch(False, 8)
+        assert lsq.full
+        with pytest.raises(SimulationError):
+            lsq.dispatch(False, 16)
+
+    def test_commit_from_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            LoadStoreQueue().commit(False, 0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(SimulationError):
+            LoadStoreQueue(capacity=0)
+
+
+class TestForwarding:
+    def test_load_forwards_from_inflight_store(self):
+        lsq = LoadStoreQueue()
+        lsq.dispatch(is_store=True, address=0x1000)
+        assert lsq.load_forwards(0x1000)
+
+    def test_word_granularity(self):
+        lsq = LoadStoreQueue()
+        lsq.dispatch(is_store=True, address=0x1000)
+        assert lsq.load_forwards(0x1004)  # same 8-byte word
+        assert not lsq.load_forwards(0x1008)  # next word
+
+    def test_no_forward_after_store_commits(self):
+        lsq = LoadStoreQueue()
+        lsq.dispatch(is_store=True, address=0x1000)
+        lsq.commit(is_store=True, address=0x1000)
+        assert not lsq.load_forwards(0x1000)
+
+    def test_loads_do_not_forward_to_loads(self):
+        lsq = LoadStoreQueue()
+        lsq.dispatch(is_store=False, address=0x1000)
+        assert not lsq.load_forwards(0x1000)
+
+    def test_duplicate_stores_counted(self):
+        lsq = LoadStoreQueue()
+        lsq.dispatch(is_store=True, address=0x1000)
+        lsq.dispatch(is_store=True, address=0x1000)
+        lsq.commit(is_store=True, address=0x1000)
+        assert lsq.load_forwards(0x1000)  # one store still in flight
+
+    def test_forwarding_rate(self):
+        lsq = LoadStoreQueue()
+        lsq.dispatch(is_store=True, address=0x1000)
+        lsq.load_forwards(0x1000)
+        lsq.load_forwards(0x2000)
+        assert lsq.forwarding_rate == pytest.approx(0.5)
+
+
+class TestPipelineIntegration:
+    def store_load_stream(self):
+        """store to X immediately followed by a load from X, forever."""
+        index = 0
+        while True:
+            address = 0x1000_0000 + (index % 64) * 8
+            pc = 0x400000 + (index * 8) % 4096
+            yield Instruction(pc=pc, op=OpClass.STORE, src_regs=(1,),
+                              address=address)
+            yield Instruction(pc=pc + 4, op=OpClass.LOAD, dest_reg=2,
+                              src_regs=(), address=address)
+            index += 1
+
+    def test_forwarding_happens_in_pipeline(self):
+        core = OutOfOrderCore(MachineConfig(), self.store_load_stream())
+        core.run(max_cycles=5000)
+        assert core.lsq.forwarded_loads > 0
+        assert core.lsq.forwarding_rate > 0.3
+
+    def test_lsq_drains_at_commit(self):
+        core = OutOfOrderCore(MachineConfig(), self.store_load_stream())
+        core.run(max_cycles=5000)
+        assert core.lsq.occupancy <= core.lsq.capacity
+
+    def test_itlb_sees_fetch_traffic(self):
+        core = OutOfOrderCore(MachineConfig(), self.store_load_stream())
+        core.run(max_cycles=2000)
+        assert core.itlb.accesses > 0
+        # 4 KB code loop: a single page, so at most one I-TLB miss.
+        assert core.itlb.misses <= 1

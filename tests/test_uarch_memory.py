@@ -1,0 +1,170 @@
+"""Tests for caches, the memory hierarchy, and the TLB."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.errors import ConfigError
+from repro.uarch.caches import Cache, MemoryHierarchy
+from repro.uarch.tlb import PAGE_BYTES, TLB
+
+
+def small_cache(size=1024, assoc=2, block=32):
+    return Cache(CacheConfig("test", size, assoc, block, 1))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_block_different_word_hits(self):
+        cache = small_cache(block=32)
+        cache.access(0x1000)
+        assert cache.access(0x101F)  # last byte of the same 32 B block
+        assert not cache.access(0x1020)  # next block
+
+    def test_lru_eviction(self):
+        cache = small_cache(size=128, assoc=2, block=32)  # 2 sets
+        set_stride = 2 * 32
+        a, b, c = 0x0, set_stride, 2 * set_stride  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # A is MRU, B is LRU
+        cache.access(c)  # evicts B
+        assert cache.access(a)
+        assert not cache.access(b)
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(size=128, assoc=2, block=32)
+        set_stride = 2 * 32
+        cache.access(0x0, is_write=True)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)  # evicts the dirty block
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(size=128, assoc=2, block=32)
+        set_stride = 2 * 32
+        cache.access(0x0)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)
+        assert cache.writebacks == 0
+
+    def test_read_after_write_keeps_dirty(self):
+        cache = small_cache(size=128, assoc=2, block=32)
+        set_stride = 2 * 32
+        cache.access(0x0, is_write=True)
+        cache.access(0x0)  # read hit must not clear the dirty bit
+        cache.access(set_stride)
+        cache.access(2 * set_stride)
+        assert cache.writebacks == 1
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.miss_rate == pytest.approx(1 / 3)
+
+    def test_probe_does_not_disturb_state(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        accesses_before = cache.accesses
+        assert cache.probe(0x1000)
+        assert not cache.probe(0x2000)
+        assert cache.accesses == accesses_before
+
+    def test_working_set_fitting_in_cache_has_no_steady_misses(self):
+        cache = small_cache(size=4096, assoc=2, block=32)
+        addresses = list(range(0, 2048, 32))
+        for address in addresses:  # warm
+            cache.access(address)
+        cache.hits = cache.misses = cache.accesses = 0
+        for _ in range(10):
+            for address in addresses:
+                cache.access(address)
+        assert cache.miss_rate == 0.0
+
+
+class TestMemoryHierarchy:
+    def build(self):
+        return MemoryHierarchy(
+            l1_icache=CacheConfig("il1", 1024, 2, 32, 1),
+            l1_dcache=CacheConfig("dl1", 1024, 2, 32, 1),
+            l2_cache=CacheConfig("ul2", 8192, 4, 32, 11),
+            memory_latency=100,
+        )
+
+    def test_l1_hit_latency(self):
+        hierarchy = self.build()
+        hierarchy.data_access(0x1000)
+        assert hierarchy.data_access(0x1000) == 1
+
+    def test_cold_miss_costs_memory(self):
+        hierarchy = self.build()
+        assert hierarchy.data_access(0x1000) == 1 + 11 + 100
+
+    def test_l2_hit_after_l1_eviction(self):
+        hierarchy = self.build()
+        hierarchy.data_access(0x1000)
+        # Evict 0x1000 from tiny L1 by touching conflicting blocks.
+        set_stride = (1024 // (2 * 32)) * 32
+        hierarchy.data_access(0x1000 + set_stride)
+        hierarchy.data_access(0x1000 + 2 * set_stride)
+        # Back to 0x1000: L1 miss, L2 hit.
+        assert hierarchy.data_access(0x1000) == 1 + 11
+
+    def test_instruction_fetch_uses_icache(self):
+        hierarchy = self.build()
+        hierarchy.instruction_fetch(0x400000)
+        assert hierarchy.il1.accesses == 1
+        assert hierarchy.dl1.accesses == 0
+
+    def test_l2_is_shared(self):
+        hierarchy = self.build()
+        hierarchy.instruction_fetch(0x400000)  # brings block into L2
+        assert hierarchy.data_access(0x400000) == 1 + 11  # L2 hit
+
+    def test_rejects_nonpositive_memory_latency(self):
+        with pytest.raises(ConfigError):
+            MemoryHierarchy(
+                CacheConfig("il1", 1024, 2, 32, 1),
+                CacheConfig("dl1", 1024, 2, 32, 1),
+                CacheConfig("ul2", 8192, 4, 32, 11),
+                memory_latency=0,
+            )
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4, miss_penalty=30)
+        assert tlb.access(0x1000) == 30
+        assert tlb.access(0x1000) == 0
+
+    def test_same_page_hits(self):
+        tlb = TLB(entries=4, miss_penalty=30)
+        tlb.access(0)
+        assert tlb.access(PAGE_BYTES - 1) == 0
+        assert tlb.access(PAGE_BYTES) == 30
+
+    def test_lru_replacement(self):
+        tlb = TLB(entries=2, miss_penalty=30)
+        tlb.access(0 * PAGE_BYTES)
+        tlb.access(1 * PAGE_BYTES)
+        tlb.access(0 * PAGE_BYTES)  # page 1 becomes LRU
+        tlb.access(2 * PAGE_BYTES)  # evicts page 1
+        assert tlb.access(0 * PAGE_BYTES) == 0
+        assert tlb.access(1 * PAGE_BYTES) == 30
+
+    def test_miss_rate(self):
+        tlb = TLB(entries=4)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            TLB(entries=0)
+        with pytest.raises(ConfigError):
+            TLB(miss_penalty=-1)

@@ -1,0 +1,193 @@
+"""Tests for the out-of-order core."""
+
+import itertools
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, OpClass
+from repro.uarch.functional_units import FunctionalUnitPool, FunctionalUnits
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.workloads.generator import instruction_stream
+from repro.workloads.profiles import get_profile
+
+
+def independent_alu_stream():
+    """An endless stream of independent single-cycle ALU ops.
+
+    The PC wraps within a 4 KB loop so the I-cache stays warm (an
+    unbounded straight-line PC would make every test I-cache-bound).
+    """
+    index = 0
+    while True:
+        yield Instruction(
+            pc=0x400000 + (index * 4) % 4096,
+            op=OpClass.INT_ALU,
+            dest_reg=index % 64,
+            src_regs=(),
+        )
+        index += 1
+
+
+def serial_chain_stream():
+    """Every instruction depends on the previous one."""
+    index = 0
+    while True:
+        yield Instruction(
+            pc=0x400000 + (index * 4) % 4096,
+            op=OpClass.INT_ALU,
+            dest_reg=1,
+            src_regs=(1,),
+        )
+        index += 1
+
+
+class TestFunctionalUnits:
+    def test_pool_limits_per_cycle_issue(self):
+        pool = FunctionalUnitPool("alu", 2)
+        pool.begin_cycle()
+        pool.issue()
+        pool.issue()
+        assert not pool.can_issue()
+        with pytest.raises(SimulationError):
+            pool.issue()
+
+    def test_begin_cycle_resets(self):
+        pool = FunctionalUnitPool("alu", 1)
+        pool.begin_cycle()
+        pool.issue()
+        pool.begin_cycle()
+        assert pool.can_issue()
+
+    def test_dispatch_table(self):
+        units = FunctionalUnits()
+        assert units.pool_for(OpClass.LOAD) is units.mem_port
+        assert units.pool_for(OpClass.FP_MULT) is units.fp_mult
+        assert units.pool_for(OpClass.BRANCH) is units.int_alu
+
+
+def warm_ipc(core, warm_cycles=18_000, measure_cycles=4000):
+    """IPC measured after an I-cache/predictor warmup period."""
+    core.run(max_cycles=warm_cycles)
+    cycles0 = core.stats.cycles
+    committed0 = core.stats.committed
+    core.run(max_cycles=measure_cycles)
+    return (core.stats.committed - committed0) / (core.stats.cycles - cycles0)
+
+
+class TestThroughput:
+    def test_independent_ops_reach_fetch_width(self):
+        # Independent ALU ops: bounded by fetch width (4), not by the
+        # 4 IntALUs -- warm IPC should approach 4.
+        core = OutOfOrderCore(MachineConfig(), independent_alu_stream())
+        assert warm_ipc(core) > 3.0
+
+    def test_serial_chain_limits_ipc_to_about_one(self):
+        core = OutOfOrderCore(MachineConfig(), serial_chain_stream())
+        assert 0.3 < warm_ipc(core) <= 1.1
+
+    def test_fetch_gate_zero_stops_commits(self):
+        core = OutOfOrderCore(
+            MachineConfig(), independent_alu_stream(), fetch_gate=lambda c: False
+        )
+        result = core.run(max_cycles=500)
+        assert result.stats.committed == 0
+        assert result.stats.fetch_gated_cycles == 500
+
+    def test_half_duty_roughly_halves_throughput(self):
+        full = OutOfOrderCore(MachineConfig(), independent_alu_stream())
+        half = OutOfOrderCore(
+            MachineConfig(),
+            independent_alu_stream(),
+            fetch_gate=lambda c: c % 2 == 0,
+        )
+        ipc_full = warm_ipc(full)
+        ipc_half = warm_ipc(half)
+        assert ipc_half == pytest.approx(ipc_full / 2, rel=0.15)
+
+    def test_fetch_width_limit_caps_ipc(self):
+        core = OutOfOrderCore(MachineConfig(), independent_alu_stream())
+        core.fetch_width_limit = 1
+        result = core.run(max_cycles=2000)
+        assert result.ipc <= 1.05
+
+    def test_max_instructions_stops_early(self):
+        core = OutOfOrderCore(MachineConfig(), independent_alu_stream())
+        result = core.run(max_cycles=100_000, max_instructions=500)
+        assert 500 <= result.stats.committed < 600
+        assert result.stats.cycles < 100_000
+
+
+class TestBranchHandling:
+    def test_synthetic_stream_mispredict_rate_reasonable(self):
+        profile = get_profile("gcc")
+        core = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=3))
+        core.run(max_cycles=60_000)
+        # Tables are still warming at this budget; the rate must already
+        # be far below chance and heading toward the stream's ~8 %.
+        assert core.stats.mispredict_rate < 0.35
+        assert core.stats.branches > 500
+
+    def test_mispredicts_create_wrong_path_cycles(self):
+        profile = get_profile("gcc")
+        core = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=3))
+        core.run(max_cycles=20_000)
+        assert core.stats.mispredicts > 0
+        assert core.stats.wrong_path_cycles > 0
+
+    def test_speculation_control_limits_unresolved_branches(self):
+        profile = get_profile("gcc")
+        limited = OutOfOrderCore(
+            MachineConfig(), instruction_stream(profile, seed=3)
+        )
+        limited.max_unresolved_branches = 1
+        free = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=3))
+        ipc_limited = limited.run(max_cycles=20_000).ipc
+        ipc_free = free.run(max_cycles=20_000).ipc
+        assert ipc_limited <= ipc_free
+
+
+class TestActivityAccounting:
+    def test_activity_counters_populated(self):
+        profile = get_profile("gcc")
+        core = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=3))
+        result = core.run(max_cycles=20_000)
+        assert result.mean_utilization["window"] > 0
+        assert result.mean_utilization["regfile"] > 0
+        assert result.mean_utilization["int_exec"] > 0
+
+    def test_fp_stream_exercises_fp_unit(self):
+        profile = get_profile("equake")
+        core = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=3))
+        result = core.run(max_cycles=20_000)
+        assert result.mean_utilization["fp_exec"] > 0.01
+
+    def test_int_stream_leaves_fp_idle(self):
+        core = OutOfOrderCore(MachineConfig(), independent_alu_stream())
+        result = core.run(max_cycles=2000)
+        assert result.mean_utilization["fp_exec"] == 0.0
+
+    def test_utilizations_bounded(self):
+        profile = get_profile("gcc")
+        core = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=3))
+        result = core.run(max_cycles=10_000)
+        for name, value in result.mean_utilization.items():
+            assert 0.0 <= value <= 1.0, name
+
+    def test_rejects_nonpositive_cycles(self):
+        core = OutOfOrderCore(MachineConfig(), independent_alu_stream())
+        with pytest.raises(SimulationError):
+            core.run(max_cycles=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        profile = get_profile("gcc")
+        a = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=9))
+        b = OutOfOrderCore(MachineConfig(), instruction_stream(profile, seed=9))
+        ra = a.run(max_cycles=15_000)
+        rb = b.run(max_cycles=15_000)
+        assert ra.stats.committed == rb.stats.committed
+        assert ra.stats.mispredicts == rb.stats.mispredicts
+        assert ra.mean_utilization == rb.mean_utilization

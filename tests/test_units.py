@@ -1,0 +1,68 @@
+"""Tests for physical constants and unit helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_cycle_time_matches_clock(self):
+        assert units.CYCLE_TIME == pytest.approx(1.0 / 1.5e9)
+
+    def test_sampling_interval_is_667_nanoseconds(self):
+        # Paper Section 3.2: 1000 cycles at 1.5 GHz = 667 ns.
+        assert units.SAMPLING_INTERVAL_SECONDS == pytest.approx(667e-9, rel=1e-3)
+
+    def test_sampling_delay_is_half_the_period(self):
+        assert units.SAMPLING_DELAY_SECONDS == pytest.approx(
+            units.SAMPLING_INTERVAL_SECONDS / 2
+        )
+
+    def test_silicon_resistivity_is_reciprocal_conductivity(self):
+        assert units.SILICON_THERMAL_RESISTIVITY == pytest.approx(
+            1.0 / units.SILICON_THERMAL_CONDUCTIVITY
+        )
+
+    def test_interrupt_cost_matches_paper(self):
+        assert units.INTERRUPT_COST_CYCLES == 250
+
+
+class TestConversions:
+    def test_area_round_trip(self):
+        assert units.m2_to_mm2(units.mm2_to_m2(3.5)) == pytest.approx(3.5)
+
+    def test_mm2_to_m2_scale(self):
+        assert units.mm2_to_m2(1.0) == pytest.approx(1e-6)
+
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(1.5e9) == pytest.approx(1.0)
+
+    def test_seconds_to_cycles_round_trip(self):
+        assert units.seconds_to_cycles(
+            units.cycles_to_seconds(12345)
+        ) == pytest.approx(12345)
+
+    def test_custom_clock(self):
+        assert units.cycles_to_seconds(1000, clock_hz=1e9) == pytest.approx(1e-6)
+
+    def test_celsius_kelvin_round_trip(self):
+        assert units.kelvin_to_celsius(
+            units.celsius_to_kelvin(101.8)
+        ) == pytest.approx(101.8)
+
+    def test_absolute_zero(self):
+        assert units.celsius_to_kelvin(-273.15) == pytest.approx(0.0)
+
+
+class TestBlockTimeConstantScale:
+    def test_vertical_time_constant_is_area_independent(self):
+        # R*C = rho * c_v * t^2, tens-to-hundreds of microseconds.
+        tau = (
+            units.SILICON_THERMAL_RESISTIVITY
+            * units.SILICON_VOLUMETRIC_HEAT_CAPACITY
+            * units.DIE_THICKNESS**2
+        )
+        assert 10e-6 < tau < 1000e-6
+        assert math.isclose(tau, 175e-6, rel_tol=1e-6)

@@ -1,0 +1,157 @@
+"""Tests for the extended benchmark suite and workload interleaving."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.fast import FastEngine
+from repro.workloads.interleave import interleave_profiles
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    EXTENDED_BENCHMARKS,
+    ThermalCategory,
+    get_profile,
+)
+
+
+class TestExtendedSuite:
+    def test_full_spec2000_count(self):
+        assert len(ALL_BENCHMARKS) == 26
+        assert len(EXTENDED_BENCHMARKS) == 8
+        assert not set(EXTENDED_BENCHMARKS) & set(BENCHMARKS)
+
+    def test_expected_names(self):
+        assert set(EXTENDED_BENCHMARKS) == {
+            "swim", "mgrid", "applu", "galgel", "ammp", "lucas",
+            "sixtrack", "mcf",
+        }
+
+    def test_get_profile_reaches_extended(self):
+        assert get_profile("mcf").name == "mcf"
+
+    def test_mcf_is_memory_bound_low_ipc(self):
+        mcf = get_profile("mcf")
+        assert mcf.mean_ipc < 0.5
+        assert mcf.category is ThermalCategory.LOW
+
+    def test_extended_seeds_unique_across_all(self):
+        seeds = [profile.seed for profile in ALL_BENCHMARKS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_galgel_touches_threshold(self):
+        result = FastEngine(get_profile("galgel")).run(
+            instructions=1_500_000, warmup_instructions=1_000_000
+        )
+        assert result.max_temperature > 101.8
+
+    def test_ammp_stays_cool(self):
+        result = FastEngine(get_profile("ammp")).run(
+            instructions=1_000_000, warmup_instructions=500_000
+        )
+        assert result.stress_fraction < 0.05
+
+
+class TestInterleave:
+    def test_phase_accounting_preserves_quanta(self):
+        mix = interleave_profiles(
+            (get_profile("gcc"), get_profile("gzip")),
+            quantum_instructions=100_000,
+            rounds=3,
+        )
+        assert mix.total_instructions == 3 * 2 * 100_000
+
+    def test_phases_alternate_between_programs(self):
+        mix = interleave_profiles(
+            (get_profile("gcc"), get_profile("gzip")),
+            quantum_instructions=100_000,
+            rounds=2,
+        )
+        owners = [phase.name.split(":")[0] for phase in mix.phases]
+        assert "gcc" in owners and "gzip" in owners
+        # First quantum belongs to the first profile.
+        assert owners[0] == "gcc"
+
+    def test_phase_slices_carry_source_activity(self):
+        mix = interleave_profiles(
+            (get_profile("gcc"), get_profile("gzip")),
+            quantum_instructions=50_000,
+            rounds=1,
+        )
+        gcc_slices = [p for p in mix.phases if p.name.startswith("gcc:")]
+        original = get_profile("gcc").phases[0]
+        assert gcc_slices[0].activity == original.activity
+
+    def test_category_is_hottest_member(self):
+        mix = interleave_profiles((get_profile("gzip"), get_profile("gcc")))
+        assert mix.category is ThermalCategory.EXTREME
+
+    def test_default_rounds_cover_longest_profile(self):
+        art = get_profile("art")  # 6.7 M instruction loop
+        mix = interleave_profiles((art, get_profile("gzip")),
+                                  quantum_instructions=1_000_000)
+        assert mix.total_instructions >= art.total_instructions
+
+    def test_rejects_single_profile(self):
+        with pytest.raises(WorkloadError):
+            interleave_profiles((get_profile("gcc"),))
+
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(WorkloadError):
+            interleave_profiles(
+                (get_profile("gcc"), get_profile("gzip")),
+                quantum_instructions=0,
+            )
+
+    def test_short_quanta_time_average_the_heat(self):
+        # The X2 phenomenon: fine-grained interleaving with a cool
+        # program suppresses the hot program's emergencies.
+        fine = interleave_profiles(
+            (get_profile("gcc"), get_profile("gzip")),
+            quantum_instructions=100_000,
+        )
+        result = FastEngine(fine).run(
+            instructions=2_000_000, warmup_instructions=500_000
+        )
+        assert result.emergency_fraction < 0.01
+
+    def test_coarse_quanta_inherit_the_heat(self):
+        coarse = interleave_profiles(
+            (get_profile("gcc"), get_profile("gzip")),
+            quantum_instructions=2_000_000,
+        )
+        result = FastEngine(coarse).run(
+            instructions=3_000_000, warmup_instructions=500_000
+        )
+        assert result.emergency_fraction > 0.1
+
+
+class TestSensorPlacement:
+    def test_missing_hot_spot_sensor_breaks_dtm(self):
+        from repro.dtm.policies import make_policy
+
+        covered = FastEngine(
+            get_profile("gcc"),
+            policy=make_policy("pid"),
+            monitored_blocks=("regfile",),
+        ).run(instructions=1_500_000)
+        blind = FastEngine(
+            get_profile("gcc"),
+            policy=make_policy("pid"),
+            monitored_blocks=("lsq", "dcache"),
+        ).run(instructions=1_500_000)
+        assert covered.emergency_fraction == 0.0
+        assert blind.emergency_fraction > 0.1
+
+    def test_empty_monitored_list_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            FastEngine(get_profile("gcc"), monitored_blocks=())
+
+    def test_energy_accounting_positive(self):
+        result = FastEngine(get_profile("gzip")).run(instructions=500_000)
+        assert result.energy_joules > 0
+        assert result.energy_per_instruction > 0
+        # Sanity: energy == mean power * time.
+        expected = result.mean_chip_power * result.cycles / 1.5e9
+        assert result.energy_joules == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,105 @@
+"""Tests for the synthetic instruction-stream generator."""
+
+import itertools
+
+from repro.isa.instructions import OpClass
+from repro.workloads.generator import instruction_stream
+from repro.workloads.profiles import get_profile
+
+
+def take(profile_name, count, seed=0, start=0):
+    stream = instruction_stream(get_profile(profile_name), seed=seed,
+                                start_instruction=start)
+    return list(itertools.islice(stream, count))
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = take("gcc", 2000, seed=7)
+        b = take("gcc", 2000, seed=7)
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        a = take("gcc", 2000, seed=1)
+        b = take("gcc", 2000, seed=2)
+        assert a != b
+
+    def test_different_benchmarks_differ(self):
+        assert take("gcc", 500) != take("gzip", 500)
+
+
+class TestMixStatistics:
+    def test_branch_fraction_near_target(self):
+        instructions = take("gcc", 30_000)
+        target = get_profile("gcc").phases[0].stream.branch_fraction
+        measured = sum(i.is_branch for i in instructions) / len(instructions)
+        assert abs(measured - target) < 0.03
+
+    def test_load_store_fraction_near_target(self):
+        instructions = take("gcc", 30_000)
+        stream = get_profile("gcc").phases[0].stream
+        loads = sum(i.op is OpClass.LOAD for i in instructions) / len(instructions)
+        stores = sum(i.op is OpClass.STORE for i in instructions) / len(instructions)
+        assert abs(loads - stream.load_fraction) < 0.03
+        assert abs(stores - stream.store_fraction) < 0.03
+
+    def test_fp_benchmark_generates_fp_ops(self):
+        instructions = take("equake", 20_000)
+        fp = sum(i.op.is_fp for i in instructions) / len(instructions)
+        assert fp > 0.25
+
+    def test_int_benchmark_generates_little_fp(self):
+        instructions = take("gcc", 20_000)
+        fp = sum(i.op.is_fp for i in instructions) / len(instructions)
+        assert fp < 0.05
+
+
+class TestStreamStructure:
+    def test_memory_ops_have_addresses_in_working_set(self):
+        stream_params = get_profile("gcc").phases[0].stream
+        for inst in take("gcc", 10_000):
+            if inst.op.is_memory:
+                offset = inst.address - 0x1000_0000
+                assert 0 <= offset < stream_params.working_set_bytes
+
+    def test_branches_carry_targets(self):
+        for inst in take("gcc", 10_000):
+            if inst.is_branch and inst.taken:
+                assert inst.target != 0
+
+    def test_branch_sites_are_reused(self):
+        # Bounded static branch sites: predictors can learn them.
+        pcs = {i.pc for i in take("gcc", 20_000) if i.is_branch}
+        assert len(pcs) <= get_profile("gcc").phases[0].stream.branch_sites
+
+    def test_branch_bias_is_learnable(self):
+        # Per-site outcomes must be strongly biased (predictability).
+        outcomes: dict[int, list[bool]] = {}
+        for inst in take("gcc", 40_000):
+            if inst.is_branch:
+                outcomes.setdefault(inst.pc, []).append(inst.taken)
+        agreements = []
+        for taken_list in outcomes.values():
+            if len(taken_list) < 10:
+                continue
+            majority = sum(taken_list) > len(taken_list) / 2
+            agreements.append(
+                sum(t == majority for t in taken_list) / len(taken_list)
+            )
+        mean_agreement = sum(agreements) / len(agreements)
+        target = get_profile("gcc").phases[0].stream.branch_predictability
+        assert abs(mean_agreement - target) < 0.05
+
+    def test_start_instruction_offsets_phase(self):
+        profile = get_profile("art")
+        hot_len = profile.phases[0].instructions
+        # Starting inside the second phase yields that phase's mix: the
+        # 'match' phase is FP-lighter than 'scan'.
+        cool = take("art", 5000, start=hot_len + 1000)
+        assert len(cool) == 5000
+
+    def test_dest_registers_in_range(self):
+        for inst in take("equake", 5000):
+            assert -1 <= inst.dest_reg < 64
+            for reg in inst.src_regs:
+                assert 0 <= reg < 64

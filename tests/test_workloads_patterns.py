@@ -1,0 +1,85 @@
+"""Tests for the synthetic stress-pattern workloads."""
+
+import pytest
+
+from repro.dtm.policies import make_policy
+from repro.errors import WorkloadError
+from repro.sim.fast import FastEngine
+from repro.workloads.patterns import (
+    ramp_profile,
+    square_wave_profile,
+    step_profile,
+    worst_case_burst_profile,
+)
+
+
+class TestConstruction:
+    def test_step_profile_shape(self):
+        profile = step_profile(level=0.9)
+        assert len(profile.phases) == 2
+        assert profile.phases[1].activity["regfile"] == 0.9
+
+    def test_step_rejects_bad_level(self):
+        with pytest.raises(WorkloadError):
+            step_profile(level=0.0)
+
+    def test_square_wave_alternates(self):
+        profile = square_wave_profile(high=0.8, low=0.2)
+        assert profile.phases[0].activity["regfile"] == 0.8
+        assert profile.phases[1].activity["regfile"] == 0.2
+
+    def test_square_rejects_inverted_levels(self):
+        with pytest.raises(WorkloadError):
+            square_wave_profile(high=0.2, low=0.8)
+
+    def test_ramp_is_monotone(self):
+        profile = ramp_profile(steps=6, peak=0.9)
+        levels = [phase.activity["regfile"] for phase in profile.phases]
+        assert levels == sorted(levels)
+        assert levels[-1] == pytest.approx(0.9)
+
+    def test_ramp_rejects_single_step(self):
+        with pytest.raises(WorkloadError):
+            ramp_profile(steps=1)
+
+    def test_patterns_are_deterministic(self):
+        assert step_profile().phases[0].jitter == 0.0
+
+
+class TestBehaviour:
+    def test_step_heats_into_emergency_unmanaged(self):
+        result = FastEngine(step_profile(level=0.95)).run(instructions=2_000_000)
+        assert result.max_temperature > 102.0
+
+    def test_pid_contains_the_step(self):
+        result = FastEngine(
+            step_profile(level=0.95), policy=make_policy("pid")
+        ).run(instructions=2_000_000)
+        assert result.emergency_fraction == 0.0
+        assert result.max_temperature <= 101.85
+
+    def test_square_wave_oscillates_unmanaged(self):
+        engine = FastEngine(square_wave_profile(), record_history=True)
+        result = engine.run(instructions=3_000_000)
+        temps = result.history.max_temp
+        assert temps.max() - temps.min() > 0.5  # visible oscillation
+
+    def test_pid_tracks_the_ramp_safely(self):
+        result = FastEngine(
+            ramp_profile(peak=0.95), policy=make_policy("pid")
+        ).run(instructions=3_000_000)
+        assert result.emergency_fraction == 0.0
+
+    def test_worst_case_burst_defeats_unprotected_integral(self):
+        from repro.control.pid import AntiWindup
+        from repro.dtm.policies import make_policy as build
+
+        profile = worst_case_burst_profile()
+        naive = FastEngine(
+            profile, policy=build("pi", anti_windup=AntiWindup.NONE)
+        ).run(instructions=2 * profile.total_instructions)
+        protected = FastEngine(
+            profile, policy=build("pi")
+        ).run(instructions=2 * profile.total_instructions)
+        assert protected.max_temperature < naive.max_temperature
+        assert protected.emergency_fraction == 0.0

@@ -1,0 +1,77 @@
+"""Tests for phase and stream-parameter validation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.phases import Phase, StreamParameters, uniform_activity
+
+
+class TestStreamParameters:
+    def test_defaults_valid(self):
+        StreamParameters()
+
+    def test_rejects_fraction_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            StreamParameters(branch_fraction=1.5)
+
+    def test_rejects_no_compute_left(self):
+        with pytest.raises(WorkloadError):
+            StreamParameters(
+                branch_fraction=0.4, load_fraction=0.4, store_fraction=0.2
+            )
+
+    def test_rejects_dependency_distance_below_one(self):
+        with pytest.raises(WorkloadError):
+            StreamParameters(dependency_distance=0.5)
+
+    def test_rejects_nonpositive_working_set(self):
+        with pytest.raises(WorkloadError):
+            StreamParameters(working_set_bytes=0)
+
+
+class TestPhase:
+    def test_activity_vector_orders_and_defaults(self):
+        phase = Phase("p", 1000, 1.0, activity={"regfile": 0.5})
+        vector = phase.activity_vector()
+        assert vector[2] == 0.5  # regfile is third in floorplan order
+        assert sum(vector) == 0.5  # everything else defaults to zero
+
+    def test_rejects_unknown_structure(self):
+        with pytest.raises(WorkloadError):
+            Phase("p", 1000, 1.0, activity={"l3_cache": 0.5})
+
+    def test_rejects_activity_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            Phase("p", 1000, 1.0, activity={"regfile": 1.5})
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(WorkloadError):
+            Phase("p", 0, 1.0)
+
+    def test_rejects_silly_ipc(self):
+        with pytest.raises(WorkloadError):
+            Phase("p", 1000, 9.0)
+
+    def test_rejects_huge_jitter(self):
+        with pytest.raises(WorkloadError):
+            Phase("p", 1000, 1.0, jitter=0.9)
+
+
+class TestUniformActivity:
+    def test_fills_all_structures(self):
+        activity = uniform_activity(0.3)
+        assert len(activity) == 7
+        assert all(level == 0.3 for level in activity.values())
+
+    def test_overrides(self):
+        activity = uniform_activity(0.3, regfile=0.9)
+        assert activity["regfile"] == 0.9
+        assert activity["lsq"] == 0.3
+
+    def test_rejects_unknown_override(self):
+        with pytest.raises(WorkloadError):
+            uniform_activity(0.3, l3=0.9)
+
+    def test_rejects_out_of_range_level(self):
+        with pytest.raises(WorkloadError):
+            uniform_activity(1.5)

@@ -1,0 +1,125 @@
+"""Tests for the 18 SPEC2000-like benchmark profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.thermal.floorplan import Floorplan
+from repro.workloads.profiles import (
+    BENCHMARKS,
+    ThermalCategory,
+    get_profile,
+    profiles_by_category,
+)
+
+#: Steady-state rise of a block at activity u (CC3, 15 % idle power).
+def steady_rise(block, activity):
+    return block.peak_power * (0.15 + 0.85 * activity) * block.resistance
+
+
+class TestRegistry:
+    def test_eighteen_benchmarks(self):
+        assert len(BENCHMARKS) == 18
+
+    def test_paper_names_present(self):
+        expected = {
+            "gzip", "wupwise", "vpr", "gcc", "mesa", "art", "equake",
+            "crafty", "facerec", "fma3d", "parser", "eon", "perlbmk",
+            "gap", "vortex", "bzip2", "twolf", "apsi",
+        }
+        assert set(BENCHMARKS) == expected
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(WorkloadError):
+            get_profile("linpack")
+
+    def test_categories_cover_all(self):
+        total = sum(
+            len(profiles_by_category(category)) for category in ThermalCategory
+        )
+        assert total == 18
+
+    def test_four_extreme_benchmarks(self):
+        extreme = profiles_by_category(ThermalCategory.EXTREME)
+        assert {p.name for p in extreme} == {"gcc", "equake", "fma3d", "perlbmk"}
+
+    def test_seeds_are_unique(self):
+        seeds = [profile.seed for profile in BENCHMARKS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_mix_of_int_and_fp(self):
+        fp = [p.name for p in BENCHMARKS.values() if p.is_fp]
+        assert "equake" in fp and "art" in fp
+        assert "gcc" not in fp
+
+
+class TestPhaseLookup:
+    def test_phase_at_start(self):
+        profile = get_profile("gcc")
+        assert profile.phase_at(0) is profile.phases[0]
+
+    def test_phase_boundaries(self):
+        profile = get_profile("gcc")
+        first_len = profile.phases[0].instructions
+        assert profile.phase_at(first_len - 1) is profile.phases[0]
+        assert profile.phase_at(first_len) is profile.phases[1]
+
+    def test_wraps_around(self):
+        profile = get_profile("gcc")
+        total = profile.total_instructions
+        assert profile.phase_at(total) is profile.phases[0]
+        assert profile.phase_at(3 * total + 5) is profile.phase_at(5)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_profile("gcc").phase_at(-1)
+
+    def test_mean_ipc_is_weighted(self):
+        profile = get_profile("art")
+        ipcs = [phase.ipc for phase in profile.phases]
+        assert min(ipcs) <= profile.mean_ipc <= max(ipcs)
+
+
+class TestThermalCalibration:
+    """The profiles must realize their declared thermal categories
+    (steady-state check against the floorplan; the dynamic check lives
+    in the integration tests)."""
+
+    @pytest.fixture(scope="class")
+    def floorplan(self):
+        return Floorplan.default()
+
+    def hottest_steady_rise(self, profile, floorplan):
+        worst = 0.0
+        for phase in profile.phases:
+            for block in floorplan.blocks:
+                rise = steady_rise(block, phase.activity.get(block.name, 0.0))
+                worst = max(worst, rise)
+        return worst
+
+    def test_extreme_profiles_exceed_emergency_steadily(self, floorplan):
+        for profile in profiles_by_category(ThermalCategory.EXTREME):
+            assert self.hottest_steady_rise(profile, floorplan) > 2.0, profile.name
+
+    def test_low_profiles_stay_below_stress(self, floorplan):
+        for profile in profiles_by_category(ThermalCategory.LOW):
+            assert self.hottest_steady_rise(profile, floorplan) < 1.0, profile.name
+
+    def test_medium_profiles_between_stress_and_emergency(self, floorplan):
+        for profile in profiles_by_category(ThermalCategory.MEDIUM):
+            worst = self.hottest_steady_rise(profile, floorplan)
+            assert 1.0 < worst < 2.0, profile.name
+
+    def test_art_is_bursty(self):
+        # Hot short phase + cool long phase (the paper's description).
+        art = get_profile("art")
+        hot = max(art.phases, key=lambda p: max(p.activity.values()))
+        cool = min(art.phases, key=lambda p: max(p.activity.values()))
+        assert hot.instructions < cool.instructions / 4
+        assert max(hot.activity.values()) > 1.5 * max(cool.activity.values())
+
+    def test_mesa_is_steady_near_threshold(self, floorplan):
+        mesa = get_profile("mesa")
+        assert len(mesa.phases) == 1
+        worst = self.hottest_steady_rise(mesa, floorplan)
+        assert 1.5 < worst < 2.0  # near but below emergency
+        assert mesa.phases[0].jitter <= 0.03  # low variance keeps it safe
