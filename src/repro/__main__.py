@@ -4,6 +4,9 @@ Examples::
 
     python -m repro run gcc --policy pid
     python -m repro run mesa --policy toggle1 --instructions 3000000
+    python -m repro run gcc --policy pi --dropout 0.05 --watchdog
+    python -m repro run gcc --policy pi --stuck-window 420 470 \
+        --stuck-value 100.5 --watchdog
     python -m repro compare gcc --policies toggle1 m pid
     python -m repro list
 """
@@ -13,7 +16,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.config import FailsafeConfig
 from repro.dtm.policies import POLICY_NAMES
+from repro.faults import FaultSchedule, FaultWindow
 from repro.sim.sweep import run_one
 from repro.workloads.profiles import BENCHMARKS, get_profile
 
@@ -30,6 +35,10 @@ def _print_result(result, baseline=None) -> None:
     print(f"max temperature:  {result.max_temperature:.3f} C")
     print(f"emergency cycles: {100 * result.emergency_fraction:.3f} %")
     print(f"stress cycles:    {100 * result.stress_fraction:.3f} %")
+    if result.extra:
+        width = max(len(key) for key in result.extra) + 2
+        for key, value in sorted(result.extra.items()):
+            print(f"{key + ':':<{width}}{value:g}")
 
 
 def cmd_list(_args) -> int:
@@ -39,6 +48,23 @@ def cmd_list(_args) -> int:
               f"mean IPC {profile.mean_ipc:.2f}")
     print("\npolicies:", ", ".join(POLICY_NAMES))
     return 0
+
+
+def _fault_schedule(args) -> FaultSchedule | None:
+    """Build a fault schedule from CLI flags (``None`` when fault-free)."""
+    windows = []
+    if args.stuck_window is not None:
+        start, end = args.stuck_window
+        windows.append(FaultWindow(start, end, value=args.stuck_value))
+    if not (args.dropout or args.spike_rate or args.drift or windows):
+        return None
+    return FaultSchedule(
+        args.fault_seed,
+        dropout_rate=args.dropout,
+        spike_rate=args.spike_rate,
+        drift_per_sample=args.drift,
+        sensor_stuck_windows=windows,
+    )
 
 
 def cmd_run(args) -> int:
@@ -55,6 +81,8 @@ def cmd_run(args) -> int:
         instructions=args.instructions,
         seed=args.seed,
         setpoint=args.setpoint,
+        fault_schedule=_fault_schedule(args),
+        failsafe=FailsafeConfig() if args.watchdog else None,
     )
     _print_result(result, baseline)
     return 0
@@ -98,6 +126,40 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--instructions", type=float, default=2_000_000)
     run_parser.add_argument("--setpoint", type=float, default=None)
     run_parser.add_argument("--seed", type=int, default=0)
+    faults = run_parser.add_argument_group(
+        "fault injection (see docs/robustness.md)"
+    )
+    faults.add_argument(
+        "--dropout", type=float, default=0.0, metavar="RATE",
+        help="per-sample probability of a lost (NaN) sensor reading",
+    )
+    faults.add_argument(
+        "--spike-rate", type=float, default=0.0, metavar="RATE",
+        help="per-sample probability of a +/-5K sensor spike",
+    )
+    faults.add_argument(
+        "--drift", type=float, default=0.0, metavar="K_PER_SAMPLE",
+        help="additive sensor drift per sample",
+    )
+    faults.add_argument(
+        "--stuck-window", type=int, nargs=2, default=None,
+        metavar=("START", "END"),
+        help="sample interval [START, END) with a stuck sensor",
+    )
+    faults.add_argument(
+        "--stuck-value", type=float, default=None, metavar="DEGC",
+        help="rail the stuck sensor at this reading "
+        "(default: hold the last pre-window value)",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault schedule",
+    )
+    faults.add_argument(
+        "--watchdog", action="store_true",
+        help="enable the failsafe DTM layer (plausibility gate, "
+        "thermal watchdog, open-loop fallback)",
+    )
 
     compare_parser = sub.add_parser(
         "compare", help="compare several policies on one benchmark"

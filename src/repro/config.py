@@ -169,6 +169,68 @@ class ThermalConfig:
 
 
 @dataclass(frozen=True)
+class FailsafeConfig:
+    """Parameters of the failsafe layer guarding the DTM loop.
+
+    The paper assumes perfect, co-located sensors; a deployable thermal
+    manager cannot.  The failsafe layer sits between the (possibly
+    faulty) sensor and the policy:
+
+    * a **plausibility gate** rejects ``NaN`` / out-of-physical-range
+      readings and readings stuck at exactly the same value for
+      ``stuck_detection_samples`` in a row, holding the last good
+      reading for up to ``max_stale_samples``;
+    * a **thermal watchdog** forces ``failsafe_duty`` whenever the last
+      good reading reaches ``failsafe_temperature``;
+    * **graceful degradation** drops to the open-loop ``fallback_duty``
+      when readings stay implausible past the staleness budget, with a
+      hysteretic re-arm (``rearm_samples`` consecutive good readings,
+      ``rearm_margin`` below the watchdog threshold) before control is
+      handed back to the policy.
+    """
+
+    #: Master switch; ``False`` turns the guard into a pass-through.
+    enabled: bool = True
+    #: Readings outside [min_plausible, max_plausible] degC are rejected.
+    min_plausible: float = -20.0
+    max_plausible: float = 150.0
+    #: Consecutive identical readings before a sensor is declared stuck.
+    stuck_detection_samples: int = 8
+    #: Implausible-sample budget before degrading to open loop.
+    max_stale_samples: int = 10
+    #: Last-good temperature that trips the thermal watchdog [degC].
+    failsafe_temperature: float = 101.9
+    #: Duty forced while the watchdog is engaged (minimum cooling duty).
+    failsafe_duty: float = 0.0
+    #: Open-loop duty while degraded (toggle1-style conservative duty).
+    fallback_duty: float = 0.25
+    #: Hysteresis below ``failsafe_temperature`` required to re-arm [K].
+    rearm_margin: float = 0.3
+    #: Consecutive plausible samples required to re-arm the loop.
+    rearm_samples: int = 20
+    #: Cap on retained :class:`~repro.errors.FailsafeEngaged` records.
+    max_event_log: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_plausible <= self.min_plausible:
+            raise ConfigError("max_plausible must exceed min_plausible")
+        if self.stuck_detection_samples < 2:
+            raise ConfigError("stuck detection needs at least two samples")
+        if self.max_stale_samples < 1:
+            raise ConfigError("max_stale_samples must be positive")
+        if not 0.0 <= self.failsafe_duty <= 1.0:
+            raise ConfigError("failsafe_duty must be in [0, 1]")
+        if not 0.0 <= self.fallback_duty <= 1.0:
+            raise ConfigError("fallback_duty must be in [0, 1]")
+        if self.rearm_margin < 0:
+            raise ConfigError("rearm_margin must be non-negative")
+        if self.rearm_samples < 1:
+            raise ConfigError("rearm_samples must be positive")
+        if self.max_event_log < 1:
+            raise ConfigError("max_event_log must be positive")
+
+
+@dataclass(frozen=True)
 class DTMConfig:
     """Parameters shared by all DTM policies (Sections 2, 3, 5.3)."""
 

@@ -12,8 +12,11 @@
   work (Section 6 comparison).
 * :mod:`repro.dtm.manager` -- orchestration: sampling, policy checks,
   quantization, interrupt accounting.
+* :mod:`repro.dtm.failsafe` -- the failsafe layer: sensor plausibility
+  gating, thermal watchdog, graceful open-loop degradation.
 """
 
+from repro.dtm.failsafe import FailsafeGuard, FailsafeState
 from repro.dtm.manager import DTMManager
 from repro.dtm.mechanisms import (
     DVFSScaling,
@@ -27,6 +30,7 @@ from repro.dtm.policies import (
     HierarchicalPolicy,
     ManualProportionalPolicy,
     NoDTMPolicy,
+    OpenLoopDutyPolicy,
     POLICY_NAMES,
     PredictivePolicy,
     make_policy,
@@ -39,6 +43,8 @@ __all__ = [
     "ControlTheoreticPolicy",
     "DTMManager",
     "DVFSScaling",
+    "FailsafeGuard",
+    "FailsafeState",
     "FetchThrottling",
     "FetchToggling",
     "FixedTogglePolicy",
@@ -46,6 +52,7 @@ __all__ = [
     "InterruptModel",
     "ManualProportionalPolicy",
     "NoDTMPolicy",
+    "OpenLoopDutyPolicy",
     "POLICY_NAMES",
     "PredictivePolicy",
     "ProxyComparison",

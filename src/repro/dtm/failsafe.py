@@ -1,0 +1,229 @@
+"""Failsafe layer between the temperature sensor and the DTM policy.
+
+The paper's control loop trusts its sensor completely.  A deployable
+thermal manager cannot: a dropped reading fed into the PI controller
+reads as "cold" (the range clamp maps ``NaN`` to the bottom of the
+sensor range), driving the duty to 1 precisely when the chip may be
+overheating.  :class:`FailsafeGuard` is a small state machine guarding
+against that failure mode:
+
+::
+
+                 plausible reading >= T_failsafe
+       NOMINAL ----------------------------------> FAILSAFE
+         |  ^                                        |   ^
+         |  | `rearm_samples` good readings          |   | reading >=
+         |  | below T_failsafe - margin              |   | T_failsafe
+         |  +----------------------------------------+   | again
+         |                                               |
+         | implausible (NaN / out-of-range / stuck)      |
+         | for > `max_stale_samples` in a row            |
+         v                                               |
+       DEGRADED -----------------------------------------+
+         (open-loop `fallback_duty`; re-arms after
+          `rearm_samples` consecutive plausible readings)
+
+* **NOMINAL** -- readings pass the plausibility gate and the policy is
+  in control.  Implausible readings are replaced by the last good one
+  (bounded hold).
+* **FAILSAFE** -- the thermal watchdog saw the last good reading reach
+  ``failsafe_temperature``; the duty is forced to ``failsafe_duty``
+  until the temperature has stayed ``rearm_margin`` below the
+  threshold for ``rearm_samples`` consecutive plausible samples.
+* **DEGRADED** -- the sensor is untrusted (implausible past the
+  staleness budget); the loop runs open-loop at ``fallback_duty``
+  (toggle1-style graceful degradation) until readings recover.
+
+Transitions are recorded as :class:`~repro.errors.FailsafeEngaged`
+info objects (never raised) on a bounded event log.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from repro.config import FailsafeConfig
+from repro.errors import FailsafeEngaged
+
+#: Two readings closer than this are "identical" for stuck detection.
+_STUCK_EPSILON = 1e-9
+
+
+class FailsafeState(enum.Enum):
+    """Operating mode of the guarded DTM loop."""
+
+    NOMINAL = "nominal"
+    FAILSAFE = "failsafe"
+    DEGRADED = "degraded"
+
+
+class GateDecision:
+    """Outcome of one guard step.
+
+    ``measurement`` is the plausibility-gated reading to feed the
+    policy (``None`` when no good reading exists yet); ``forced_duty``
+    overrides the policy's command when not ``None``.
+    """
+
+    __slots__ = ("measurement", "forced_duty", "state")
+
+    def __init__(
+        self,
+        measurement: float | None,
+        forced_duty: float | None,
+        state: FailsafeState,
+    ) -> None:
+        self.measurement = measurement
+        self.forced_duty = forced_duty
+        self.state = state
+
+
+class FailsafeGuard:
+    """The sensor plausibility gate + thermal watchdog state machine."""
+
+    def __init__(self, config: FailsafeConfig | None = None) -> None:
+        self.config = config if config is not None else FailsafeConfig()
+        self.events: list[FailsafeEngaged] = []
+        self.reset()
+
+    # -- state ---------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to NOMINAL with no reading history."""
+        self.state = FailsafeState.NOMINAL
+        self.last_good: float | None = None
+        self._previous_raw: float | None = None
+        self._identical_streak = 0
+        self._stale = 0
+        self._rearm = 0
+        self.rejected_samples = 0
+        self.degraded_samples = 0
+        self.failsafe_samples = 0
+        self.engagements = 0
+        self.events.clear()
+
+    # -- helpers -------------------------------------------------------------
+    def _plausible(self, measurement: float) -> bool:
+        """Physical-range + stuck-repeat plausibility check."""
+        config = self.config
+        if not math.isfinite(measurement):
+            return False
+        if not config.min_plausible <= measurement <= config.max_plausible:
+            return False
+        if (
+            self._previous_raw is not None
+            and abs(measurement - self._previous_raw) <= _STUCK_EPSILON
+        ):
+            self._identical_streak += 1
+        else:
+            self._identical_streak = 0
+        return self._identical_streak < config.stuck_detection_samples
+
+    def _record(
+        self, reason: str, sample_index: int, duty: float | None = None
+    ) -> None:
+        if len(self.events) < self.config.max_event_log:
+            self.events.append(
+                FailsafeEngaged(
+                    reason,
+                    sample_index,
+                    self.state.value,
+                    last_good=self.last_good,
+                    duty=duty,
+                )
+            )
+
+    def _enter(self, state: FailsafeState, reason: str, index: int) -> None:
+        self.state = state
+        self._rearm = 0
+        if state is not FailsafeState.NOMINAL:
+            self.engagements += 1
+        duty = None
+        if state is FailsafeState.FAILSAFE:
+            duty = self.config.failsafe_duty
+        elif state is FailsafeState.DEGRADED:
+            duty = self.config.fallback_duty
+        self._record(reason, index, duty=duty)
+
+    # -- the guard step ------------------------------------------------------
+    def gate(self, measurement: float, sample_index: int) -> GateDecision:
+        """Advance the state machine by one sensor sample."""
+        config = self.config
+        if not config.enabled:
+            return GateDecision(measurement, None, self.state)
+
+        plausible = self._plausible(measurement)
+        if math.isfinite(measurement):
+            self._previous_raw = measurement
+        if plausible:
+            self.last_good = measurement
+            self._stale = 0
+        else:
+            self._stale += 1
+            self.rejected_samples += 1
+
+        if self.state is FailsafeState.NOMINAL:
+            if self._stale > config.max_stale_samples:
+                self._enter(
+                    FailsafeState.DEGRADED,
+                    f"readings implausible for {self._stale} samples",
+                    sample_index,
+                )
+            elif (
+                self.last_good is not None
+                and self.last_good >= config.failsafe_temperature
+            ):
+                self._enter(
+                    FailsafeState.FAILSAFE,
+                    f"last good reading {self.last_good:.3f} degC reached "
+                    f"the failsafe threshold",
+                    sample_index,
+                )
+
+        elif self.state is FailsafeState.FAILSAFE:
+            if self._stale > config.max_stale_samples:
+                self._enter(
+                    FailsafeState.DEGRADED,
+                    f"readings implausible for {self._stale} samples "
+                    f"while in failsafe",
+                    sample_index,
+                )
+            elif (
+                plausible
+                and measurement
+                < config.failsafe_temperature - config.rearm_margin
+            ):
+                self._rearm += 1
+                if self._rearm >= config.rearm_samples:
+                    self._enter(
+                        FailsafeState.NOMINAL,
+                        f"re-armed after {self._rearm} cool plausible "
+                        f"samples",
+                        sample_index,
+                    )
+            else:
+                self._rearm = 0
+
+        elif self.state is FailsafeState.DEGRADED:
+            if plausible:
+                self._rearm += 1
+                if self._rearm >= config.rearm_samples:
+                    self._enter(
+                        FailsafeState.NOMINAL,
+                        f"re-armed after {self._rearm} plausible samples",
+                        sample_index,
+                    )
+            else:
+                self._rearm = 0
+
+        if self.state is FailsafeState.FAILSAFE:
+            self.failsafe_samples += 1
+            return GateDecision(
+                self.last_good, config.failsafe_duty, self.state
+            )
+        if self.state is FailsafeState.DEGRADED:
+            self.degraded_samples += 1
+            return GateDecision(None, config.fallback_duty, self.state)
+        return GateDecision(
+            measurement if plausible else self.last_good, None, self.state
+        )

@@ -5,11 +5,21 @@ sampling interval it reads the hottest monitored sensor, consults the
 policy on the policy's own check cadence, quantizes the commanded duty
 through the fetch-toggling actuator, and accounts interrupt stalls for
 interrupt-driven policies.
+
+Two optional robustness layers extend the paper's loop:
+
+* a **failsafe guard** (:class:`~repro.dtm.failsafe.FailsafeGuard`)
+  between the sensor and the policy -- plausibility gating, a thermal
+  watchdog, and graceful degradation to an open-loop fallback duty;
+* a pluggable **actuator**, so fault-injection wrappers
+  (:class:`~repro.faults.actuator.FaultyActuator`) can corrupt the
+  command path without the manager knowing.
 """
 
 from __future__ import annotations
 
-from repro.config import DTMConfig
+from repro.config import DTMConfig, FailsafeConfig
+from repro.dtm.failsafe import FailsafeGuard, FailsafeState
 from repro.dtm.mechanisms import FetchToggling
 from repro.dtm.triggers import InterruptModel
 
@@ -22,14 +32,23 @@ class DTMManager:
         policy,
         dtm_config: DTMConfig | None = None,
         sensor=None,
+        failsafe: FailsafeGuard | FailsafeConfig | None = None,
+        actuator=None,
     ) -> None:
         self.policy = policy
         self.config = dtm_config if dtm_config is not None else DTMConfig()
-        self.actuator = FetchToggling(self.config.toggle_levels)
+        self.actuator = (
+            actuator
+            if actuator is not None
+            else FetchToggling(self.config.toggle_levels)
+        )
         self.interrupts = InterruptModel(
             enabled=self.config.use_interrupts and policy.is_interrupt_driven,
             cost_cycles=self.config.interrupt_cost,
         )
+        if isinstance(failsafe, FailsafeConfig):
+            failsafe = FailsafeGuard(failsafe)
+        self.failsafe = failsafe
         self._sensor = sensor
         self._sample_index = 0
         self._raw_output = 1.0
@@ -46,6 +65,26 @@ class DTMManager:
         """Cycles between temperature samples."""
         return self.config.sampling_interval
 
+    @property
+    def failsafe_state(self) -> FailsafeState | None:
+        """Guard state, or ``None`` when no failsafe layer is fitted."""
+        return self.failsafe.state if self.failsafe is not None else None
+
+    @property
+    def failsafe_events(self) -> list:
+        """Recorded :class:`~repro.errors.FailsafeEngaged` transitions."""
+        return self.failsafe.events if self.failsafe is not None else []
+
+    def _apply_output(self, output: float) -> int:
+        """Drive the actuator; returns interrupt stall cycles (if any)."""
+        previous_duty = self.actuator.duty
+        new_duty = self.actuator.set_output(output)
+        if new_duty != previous_duty and (
+            (new_duty < 1.0) != (previous_duty < 1.0)
+        ):
+            return self.interrupts.on_transition()
+        return 0
+
     def on_sample(self, max_temperature: float) -> tuple[float, int]:
         """Process one sampling instant.
 
@@ -60,19 +99,37 @@ class DTMManager:
             else max_temperature
         )
         stall = 0
-        if self._sample_index % self.policy.check_interval_samples == 0:
-            previous_duty = self.actuator.duty
+        if self.failsafe is not None:
+            decision = self.failsafe.gate(measurement, self._sample_index)
+            if decision.forced_duty is not None:
+                # Watchdog / degraded mode: the guard owns the duty.
+                # Keep the policy's state machine ticking on the last
+                # good reading (when one exists) so integrators do not
+                # restart cold at re-arm, but discard its command.
+                if (
+                    decision.measurement is not None
+                    and self._sample_index % self.policy.check_interval_samples
+                    == 0
+                ):
+                    self._raw_output = self.policy.decide(decision.measurement)
+                stall = self._apply_output(decision.forced_duty)
+                self._finish_sample()
+                return self.actuator.duty, stall
+            measurement = decision.measurement
+        if (
+            measurement is not None
+            and self._sample_index % self.policy.check_interval_samples == 0
+        ):
             self._raw_output = self.policy.decide(measurement)
-            new_duty = self.actuator.set_output(self._raw_output)
-            if new_duty != previous_duty and (
-                (new_duty < 1.0) != (previous_duty < 1.0)
-            ):
-                stall = self.interrupts.on_transition()
+            stall = self._apply_output(self._raw_output)
+        self._finish_sample()
+        return self.actuator.duty, stall
+
+    def _finish_sample(self) -> None:
         self._sample_index += 1
         self.samples += 1
         if self.actuator.duty < 1.0:
             self.engaged_samples += 1
-        return self.actuator.duty, stall
 
     def reset(self) -> None:
         """Restore the manager, policy, and actuator to initial state."""
@@ -82,8 +139,11 @@ class DTMManager:
         self._raw_output = 1.0
         self.samples = 0
         self.engaged_samples = 0
-        self.interrupts.events = 0
-        self.interrupts.stall_cycles = 0
+        self.interrupts.reset()
+        if self.failsafe is not None:
+            self.failsafe.reset()
+        if self._sensor is not None and hasattr(self._sensor, "reset"):
+            self._sensor.reset()
 
     @property
     def engaged_fraction(self) -> float:

@@ -90,6 +90,33 @@ class FixedTogglePolicy:
         self.comparator.disengage_events = 0
 
 
+class OpenLoopDutyPolicy:
+    """A constant-duty open-loop policy (robustness extension).
+
+    Ignores the measurement entirely and always commands ``duty``.
+    This is the toggle1-style fallback the failsafe layer degrades to
+    when the sensor becomes untrusted (:mod:`repro.dtm.failsafe`); it
+    is also a useful worst-case baseline -- the performance an operator
+    pays for running blind at a conservative duty.
+    """
+
+    is_interrupt_driven = False
+    check_interval_samples = 1
+
+    def __init__(self, duty: float = 0.25, name: str | None = None) -> None:
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigError("open-loop duty must be in [0, 1]")
+        self.duty = duty
+        self.name = name if name is not None else f"fallback@{duty:g}"
+
+    def decide(self, measurement: float) -> float:
+        """Constant duty, whatever the sensor says."""
+        return self.duty
+
+    def reset(self) -> None:
+        """Stateless."""
+
+
 class ManualProportionalPolicy:
     """The paper's hand-built scheme M (Section 5.3).
 
@@ -329,6 +356,7 @@ POLICY_NAMES: tuple[str, ...] = (
     "pi",
     "pid",
     "mpc",
+    "fallback",
 )
 
 
@@ -359,6 +387,8 @@ def make_policy(
         return FixedTogglePolicy(duty, trigger, check_samples, name=kind)
     if kind == "m":
         return ManualProportionalPolicy()
+    if kind == "fallback":
+        return OpenLoopDutyPolicy(name="fallback")
     if kind == "mpc":
         # Model-predictive extension: uses the worst-case block's R/tau
         # directly (the same plant knowledge the CT tuning uses).

@@ -67,3 +67,8 @@ class InterruptModel:
             return 0
         self.stall_cycles += self.cost_cycles
         return self.cost_cycles
+
+    def reset(self) -> None:
+        """Clear the event and stall counters."""
+        self.events = 0
+        self.stall_cycles = 0

@@ -25,7 +25,58 @@ class ControllerError(ReproError):
 
 
 class SimulationError(ReproError):
-    """The simulator reached an inconsistent state or bad input."""
+    """The simulator reached an inconsistent state or bad input.
+
+    ``diagnostics`` optionally carries structured engine state at the
+    moment of failure (sample index, hottest block, last commanded
+    duty, ...) so callers can triage a blown-up run without parsing
+    the message string.
+    """
+
+    def __init__(self, message: str, **diagnostics) -> None:
+        super().__init__(message)
+        self.diagnostics: dict = diagnostics
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if not self.diagnostics:
+            return base
+        detail = ", ".join(
+            f"{key}={value!r}" for key, value in sorted(self.diagnostics.items())
+        )
+        return f"{base} [{detail}]"
+
+
+class FaultError(ReproError):
+    """A fault schedule or fault injector is misconfigured."""
+
+
+class FailsafeEngaged(ReproError):
+    """Informational record of one failsafe state transition.
+
+    The :class:`~repro.dtm.failsafe.FailsafeGuard` *records* these
+    (``DTMManager.failsafe_events``) rather than raising them -- a
+    watchdog that crashed the control loop would defeat its purpose --
+    but they are exceptions so callers who want fail-fast semantics can
+    ``raise`` them directly.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        sample_index: int,
+        state: str,
+        last_good: float | None = None,
+        duty: float | None = None,
+    ) -> None:
+        super().__init__(
+            f"failsafe {state} at sample {sample_index}: {reason}"
+        )
+        self.reason = reason
+        self.sample_index = sample_index
+        self.state = state
+        self.last_good = last_good
+        self.duty = duty
 
 
 class WorkloadError(ReproError):

@@ -31,6 +31,7 @@ Ablation   :mod:`repro.experiments.ablation_quantization`
 Ablation   :mod:`repro.experiments.ablation_mechanisms`
 Ablation   :mod:`repro.experiments.ablation_sensors`
 Ablation   :mod:`repro.experiments.ablation_placement`
+Ablation   :mod:`repro.experiments.ablation_faults`
 Extension  :mod:`repro.experiments.extension_hierarchical`
 Extension  :mod:`repro.experiments.extension_leakage`
 Extension  :mod:`repro.experiments.extension_full_suite`
@@ -75,6 +76,7 @@ ALL_EXPERIMENTS: tuple[str, ...] = (
     "ablation_mechanisms",
     "ablation_sensors",
     "ablation_placement",
+    "ablation_faults",
     "extension_hierarchical",
     "extension_leakage",
     "extension_full_suite",

@@ -1,0 +1,34 @@
+"""Fault injection for sensors and actuators (robustness extension).
+
+The paper assumes ideal, co-located sensors and a perfectly obedient
+toggling actuator, flagging realistic sensing as future work.  This
+package supplies the missing stress machinery:
+
+* :mod:`repro.faults.schedule` -- :class:`FaultSchedule`, a seeded,
+  stateless (counter-based) per-sample fault event source, plus
+  :class:`FaultWindow` for scheduled stuck-at / ignored-command
+  intervals;
+* :mod:`repro.faults.sensor` -- :class:`FaultySensor`, wrapping any
+  sensor model with dropout (``NaN``), spikes, drift, staleness, and
+  stuck-at faults;
+* :mod:`repro.faults.actuator` -- :class:`FaultyActuator`, wrapping
+  the fetch-toggling actuator with stuck-duty and ignored-command
+  faults.
+
+Everything is deterministic under a fixed seed: two runs built from
+identical schedules produce identical metrics.  The failsafe layer
+that *defends* against these faults lives in
+:mod:`repro.dtm.failsafe`, not here -- injection and mitigation are
+deliberately independent subsystems.
+"""
+
+from repro.faults.actuator import FaultyActuator
+from repro.faults.schedule import FaultSchedule, FaultWindow
+from repro.faults.sensor import FaultySensor
+
+__all__ = [
+    "FaultSchedule",
+    "FaultWindow",
+    "FaultySensor",
+    "FaultyActuator",
+]

@@ -1,0 +1,81 @@
+"""Actuator fault injection.
+
+:class:`FaultyActuator` wraps a :class:`~repro.dtm.mechanisms.
+FetchToggling` actuator (or anything with its ``duty`` /
+``set_output`` / ``reset`` surface) and corrupts *commands* according
+to a :class:`~repro.faults.schedule.FaultSchedule`:
+
+* **stuck-at windows** pin the duty -- either at the window's
+  configured level or, with ``value=None``, frozen at whatever duty
+  was in force when the window opened (a latched toggling controller);
+* **ignored-command windows** silently drop ``set_output`` calls, so
+  the duty stays at its last accepted level (a wedged command bus).
+
+The controller keeps issuing commands throughout; the wrapper records
+how many were overridden or dropped so experiments can report
+actuation fidelity alongside thermal outcomes.
+"""
+
+from __future__ import annotations
+
+from repro.faults.schedule import FaultSchedule
+
+
+class FaultyActuator:
+    """Wrap ``inner`` and inject the actuation faults of ``schedule``."""
+
+    def __init__(self, inner, schedule: FaultSchedule) -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self._index = 0
+        self._frozen_duty: float | None = None
+        # Injection counters.
+        self.ignored_commands = 0
+        self.stuck_commands = 0
+
+    @property
+    def duty(self) -> float:
+        """Duty currently applied by the wrapped actuator."""
+        return self.inner.duty
+
+    @property
+    def levels(self) -> int:
+        """Quantization levels of the wrapped actuator."""
+        return self.inner.levels
+
+    def quantize(self, output: float) -> float:
+        """Delegate quantization to the wrapped actuator."""
+        return self.inner.quantize(output)
+
+    def allows(self, cycle: int) -> bool:
+        """Delegate the per-cycle fetch gate to the wrapped actuator."""
+        return self.inner.allows(cycle)
+
+    def set_output(self, output: float) -> float:
+        """Apply one command through the fault model; returns the duty."""
+        index = self._index
+        self._index += 1
+        schedule = self.schedule
+
+        window = schedule.actuator_stuck(index)
+        if window is not None:
+            if self._frozen_duty is None:
+                self._frozen_duty = (
+                    self.inner.duty if window.value is None else window.value
+                )
+            self.stuck_commands += 1
+            return self.inner.set_output(self._frozen_duty)
+        self._frozen_duty = None
+
+        if schedule.actuator_ignores(index):
+            self.ignored_commands += 1
+            return self.inner.duty
+        return self.inner.set_output(output)
+
+    def reset(self) -> None:
+        """Reset the wrapped actuator and restart the fault stream."""
+        self.inner.reset()
+        self._index = 0
+        self._frozen_duty = None
+        self.ignored_commands = 0
+        self.stuck_commands = 0

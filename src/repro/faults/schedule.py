@@ -1,0 +1,197 @@
+"""Deterministic, seeded fault schedules.
+
+A :class:`FaultSchedule` decides, for every sample index, which faults
+are active.  Two kinds of faults coexist:
+
+* **stochastic** faults (dropout, spikes, stale readings) drawn from a
+  counter-based PRNG -- each ``(seed, channel, index)`` triple maps to
+  one pseudo-random draw, so the schedule is *stateless*: queries are
+  order-independent, repeatable, and bit-reproducible for a fixed seed;
+* **scheduled** faults (stuck-at windows, ignored-command windows)
+  given explicitly as half-open sample intervals ``[start, end)``.
+
+Statelessness matters because the sensor and the actuator consult the
+same schedule at slightly different times; a shared mutable RNG would
+make fault patterns depend on call interleaving and break the
+reproducibility contract (two runs with the same seeds must produce
+identical :class:`~repro.sim.results.RunResult` metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+#: Channel tags keeping the per-fault random streams independent.
+_CH_DROPOUT = 1
+_CH_SPIKE = 2
+_CH_SPIKE_SIGN = 3
+_CH_STALE = 4
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled fault interval over samples ``[start, end)``.
+
+    ``value`` is fault-specific: the forced duty for an actuator
+    stuck-at window (``None`` = freeze at the pre-window duty), unused
+    for ignored-command and sensor stuck-at windows.
+    """
+
+    start: int
+    end: int
+    value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise FaultError("fault window cannot start before sample 0")
+        if self.end <= self.start:
+            raise FaultError("fault window must have positive length")
+
+    def active(self, index: int) -> bool:
+        """True if sample ``index`` falls inside this window."""
+        return self.start <= index < self.end
+
+
+def _windows(spec) -> tuple[FaultWindow, ...]:
+    """Normalize ``(start, end)`` pairs / FaultWindows to a tuple."""
+    out = []
+    for item in spec:
+        if isinstance(item, FaultWindow):
+            out.append(item)
+        else:
+            out.append(FaultWindow(*item))
+    return tuple(out)
+
+
+class FaultSchedule:
+    """Seeded per-sample fault event source (see module docstring).
+
+    Rates are per-sample probabilities in [0, 1].  ``drift_per_sample``
+    is a deterministic additive sensor drift in K/sample.  Window
+    arguments accept ``(start, end)`` tuples or :class:`FaultWindow`
+    instances.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        dropout_rate: float = 0.0,
+        spike_rate: float = 0.0,
+        spike_magnitude: float = 5.0,
+        stale_rate: float = 0.0,
+        stale_depth: int = 4,
+        drift_per_sample: float = 0.0,
+        sensor_stuck_windows=(),
+        actuator_stuck_windows=(),
+        actuator_ignore_windows=(),
+    ) -> None:
+        for name, rate in (
+            ("dropout_rate", dropout_rate),
+            ("spike_rate", spike_rate),
+            ("stale_rate", stale_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} must be a probability in [0, 1]")
+        if spike_magnitude < 0:
+            raise FaultError("spike_magnitude must be non-negative")
+        if stale_depth < 1:
+            raise FaultError("stale_depth must be at least one sample")
+        self.seed = int(seed)
+        self.dropout_rate = dropout_rate
+        self.spike_rate = spike_rate
+        self.spike_magnitude = spike_magnitude
+        self.stale_rate = stale_rate
+        self.stale_depth = stale_depth
+        self.drift_per_sample = drift_per_sample
+        self.sensor_stuck_windows = _windows(sensor_stuck_windows)
+        self.actuator_stuck_windows = _windows(actuator_stuck_windows)
+        self.actuator_ignore_windows = _windows(actuator_ignore_windows)
+
+    # -- counter-based randomness -------------------------------------------
+    def _draw(self, channel: int, index: int) -> float:
+        """One uniform draw in [0, 1) for ``(seed, channel, index)``.
+
+        A SplitMix64-style finalizer over the mixed counter gives a
+        platform-independent, bit-reproducible stream with no mutable
+        state -- the same triple always yields the same draw, whatever
+        the query order.
+        """
+        mask = 0xFFFFFFFFFFFFFFFF
+        x = (
+            self.seed * 0x9E3779B97F4A7C15
+            + channel * 0xBF58476D1CE4E5B9
+            + index * 0x94D049BB133111EB
+            + 0x2545F4914F6CDD1D
+        ) & mask
+        x ^= x >> 30
+        x = (x * 0xBF58476D1CE4E5B9) & mask
+        x ^= x >> 27
+        x = (x * 0x94D049BB133111EB) & mask
+        x ^= x >> 31
+        return x / 2.0**64
+
+    # -- stochastic sensor faults -------------------------------------------
+    def dropout(self, index: int) -> bool:
+        """True if the reading at ``index`` is lost (reported ``NaN``)."""
+        if not self.dropout_rate:
+            return False
+        return self._draw(_CH_DROPOUT, index) < self.dropout_rate
+
+    def spike(self, index: int) -> float:
+        """Additive spike [K] at ``index`` (0.0 when no spike fires)."""
+        if not self.spike_rate:
+            return 0.0
+        if self._draw(_CH_SPIKE, index) >= self.spike_rate:
+            return 0.0
+        sign = 1.0 if self._draw(_CH_SPIKE_SIGN, index) < 0.5 else -1.0
+        return sign * self.spike_magnitude
+
+    def stale(self, index: int) -> bool:
+        """True if the reading at ``index`` is a stale (latent) sample."""
+        if not self.stale_rate:
+            return False
+        return self._draw(_CH_STALE, index) < self.stale_rate
+
+    def drift(self, index: int) -> float:
+        """Accumulated additive drift [K] at ``index``."""
+        return self.drift_per_sample * index
+
+    # -- scheduled faults ---------------------------------------------------
+    def sensor_stuck(self, index: int) -> FaultWindow | None:
+        """The active sensor stuck-at window, if any.
+
+        A window with ``value=None`` freezes the sensor at its last
+        pre-window reading; a window with an explicit ``value`` rails
+        the sensor at that fixed reading (a stuck ADC code).
+        """
+        for window in self.sensor_stuck_windows:
+            if window.active(index):
+                return window
+        return None
+
+    def actuator_stuck(self, index: int) -> FaultWindow | None:
+        """The active actuator stuck-at window, if any."""
+        for window in self.actuator_stuck_windows:
+            if window.active(index):
+                return window
+        return None
+
+    def actuator_ignores(self, index: int) -> bool:
+        """True while the actuator silently drops commands."""
+        return any(w.active(index) for w in self.actuator_ignore_windows)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the schedule can never produce a fault."""
+        return (
+            not self.dropout_rate
+            and not self.spike_rate
+            and not self.stale_rate
+            and not self.drift_per_sample
+            and not self.sensor_stuck_windows
+            and not self.actuator_stuck_windows
+            and not self.actuator_ignore_windows
+        )

@@ -1,0 +1,107 @@
+"""Sensor fault injection.
+
+:class:`FaultySensor` wraps any object with the sensor protocol
+(``read(true_temperature) -> float``; see :mod:`repro.thermal.sensors`)
+and corrupts its readings according to a :class:`~repro.faults.schedule.
+FaultSchedule`.  Faults compose in a fixed, physically motivated order:
+
+1. the wrapped sensor produces its (possibly noisy/quantized) reading;
+2. **staleness** replaces it with the reading from ``stale_depth``
+   samples ago (a latent sensor bus);
+3. **stuck-at** freezes the output at the last pre-window value
+   (a dead ADC holding its register);
+4. **drift** adds a slowly accumulating bias (aging / self-heating);
+5. **spikes** add large transient glitches (coupling noise);
+6. **dropout** loses the sample entirely and reports ``NaN``.
+
+With every rate at zero and no windows the wrapper is byte-identical
+to the wrapped sensor (a property test asserts this).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.faults.schedule import FaultSchedule
+
+
+class FaultySensor:
+    """Wrap ``inner`` and inject the faults driven by ``schedule``."""
+
+    def __init__(self, inner, schedule: FaultSchedule) -> None:
+        self.inner = inner
+        self.schedule = schedule
+        self._index = 0
+        #: Recent *pre-fault* readings, newest last, for staleness.
+        self._recent: deque[float] = deque(maxlen=schedule.stale_depth + 1)
+        #: Value held while a stuck-at window is active.
+        self._stuck_value: float | None = None
+        # Injection counters (introspection / experiment reporting).
+        self.dropouts = 0
+        self.spikes = 0
+        self.stale_reads = 0
+        self.stuck_reads = 0
+
+    @property
+    def sample_index(self) -> int:
+        """Index of the next sample to be read."""
+        return self._index
+
+    def read(self, true_temperature: float) -> float:
+        """Return the (possibly corrupted) measurement [degC]."""
+        index = self._index
+        self._index += 1
+        schedule = self.schedule
+        reading = self.inner.read(true_temperature)
+        self._recent.append(reading)
+
+        if schedule.is_trivial:
+            return reading
+
+        if schedule.stale(index) and len(self._recent) > 1:
+            # Oldest retained reading = `stale_depth` samples back
+            # (or the oldest available early in the run).
+            reading = self._recent[0]
+            self.stale_reads += 1
+
+        window = schedule.sensor_stuck(index)
+        if window is not None:
+            if self._stuck_value is None:
+                # A window with an explicit value rails the sensor at
+                # that reading (stuck ADC code); otherwise freeze at
+                # the last value reported *before* the window.
+                if window.value is not None:
+                    self._stuck_value = window.value
+                else:
+                    self._stuck_value = (
+                        self._recent[-2] if len(self._recent) > 1 else reading
+                    )
+            reading = self._stuck_value
+            self.stuck_reads += 1
+        else:
+            self._stuck_value = None
+
+        drift = schedule.drift(index)
+        if drift:
+            reading += drift
+
+        spike = schedule.spike(index)
+        if spike:
+            reading += spike
+            self.spikes += 1
+
+        if schedule.dropout(index):
+            self.dropouts += 1
+            return math.nan
+        return reading
+
+    def reset(self) -> None:
+        """Restart the fault stream (same schedule, sample 0)."""
+        self._index = 0
+        self._recent.clear()
+        self._stuck_value = None
+        self.dropouts = 0
+        self.spikes = 0
+        self.stale_reads = 0
+        self.stuck_reads = 0

@@ -65,6 +65,8 @@ class FastEngine:
         supply_efficiency: float = DEFAULT_SUPPLY_EFFICIENCY,
         leakage=None,
         monitored_blocks: tuple[str, ...] | None = None,
+        failsafe=None,
+        actuator=None,
     ) -> None:
         if not 0.0 < supply_efficiency <= 1.0:
             raise SimulationError("supply_efficiency must be in (0, 1]")
@@ -76,7 +78,16 @@ class FastEngine:
         )
         self.dtm_config = dtm_config if dtm_config is not None else DTMConfig()
         self.policy = policy if policy is not None else NoDTMPolicy()
-        self.manager = DTMManager(self.policy, self.dtm_config, sensor=sensor)
+        # ``failsafe`` is a FailsafeConfig or prebuilt FailsafeGuard;
+        # ``actuator`` lets fault-injection wrappers replace the stock
+        # FetchToggling (see repro.faults).
+        self.manager = DTMManager(
+            self.policy,
+            self.dtm_config,
+            sensor=sensor,
+            failsafe=failsafe,
+            actuator=actuator,
+        )
         self.power_model = PowerModel(self.floorplan, gating=gating)
         self.thermal = LumpedThermalModel(
             self.floorplan,
@@ -149,6 +160,8 @@ class FastEngine:
         samples = 0
         total_committed = 0.0  # includes warmup; drives phase position
         warmup_budget = max_cycles  # warmup gets the same cycle safety net
+        warmup_cycles = 0
+        warmup_samples = 0
         history_rows: list[tuple] = []
 
         while committed < instructions and cycles < max_cycles:
@@ -187,13 +200,49 @@ class FastEngine:
             steady = self.thermal.steady_state(powers)
             end = self.thermal.advance(powers, sample)
 
+            # Guard rails: a non-finite power or temperature means the
+            # loop has blown up (NaN sensor feedback, runaway gains,
+            # ...).  Fail loudly with the state needed to triage it
+            # instead of silently poisoning every downstream metric.
+            if not np.isfinite(chip_power) or not np.all(np.isfinite(end)):
+                bad = (
+                    names[int(np.argmin(np.isfinite(end)))]
+                    if not np.all(np.isfinite(end))
+                    else self.thermal.hottest_block
+                )
+                raise SimulationError(
+                    f"non-finite simulation state in profile "
+                    f"{self.profile.name!r}",
+                    sample_index=self.manager.samples - 1,
+                    block=bad,
+                    duty=duty,
+                    chip_power=chip_power,
+                    policy=self.policy.name,
+                )
+
             sample_committed = effective_ipc * max(0, sample - stall)
             total_committed += sample_committed
             if warmup_remaining > 0:
+                # Warmup samples are excluded from every metric but
+                # still advance the samples-independent safety
+                # accounting, so a wedged warmup is diagnosable.
                 warmup_remaining -= sample_committed
                 warmup_budget -= sample
+                warmup_cycles += sample
+                warmup_samples += 1
                 if warmup_budget <= 0:
-                    raise SimulationError("warmup exceeded the cycle budget")
+                    raise SimulationError(
+                        f"warmup of profile {self.profile.name!r} exceeded "
+                        f"its cycle budget of {max_cycles:,} cycles "
+                        f"({warmup_samples:,} samples consumed, "
+                        f"{warmup_remaining:,.0f} warmup instructions "
+                        f"still outstanding)",
+                        sample_index=self.manager.samples - 1,
+                        warmup_cycles=warmup_cycles,
+                        warmup_budget=max_cycles,
+                        duty=duty,
+                        policy=self.policy.name,
+                    )
                 continue
 
             em_frac = self.thermal.fraction_above(
@@ -230,7 +279,19 @@ class FastEngine:
                 )
 
         if samples == 0:
-            raise SimulationError("run produced no samples")
+            raise SimulationError(
+                f"run of profile {self.profile.name!r} produced no samples",
+                policy=self.policy.name,
+                max_cycles=max_cycles,
+            )
+
+        extra: dict[str, float] = {}
+        guard = self.manager.failsafe
+        if guard is not None:
+            extra["failsafe_engagements"] = float(guard.engagements)
+            extra["failsafe_rejected_samples"] = float(guard.rejected_samples)
+            extra["failsafe_degraded_samples"] = float(guard.degraded_samples)
+            extra["failsafe_forced_samples"] = float(guard.failsafe_samples)
 
         history = None
         if self.record_history:
@@ -274,4 +335,5 @@ class FastEngine:
             interrupt_events=self.manager.interrupts.events,
             interrupt_stall_cycles=interrupt_stalls,
             history=history,
+            extra=extra,
         )

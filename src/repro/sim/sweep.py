@@ -12,10 +12,13 @@ from typing import Iterable, Mapping
 
 from repro.config import DTMConfig, MachineConfig, ThermalConfig
 from repro.control.pid import AntiWindup
+from repro.dtm.mechanisms import FetchToggling
 from repro.dtm.policies import make_policy
+from repro.faults import FaultSchedule, FaultyActuator, FaultySensor
 from repro.sim.fast import FastEngine
 from repro.sim.results import RunResult
 from repro.thermal.floorplan import Floorplan
+from repro.thermal.sensors import IdealSensor
 from repro.workloads.profiles import BENCHMARKS, get_profile
 
 #: Default instruction budget per run (fast-engine samples are cheap;
@@ -37,11 +40,20 @@ def run_one(
     setpoint: float | None = None,
     sensor=None,
     policy=None,
+    fault_schedule: FaultSchedule | None = None,
+    failsafe=None,
 ) -> RunResult:
     """Run one benchmark under one named policy.
 
     Pass a prebuilt ``policy`` object to bypass the name-based factory
     (used for custom policies such as the hierarchical extension).
+
+    ``fault_schedule`` wraps the sensor (default: an ideal one) in a
+    :class:`~repro.faults.sensor.FaultySensor` and, when the schedule
+    carries actuator windows, the actuator in a
+    :class:`~repro.faults.actuator.FaultyActuator`.  ``failsafe`` is a
+    :class:`~repro.config.FailsafeConfig` (or prebuilt guard) enabling
+    the failsafe DTM layer.
     """
     floorplan = floorplan if floorplan is not None else Floorplan.default()
     if policy is None:
@@ -52,6 +64,19 @@ def run_one(
             anti_windup=anti_windup,
             setpoint=setpoint,
         )
+    actuator = None
+    if fault_schedule is not None:
+        sensor = FaultySensor(
+            sensor if sensor is not None else IdealSensor(), fault_schedule
+        )
+        if (
+            fault_schedule.actuator_stuck_windows
+            or fault_schedule.actuator_ignore_windows
+        ):
+            config = dtm_config if dtm_config is not None else DTMConfig()
+            actuator = FaultyActuator(
+                FetchToggling(config.toggle_levels), fault_schedule
+            )
     engine = FastEngine(
         get_profile(benchmark),
         policy=policy,
@@ -62,6 +87,8 @@ def run_one(
         seed=seed,
         record_history=record_history,
         sensor=sensor,
+        failsafe=failsafe,
+        actuator=actuator,
     )
     return engine.run(instructions=instructions)
 

@@ -50,6 +50,9 @@ class LumpedThermalModel:
             [block.capacitance for block in floorplan.blocks], dtype=float
         )
         self._tau = self._resistance * self._capacitance
+        #: Forward Euler diverges at dt >= 2*min(tau); precomputed for
+        #: the per-cycle hot path.
+        self._euler_limit = 2.0 * float(self._tau.min())
         start = (
             self.heatsink_temperature
             if initial_temperature is None
@@ -98,7 +101,20 @@ class LumpedThermalModel:
 
         ``powers`` is an array of per-block power [W] in floorplan
         order.  Returns the new temperatures (a view copy).
+
+        Forward Euler on ``dT/dt = (P - (T - T_sink)/R) / C`` is only
+        stable for ``dt < 2 * tau``; at or beyond that the update
+        oscillates with growing amplitude and silently produces garbage
+        temperatures.  A timestep that large is rejected outright --
+        use :meth:`advance` (exact for constant power) instead.
         """
+        if self.cycle_time >= self._euler_limit:
+            raise ThermalModelError(
+                f"cycle_time {self.cycle_time:g} s is forward-Euler "
+                f"unstable: it must stay below 2*min(tau) = "
+                f"{self._euler_limit:g} s; use advance() for long "
+                f"constant-power intervals"
+            )
         powers = np.asarray(powers, dtype=float)
         if powers.shape != self._temps.shape:
             raise ThermalModelError(
@@ -160,6 +176,10 @@ class LumpedThermalModel:
         """
         start = np.asarray(start, dtype=float)
         steady = np.asarray(steady, dtype=float)
+        if duration_seconds <= 0:
+            # Zero-duration limit: the fraction degenerates to the
+            # instantaneous indicator "strictly above threshold now".
+            return (start > threshold).astype(float)
         tau = self._tau
         with np.errstate(divide="ignore", invalid="ignore"):
             ratio = (steady - start) / (steady - threshold)

@@ -6,14 +6,32 @@ We provide the ideal sensor plus two realistic variants -- additive
 Gaussian noise and quantization -- so the controller experiments can
 probe robustness (one of the paper's claims is that feedback control
 remains effective when the plant or sensing is imperfectly modeled).
+
+Every sensor implements the :class:`Sensor` protocol -- a single
+``read(true_temperature) -> float`` method.  Wrappers compose: the
+fault injector :class:`~repro.faults.sensor.FaultySensor` accepts any
+of these models as its inner sensor, and the failsafe layer
+(:mod:`repro.dtm.failsafe`) treats whatever comes out as untrusted.
+Note that sensors may legitimately return ``NaN`` (a dropped reading);
+*consumers*, not sensors, decide how to handle implausible values.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from typing import Protocol, runtime_checkable
 
 from repro.errors import ConfigError
+
+
+@runtime_checkable
+class Sensor(Protocol):
+    """Structural type of every temperature sensor model."""
+
+    def read(self, true_temperature: float) -> float:
+        """Return the measured temperature [degC] (may be ``NaN``)."""
+        ...  # pragma: no cover - protocol stub
 
 
 class IdealSensor:

@@ -1,0 +1,223 @@
+"""Unit tests for the failsafe DTM layer (repro.dtm.failsafe)."""
+
+import math
+
+import pytest
+
+from repro.config import DTMConfig, FailsafeConfig
+from repro.dtm.failsafe import FailsafeGuard, FailsafeState
+from repro.dtm.manager import DTMManager
+from repro.dtm.policies import NoDTMPolicy, OpenLoopDutyPolicy, make_policy
+from repro.errors import ConfigError, FailsafeEngaged
+
+
+def make_guard(**overrides) -> FailsafeGuard:
+    defaults = dict(
+        max_stale_samples=3,
+        stuck_detection_samples=4,
+        failsafe_temperature=101.9,
+        failsafe_duty=0.0,
+        fallback_duty=0.25,
+        rearm_margin=0.2,
+        rearm_samples=3,
+    )
+    defaults.update(overrides)
+    return FailsafeGuard(FailsafeConfig(**defaults))
+
+
+class TestFailsafeConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FailsafeConfig(min_plausible=50.0, max_plausible=10.0)
+        with pytest.raises(ConfigError):
+            FailsafeConfig(stuck_detection_samples=1)
+        with pytest.raises(ConfigError):
+            FailsafeConfig(max_stale_samples=0)
+        with pytest.raises(ConfigError):
+            FailsafeConfig(failsafe_duty=1.5)
+        with pytest.raises(ConfigError):
+            FailsafeConfig(fallback_duty=-0.1)
+        with pytest.raises(ConfigError):
+            FailsafeConfig(rearm_margin=-1.0)
+        with pytest.raises(ConfigError):
+            FailsafeConfig(rearm_samples=0)
+
+
+class TestPlausibilityGate:
+    def test_passes_plausible_readings(self):
+        guard = make_guard()
+        decision = guard.gate(101.0, 0)
+        assert decision.measurement == 101.0
+        assert decision.forced_duty is None
+        assert decision.state is FailsafeState.NOMINAL
+
+    def test_rejects_nan_and_holds_last_good(self):
+        guard = make_guard()
+        guard.gate(100.5, 0)
+        decision = guard.gate(math.nan, 1)
+        assert decision.measurement == 100.5
+        assert guard.rejected_samples == 1
+
+    def test_rejects_out_of_range(self):
+        guard = make_guard(max_stale_samples=10)
+        guard.gate(100.0, 0)
+        for bad in (math.inf, -math.inf, 200.0, -50.0):
+            decision = guard.gate(bad, 1)
+            assert decision.measurement == 100.0
+
+    def test_no_reading_before_first_good_sample(self):
+        guard = make_guard()
+        decision = guard.gate(math.nan, 0)
+        assert decision.measurement is None
+        assert decision.forced_duty is None
+
+    def test_stuck_repeats_become_implausible(self):
+        guard = make_guard(stuck_detection_samples=3, max_stale_samples=100)
+        for index in range(10):
+            decision = guard.gate(100.0, index)
+        # After 3 identical repeats the reading is rejected.
+        assert guard.rejected_samples == 10 - 3
+        assert decision.measurement == 100.0  # held last-good
+
+    def test_disabled_guard_is_passthrough(self):
+        guard = FailsafeGuard(FailsafeConfig(enabled=False))
+        decision = guard.gate(math.nan, 0)
+        assert math.isnan(decision.measurement)
+        assert decision.forced_duty is None
+        assert guard.rejected_samples == 0
+
+
+class TestWatchdog:
+    def test_forces_min_duty_above_threshold(self):
+        guard = make_guard()
+        decision = guard.gate(101.95, 0)
+        assert decision.state is FailsafeState.FAILSAFE
+        assert decision.forced_duty == 0.0
+        assert guard.engagements == 1
+        assert guard.events and isinstance(guard.events[0], FailsafeEngaged)
+
+    def test_hysteretic_rearm(self):
+        guard = make_guard(rearm_samples=3, rearm_margin=0.2)
+        guard.gate(101.95, 0)
+        # Cooling but inside the hysteresis band: stays in failsafe.
+        decision = guard.gate(101.8, 1)
+        assert decision.state is FailsafeState.FAILSAFE
+        # Three consecutive samples below threshold - margin re-arm.
+        guard.gate(101.6, 2)
+        guard.gate(101.6, 3)
+        decision = guard.gate(101.6, 4)
+        assert decision.state is FailsafeState.NOMINAL
+        assert decision.forced_duty is None
+
+    def test_rearm_streak_resets_on_hot_sample(self):
+        guard = make_guard(rearm_samples=3, rearm_margin=0.2)
+        guard.gate(101.95, 0)
+        guard.gate(101.6, 1)
+        guard.gate(101.6, 2)
+        guard.gate(101.95, 3)  # hot again: streak resets
+        guard.gate(101.6, 4)
+        decision = guard.gate(101.6, 5)
+        assert decision.state is FailsafeState.FAILSAFE
+
+
+class TestDegradation:
+    def test_degrades_after_stale_budget(self):
+        guard = make_guard(max_stale_samples=3)
+        guard.gate(100.0, 0)
+        for index in range(1, 4):
+            decision = guard.gate(math.nan, index)
+            assert decision.state is FailsafeState.NOMINAL
+        decision = guard.gate(math.nan, 4)
+        assert decision.state is FailsafeState.DEGRADED
+        assert decision.forced_duty == 0.25
+        assert decision.measurement is None
+
+    def test_degraded_rearms_after_recovery(self):
+        guard = make_guard(max_stale_samples=1, rearm_samples=2)
+        guard.gate(math.nan, 0)
+        decision = guard.gate(math.nan, 1)
+        assert decision.state is FailsafeState.DEGRADED
+        guard.gate(100.0, 2)
+        decision = guard.gate(100.1, 3)
+        assert decision.state is FailsafeState.NOMINAL
+
+    def test_failsafe_degrades_when_readings_die(self):
+        guard = make_guard(max_stale_samples=2)
+        guard.gate(101.95, 0)
+        for index in range(1, 4):
+            decision = guard.gate(math.nan, index)
+        assert decision.state is FailsafeState.DEGRADED
+
+    def test_event_log_is_bounded(self):
+        guard = make_guard(max_stale_samples=1, rearm_samples=1, max_event_log=4)
+        for index in range(0, 200, 2):
+            guard.gate(math.nan, index)      # degrade
+            guard.gate(math.nan, index + 1)
+        assert len(guard.events) <= 4
+
+    def test_reset_restores_nominal(self):
+        guard = make_guard(max_stale_samples=1)
+        guard.gate(math.nan, 0)
+        guard.gate(math.nan, 1)
+        guard.reset()
+        assert guard.state is FailsafeState.NOMINAL
+        assert guard.rejected_samples == 0
+        assert not guard.events
+
+
+class TestManagerIntegration:
+    def test_manager_accepts_config_or_guard(self):
+        manager = DTMManager(NoDTMPolicy(), failsafe=FailsafeConfig())
+        assert isinstance(manager.failsafe, FailsafeGuard)
+        guard = FailsafeGuard()
+        manager = DTMManager(NoDTMPolicy(), failsafe=guard)
+        assert manager.failsafe is guard
+        assert DTMManager(NoDTMPolicy()).failsafe is None
+        assert DTMManager(NoDTMPolicy()).failsafe_state is None
+
+    def test_watchdog_overrides_policy_duty(self):
+        config = FailsafeConfig(
+            failsafe_temperature=101.5, failsafe_duty=0.0, rearm_samples=5
+        )
+        manager = DTMManager(NoDTMPolicy(), failsafe=config)
+        duty, _ = manager.on_sample(101.9)
+        assert duty == 0.0
+        assert manager.failsafe_state is FailsafeState.FAILSAFE
+        assert manager.failsafe_events
+
+    def test_nan_never_reaches_policy(self):
+        seen = []
+
+        class RecordingPolicy(OpenLoopDutyPolicy):
+            def decide(self, measurement):
+                seen.append(measurement)
+                return super().decide(measurement)
+
+        manager = DTMManager(RecordingPolicy(duty=1.0), failsafe=FailsafeConfig())
+        manager.on_sample(100.0)
+        manager.on_sample(math.nan)
+        assert seen == [100.0, 100.0]
+
+    def test_degraded_runs_open_loop(self):
+        config = FailsafeConfig(max_stale_samples=2, fallback_duty=0.25)
+        manager = DTMManager(NoDTMPolicy(), failsafe=config)
+        for _ in range(6):
+            duty, _ = manager.on_sample(math.nan)
+        assert manager.failsafe_state is FailsafeState.DEGRADED
+        # 0.25 lands on a representable duty level (8 levels: 2/7 ~ 0.286).
+        assert duty < 1.0
+
+    def test_manager_reset_resets_guard_and_interrupts(self):
+        config = FailsafeConfig(max_stale_samples=1)
+        manager = DTMManager(
+            make_policy("toggle1"), DTMConfig(use_interrupts=True),
+            failsafe=config,
+        )
+        manager.on_sample(math.nan)
+        manager.on_sample(math.nan)
+        manager.on_sample(math.nan)
+        manager.reset()
+        assert manager.failsafe_state is FailsafeState.NOMINAL
+        assert manager.interrupts.events == 0
+        assert manager.interrupts.stall_cycles == 0
+        assert manager.samples == 0

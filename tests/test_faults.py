@@ -1,0 +1,204 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import math
+
+import pytest
+
+from repro.dtm.mechanisms import FetchToggling
+from repro.errors import FaultError
+from repro.faults import FaultSchedule, FaultWindow, FaultyActuator, FaultySensor
+from repro.thermal.sensors import IdealSensor, NoisySensor
+
+
+class TestFaultWindow:
+    def test_active_is_half_open(self):
+        window = FaultWindow(10, 20)
+        assert not window.active(9)
+        assert window.active(10)
+        assert window.active(19)
+        assert not window.active(20)
+
+    def test_rejects_bad_intervals(self):
+        with pytest.raises(FaultError):
+            FaultWindow(-1, 5)
+        with pytest.raises(FaultError):
+            FaultWindow(5, 5)
+        with pytest.raises(FaultError):
+            FaultWindow(7, 3)
+
+
+class TestFaultSchedule:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(FaultError):
+            FaultSchedule(dropout_rate=1.5)
+        with pytest.raises(FaultError):
+            FaultSchedule(spike_rate=-0.1)
+        with pytest.raises(FaultError):
+            FaultSchedule(stale_rate=2.0)
+        with pytest.raises(FaultError):
+            FaultSchedule(spike_magnitude=-1.0)
+        with pytest.raises(FaultError):
+            FaultSchedule(stale_depth=0)
+
+    def test_trivial_schedule_never_fires(self):
+        schedule = FaultSchedule(seed=3)
+        assert schedule.is_trivial
+        for index in range(200):
+            assert not schedule.dropout(index)
+            assert schedule.spike(index) == 0.0
+            assert not schedule.stale(index)
+            assert schedule.drift(index) == 0.0
+            assert schedule.sensor_stuck(index) is None
+            assert schedule.actuator_stuck(index) is None
+            assert not schedule.actuator_ignores(index)
+
+    def test_draws_are_order_independent(self):
+        schedule = FaultSchedule(seed=11, dropout_rate=0.3)
+        forward = [schedule.dropout(i) for i in range(100)]
+        backward = [schedule.dropout(i) for i in reversed(range(100))]
+        assert forward == list(reversed(backward))
+
+    def test_rates_are_approximately_honored(self):
+        schedule = FaultSchedule(seed=5, dropout_rate=0.2)
+        hits = sum(schedule.dropout(i) for i in range(5000))
+        assert 0.15 < hits / 5000 < 0.25
+
+    def test_channels_are_independent(self):
+        schedule = FaultSchedule(seed=5, dropout_rate=0.5, stale_rate=0.5)
+        dropouts = [schedule.dropout(i) for i in range(200)]
+        stales = [schedule.stale(i) for i in range(200)]
+        assert dropouts != stales
+
+    def test_window_tuples_are_normalized(self):
+        schedule = FaultSchedule(sensor_stuck_windows=[(5, 8)])
+        assert schedule.sensor_stuck(5) == FaultWindow(5, 8)
+        assert not schedule.is_trivial
+
+    def test_drift_accumulates_linearly(self):
+        schedule = FaultSchedule(drift_per_sample=0.01)
+        assert schedule.drift(0) == 0.0
+        assert schedule.drift(100) == pytest.approx(1.0)
+
+
+class TestFaultySensor:
+    def test_dropout_reports_nan(self):
+        sensor = FaultySensor(IdealSensor(), FaultSchedule(seed=1, dropout_rate=1.0))
+        assert math.isnan(sensor.read(100.0))
+        assert sensor.dropouts == 1
+
+    def test_stuck_at_last_value(self):
+        schedule = FaultSchedule(sensor_stuck_windows=[(2, 5)])
+        sensor = FaultySensor(IdealSensor(), schedule)
+        assert sensor.read(100.0) == 100.0
+        assert sensor.read(101.0) == 101.0
+        # Window [2, 5): every reading repeats the last pre-window one.
+        assert sensor.read(102.0) == 101.0
+        assert sensor.read(103.0) == 101.0
+        assert sensor.read(104.0) == 101.0
+        # Window over: live readings resume.
+        assert sensor.read(105.0) == 105.0
+        assert sensor.stuck_reads == 3
+
+    def test_stuck_at_railed_value(self):
+        schedule = FaultSchedule(
+            sensor_stuck_windows=[FaultWindow(1, 3, value=42.0)]
+        )
+        sensor = FaultySensor(IdealSensor(), schedule)
+        assert sensor.read(100.0) == 100.0
+        assert sensor.read(101.0) == 42.0
+        assert sensor.read(102.0) == 42.0
+        assert sensor.read(103.0) == 103.0
+
+    def test_spikes_add_magnitude(self):
+        schedule = FaultSchedule(seed=2, spike_rate=1.0, spike_magnitude=5.0)
+        sensor = FaultySensor(IdealSensor(), schedule)
+        readings = [sensor.read(100.0) for _ in range(50)]
+        assert all(r in (95.0, 105.0) for r in readings)
+        # Both polarities occur.
+        assert any(r == 95.0 for r in readings)
+        assert any(r == 105.0 for r in readings)
+        assert sensor.spikes == 50
+
+    def test_drift_biases_reading(self):
+        schedule = FaultSchedule(drift_per_sample=0.1)
+        sensor = FaultySensor(IdealSensor(), schedule)
+        assert sensor.read(100.0) == pytest.approx(100.0)
+        assert sensor.read(100.0) == pytest.approx(100.1)
+        assert sensor.read(100.0) == pytest.approx(100.2)
+
+    def test_stale_returns_old_reading(self):
+        schedule = FaultSchedule(seed=0, stale_rate=1.0, stale_depth=2)
+        sensor = FaultySensor(IdealSensor(), schedule)
+        assert sensor.read(100.0) == 100.0  # nothing older yet
+        assert sensor.read(101.0) == 100.0
+        assert sensor.read(102.0) == 100.0
+        assert sensor.read(103.0) == 101.0  # depth-2 lag established
+
+    def test_reset_restarts_fault_stream(self):
+        schedule = FaultSchedule(seed=9, dropout_rate=0.4)
+        sensor = FaultySensor(IdealSensor(), schedule)
+        first = [sensor.read(100.0) for _ in range(50)]
+        sensor.reset()
+        second = [sensor.read(100.0) for _ in range(50)]
+        assert [math.isnan(a) for a in first] == [math.isnan(b) for b in second]
+        assert sensor.sample_index == 50
+
+    def test_wraps_noisy_sensor(self):
+        reference = NoisySensor(noise_sigma=0.1, seed=4)
+        wrapped = FaultySensor(
+            NoisySensor(noise_sigma=0.1, seed=4), FaultSchedule()
+        )
+        for _ in range(20):
+            assert wrapped.read(100.0) == reference.read(100.0)
+
+
+class TestFaultyActuator:
+    def test_delegates_when_trivial(self):
+        actuator = FaultyActuator(FetchToggling(8), FaultSchedule())
+        assert actuator.set_output(0.5) == pytest.approx(0.5, abs=0.08)
+        assert actuator.duty == actuator.inner.duty
+        assert actuator.levels == 8
+        assert actuator.quantize(1.0) == 1.0
+
+    def test_ignore_window_drops_commands(self):
+        schedule = FaultSchedule(actuator_ignore_windows=[(1, 3)])
+        actuator = FaultyActuator(FetchToggling(8), schedule)
+        actuator.set_output(1.0)
+        assert actuator.set_output(0.0) == 1.0  # ignored
+        assert actuator.set_output(0.0) == 1.0  # ignored
+        assert actuator.set_output(0.0) == 0.0  # window over
+        assert actuator.ignored_commands == 2
+
+    def test_stuck_window_freezes_pre_window_duty(self):
+        schedule = FaultSchedule(actuator_stuck_windows=[(1, 3)])
+        actuator = FaultyActuator(FetchToggling(8), schedule)
+        actuator.set_output(1.0)
+        assert actuator.set_output(0.0) == 1.0
+        assert actuator.set_output(0.25) == 1.0
+        assert actuator.stuck_commands == 2
+        assert actuator.set_output(0.0) == 0.0
+
+    def test_stuck_window_with_level(self):
+        schedule = FaultSchedule(
+            actuator_stuck_windows=[FaultWindow(0, 2, value=0.5)]
+        )
+        actuator = FaultyActuator(FetchToggling(8), schedule)
+        assert actuator.set_output(1.0) == pytest.approx(0.5, abs=0.08)
+        assert actuator.set_output(0.0) == pytest.approx(0.5, abs=0.08)
+        assert actuator.set_output(1.0) == 1.0
+
+    def test_allows_delegates_to_inner_gate(self):
+        actuator = FaultyActuator(FetchToggling(8), FaultSchedule())
+        actuator.set_output(1.0)
+        assert all(actuator.allows(cycle) for cycle in range(10))
+
+    def test_reset_clears_state(self):
+        schedule = FaultSchedule(actuator_ignore_windows=[(0, 2)])
+        actuator = FaultyActuator(FetchToggling(8), schedule)
+        actuator.set_output(0.0)
+        actuator.reset()
+        assert actuator.duty == 1.0
+        assert actuator.ignored_commands == 0
+        # Fault stream restarted: the window applies again.
+        actuator.set_output(0.0)
+        assert actuator.duty == 1.0

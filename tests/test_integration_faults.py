@@ -1,0 +1,197 @@
+"""End-to-end fault-injection + failsafe integration tests.
+
+The acceptance scenario: a PI-managed run of ``gcc`` under 5% sensor
+dropout plus a 50-sample railed-sensor fault (stuck at a cold reading)
+must stay within 2x of the fault-free emergency fraction *with* the
+failsafe watchdog, while the identical faults *without* the watchdog
+measurably breach the emergency threshold.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import FailsafeConfig
+from repro.errors import SimulationError
+from repro.faults import FaultSchedule, FaultWindow
+from repro.sim.fast import FastEngine
+from repro.sim.sweep import run_one
+from repro.workloads.profiles import get_profile
+
+INSTRUCTIONS = 1_500_000
+SETPOINT = 101.9
+EMERGENCY = 102.0  # ThermalConfig default emergency temperature
+
+
+def make_schedule(seed: int = 7) -> FaultSchedule:
+    """5% dropout + a 50-sample sensor railed cold at 100.5 degC."""
+    return FaultSchedule(
+        seed,
+        dropout_rate=0.05,
+        sensor_stuck_windows=[FaultWindow(420, 470, value=100.5)],
+    )
+
+
+def make_failsafe() -> FailsafeConfig:
+    return FailsafeConfig(failsafe_temperature=101.97, rearm_margin=0.1)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return run_one(
+        "gcc", "pi", instructions=INSTRUCTIONS, seed=0, setpoint=SETPOINT
+    )
+
+
+@pytest.fixture(scope="module")
+def naked():
+    return run_one(
+        "gcc",
+        "pi",
+        instructions=INSTRUCTIONS,
+        seed=0,
+        setpoint=SETPOINT,
+        fault_schedule=make_schedule(),
+    )
+
+
+@pytest.fixture(scope="module")
+def guarded():
+    return run_one(
+        "gcc",
+        "pi",
+        instructions=INSTRUCTIONS,
+        seed=0,
+        setpoint=SETPOINT,
+        fault_schedule=make_schedule(),
+        failsafe=make_failsafe(),
+    )
+
+
+class TestAcceptanceCriterion:
+    def test_faults_without_watchdog_breach(self, clean, naked):
+        """The unguarded faulty loop measurably overheats."""
+        assert naked.emergency_fraction > clean.emergency_fraction
+        assert naked.emergency_fraction > 0.0
+        assert naked.max_temperature > EMERGENCY
+
+    def test_watchdog_contains_emergency_fraction(self, clean, guarded):
+        """Guarded emergency fraction stays within 2x of fault-free."""
+        assert guarded.emergency_fraction <= 2 * clean.emergency_fraction + 1e-3
+        assert guarded.max_temperature < EMERGENCY
+
+    def test_watchdog_actually_worked(self, guarded):
+        """The guard rejected faulty samples rather than idling."""
+        assert guarded.extra["failsafe_rejected_samples"] > 0
+        assert guarded.extra["failsafe_engagements"] >= 1
+
+    def test_throughput_cost_is_bounded(self, clean, guarded):
+        """Failsafe protection is not a de-facto shutdown."""
+        clean_ipc = clean.instructions / clean.cycles
+        guarded_ipc = guarded.instructions / guarded.cycles
+        assert guarded_ipc > 0.5 * clean_ipc
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self, guarded):
+        """Same schedule seed + engine seed => identical RunResult."""
+        replay = run_one(
+            "gcc",
+            "pi",
+            instructions=INSTRUCTIONS,
+            seed=0,
+            setpoint=SETPOINT,
+            fault_schedule=make_schedule(),
+            failsafe=make_failsafe(),
+        )
+        assert replay.emergency_fraction == guarded.emergency_fraction
+        assert replay.stress_fraction == guarded.stress_fraction
+        assert replay.instructions == guarded.instructions
+        assert replay.cycles == guarded.cycles
+        assert replay.max_temperature == guarded.max_temperature
+        assert replay.mean_chip_power == guarded.mean_chip_power
+        assert replay.energy_joules == guarded.energy_joules
+        assert replay.extra == guarded.extra
+
+    def test_different_fault_seed_changes_outcome(self, naked):
+        other = run_one(
+            "gcc",
+            "pi",
+            instructions=INSTRUCTIONS,
+            seed=0,
+            setpoint=SETPOINT,
+            fault_schedule=FaultSchedule(
+                99,
+                dropout_rate=0.05,
+                sensor_stuck_windows=[FaultWindow(420, 470, value=100.5)],
+            ),
+        )
+        assert other.emergency_fraction != naked.emergency_fraction
+
+
+class TestEngineGuardRails:
+    def test_non_finite_state_raises_structured_error(self):
+        engine = FastEngine(get_profile("gcc"))
+        engine.thermal._temps[2] = math.inf  # corrupt one block
+        with pytest.raises(SimulationError, match="non-finite") as info:
+            engine.run(instructions=10_000)
+        err = info.value
+        assert "gcc" in str(err)
+        assert err.diagnostics["block"] == engine.floorplan.names[2]
+        assert "duty" in err.diagnostics
+        assert "policy" in err.diagnostics
+
+    def test_nan_temperature_also_caught(self):
+        engine = FastEngine(get_profile("gcc"))
+        engine.thermal._temps[:] = math.nan
+        with pytest.raises(SimulationError, match="non-finite"):
+            engine.run(instructions=10_000)
+
+    def test_warmup_budget_exceeded_names_profile(self):
+        engine = FastEngine(get_profile("gcc"))
+        with pytest.raises(SimulationError, match="warmup") as info:
+            engine.run(
+                instructions=1_000,
+                max_cycles=5_000,
+                warmup_instructions=1e12,
+            )
+        err = info.value
+        assert "gcc" in str(err)
+        assert "5,000" in str(err)
+        assert err.diagnostics["warmup_budget"] == 5_000
+        assert err.diagnostics["warmup_cycles"] > 0
+
+    def test_warmup_advances_thermal_state(self):
+        """Warmup is excluded from metrics but runs full dynamics."""
+        warm = FastEngine(get_profile("gcc"))
+        cold = FastEngine(get_profile("gcc"))
+        warmed = warm.run(instructions=50_000, warmup_instructions=500_000)
+        fresh = cold.run(instructions=50_000)
+        assert warmed.instructions == pytest.approx(fresh.instructions, rel=0.1)
+        # The warmed run starts hot, so its mean temperature is higher.
+        warm_mean = np.mean(list(warmed.mean_block_temperature.values()))
+        fresh_mean = np.mean(list(fresh.mean_block_temperature.values()))
+        assert warm_mean > fresh_mean
+
+
+class TestActuatorFaultsEndToEnd:
+    def test_actuator_ignore_window_flows_through_run_one(self):
+        schedule = FaultSchedule(
+            3, actuator_ignore_windows=[FaultWindow(0, 10_000)]
+        )
+        result = run_one(
+            "gcc",
+            "pi",
+            instructions=200_000,
+            seed=0,
+            setpoint=SETPOINT,
+            fault_schedule=schedule,
+        )
+        # Every command ignored: the duty never leaves its initial 1.0,
+        # i.e. the run behaves like the unmanaged baseline.
+        unmanaged = run_one("gcc", "none", instructions=200_000, seed=0)
+        assert result.engaged_fraction == 0.0
+        assert result.max_temperature == pytest.approx(
+            unmanaged.max_temperature, abs=1e-9
+        )

@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the fault-injection subsystem."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSchedule, FaultWindow, FaultySensor
+from repro.thermal.sensors import IdealSensor, NoisySensor, QuantizedSensor
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+temps = st.lists(
+    st.floats(min_value=60.0, max_value=130.0, allow_nan=False),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestScheduleDeterminism:
+    @given(seed=seeds, dropout=rates, spike=rates, stale=rates)
+    @settings(max_examples=50, deadline=None)
+    def test_two_instances_agree_everywhere(self, seed, dropout, spike, stale):
+        """Same seed + rates => bit-identical event streams."""
+        one = FaultSchedule(
+            seed, dropout_rate=dropout, spike_rate=spike, stale_rate=stale
+        )
+        two = FaultSchedule(
+            seed, dropout_rate=dropout, spike_rate=spike, stale_rate=stale
+        )
+        for index in range(0, 400, 7):
+            assert one.dropout(index) == two.dropout(index)
+            assert one.spike(index) == two.spike(index)
+            assert one.stale(index) == two.stale(index)
+
+    @given(seed=seeds, dropout=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_queries_are_stateless(self, seed, dropout):
+        """Query order never changes any answer (counter-based PRNG)."""
+        schedule = FaultSchedule(seed, dropout_rate=dropout)
+        once = {i: schedule.dropout(i) for i in range(100)}
+        # Re-query in a scrambled order, twice.
+        scrambled = np.random.default_rng(0).permutation(100)
+        for i in scrambled:
+            assert schedule.dropout(int(i)) == once[int(i)]
+        for i in reversed(scrambled):
+            assert schedule.dropout(int(i)) == once[int(i)]
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_different_seeds_differ(self, seed):
+        """Different seeds produce different dropout patterns (w.h.p.)."""
+        one = FaultSchedule(seed, dropout_rate=0.5)
+        two = FaultSchedule(seed + 1, dropout_rate=0.5)
+        assert [one.dropout(i) for i in range(128)] != [
+            two.dropout(i) for i in range(128)
+        ]
+
+
+class TestFaultySensorProperties:
+    @given(readings=temps, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_rates_is_byte_identical_to_inner(self, readings, seed):
+        """All rates 0 + no windows => exact pass-through of any sensor."""
+        for make in (
+            IdealSensor,
+            lambda: NoisySensor(noise_sigma=0.07, seed=3),
+            lambda: QuantizedSensor(step=0.25),
+        ):
+            reference = make()
+            wrapped = FaultySensor(make(), FaultSchedule(seed))
+            for true_temp in readings:
+                assert wrapped.read(true_temp) == reference.read(true_temp)
+
+    @given(readings=temps, seed=seeds, dropout=rates)
+    @settings(max_examples=50, deadline=None)
+    def test_replay_is_bit_reproducible(self, readings, seed, dropout):
+        """Two sensors built from equal schedules replay identically."""
+        schedule = dict(
+            dropout_rate=dropout,
+            spike_rate=0.1,
+            stale_rate=0.1,
+            drift_per_sample=0.003,
+            sensor_stuck_windows=[FaultWindow(5, 9)],
+        )
+        one = FaultySensor(IdealSensor(), FaultSchedule(seed, **schedule))
+        two = FaultySensor(IdealSensor(), FaultSchedule(seed, **schedule))
+        for true_temp in readings:
+            a, b = one.read(true_temp), two.read(true_temp)
+            assert (a == b) or (math.isnan(a) and math.isnan(b))
+
+    @given(readings=temps, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_reset_equals_fresh_instance(self, readings, seed):
+        """reset() replays the identical fault stream from sample 0."""
+        schedule = FaultSchedule(seed, dropout_rate=0.2, spike_rate=0.2)
+        sensor = FaultySensor(IdealSensor(), schedule)
+        first = [sensor.read(t) for t in readings]
+        sensor.reset()
+        second = [sensor.read(t) for t in readings]
+        for a, b in zip(first, second):
+            assert (a == b) or (math.isnan(a) and math.isnan(b))
+
+    @given(readings=temps, seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_faults_only_corrupt_flagged_samples(self, readings, seed):
+        """Samples with no scheduled fault pass through untouched."""
+        schedule = FaultSchedule(seed, dropout_rate=0.3, spike_rate=0.3)
+        sensor = FaultySensor(IdealSensor(), schedule)
+        for index, true_temp in enumerate(readings):
+            reading = sensor.read(true_temp)
+            if not schedule.dropout(index) and not schedule.spike(index):
+                assert reading == true_temp

@@ -63,6 +63,27 @@ class TestStepCycle:
         with pytest.raises(ThermalModelError):
             model.step_cycle(np.zeros(3))
 
+    def test_euler_unstable_timestep_rejected(self, floorplan):
+        """dt >= 2*min(tau) diverges under forward Euler: refuse it."""
+        tau = 175e-6  # every default block shares this time constant
+        model = LumpedThermalModel(floorplan, 100.0, cycle_time=2.1 * tau)
+        with pytest.raises(ThermalModelError, match="unstable"):
+            model.step_cycle(np.zeros(7))
+
+    def test_euler_boundary_timestep_rejected(self, floorplan):
+        # Exactly dt == 2*min(tau) (computed in float, as the model does)
+        # marginally oscillates forever: also rejected.
+        tau = min(b.resistance * b.capacitance for b in floorplan.blocks)
+        model = LumpedThermalModel(floorplan, 100.0, cycle_time=2.0 * tau)
+        with pytest.raises(ThermalModelError):
+            model.step_cycle(np.zeros(7))
+
+    def test_advance_accepts_timesteps_euler_cannot(self, floorplan):
+        """The exact exponential update is stable at any horizon."""
+        model = LumpedThermalModel(floorplan, 100.0, cycle_time=2.1 * 175e-6)
+        temps = model.advance(np.full(7, 5.0), 1_000)
+        assert np.all(np.isfinite(temps))
+
 
 class TestAdvance:
     def test_matches_euler_integration(self, floorplan):
@@ -154,6 +175,51 @@ class TestFractionAbove:
         steady = np.full(7, 102.0)  # approaches exactly the threshold
         frac = model.fraction_above(start, steady, 1.0, 102.0)
         assert np.all(frac == 0.0)
+
+    def test_start_exactly_at_threshold_rising(self, model):
+        # Starting ON the threshold and rising: above for all t > 0, so
+        # the whole interval counts (the boundary instant has measure 0).
+        start = np.full(7, 102.0)
+        steady = np.full(7, 103.0)
+        frac = model.fraction_above(start, steady, 1e-3, 102.0)
+        assert np.all(frac == 1.0)
+
+    def test_start_exactly_at_threshold_falling(self, model):
+        # Starting ON the threshold and falling: never strictly above.
+        start = np.full(7, 102.0)
+        steady = np.full(7, 100.0)
+        frac = model.fraction_above(start, steady, 1e-3, 102.0)
+        assert np.all(frac == 0.0)
+
+    def test_steady_exactly_at_threshold_from_above(self, model):
+        # Decaying from above toward exactly the threshold: always above.
+        start = np.full(7, 103.0)
+        steady = np.full(7, 102.0)
+        frac = model.fraction_above(start, steady, 1.0, 102.0)
+        assert np.all(frac == 1.0)
+
+    def test_zero_duration_is_instantaneous_indicator(self, model):
+        start = np.array([101.0, 103.0, 102.0, 100.0, 104.0, 102.5, 99.0])
+        steady = np.full(7, 110.0)
+        frac = model.fraction_above(start, steady, 0.0, 102.0)
+        assert np.array_equal(frac, (start > 102.0).astype(float))
+
+    def test_agrees_with_dense_euler_reference(self, floorplan):
+        # Integrate the same constant-power interval with per-cycle
+        # forward Euler and count cycles above threshold; the analytic
+        # fraction must agree to within one cycle of discretisation.
+        model = LumpedThermalModel(floorplan, 100.0)
+        powers = peak_powers(floorplan)
+        threshold = 102.0
+        cycles = 600_000  # ~2.3 time constants
+        duration = cycles * model.cycle_time
+        start = model.temperatures
+        steady = model.steady_state(powers)
+        frac = model.fraction_above(start, steady, duration, threshold)
+        above = np.zeros(7)
+        for _ in range(cycles):
+            above += model.step_cycle(powers) > threshold
+        assert np.allclose(frac, above / cycles, atol=1e-4)
 
 
 class TestHelpers:
