@@ -1,0 +1,130 @@
+"""Telemetry overhead guard: disabled instrumentation must be free.
+
+The observability layer's contract is that the default (disabled)
+configuration costs the fast engine less than 2% (docs/observability.md).
+The disabled path adds only a handful of hoisted boolean tests per
+sample, so the guard measures both sides of that ratio directly:
+
+* the engine's real per-sample cost (wall time / samples, disabled);
+* the cost of the per-sample disabled-path micro-ops (null-telemetry
+  flag tests and ``is None`` profiler checks), measured in isolation.
+
+The asserted bound -- instrumentation micro-ops < 2% of a sample -- is
+intentionally generous: the measured ratio is typically well under
+0.5%.  A second test asserts the stronger functional property that a
+telemetry-enabled run is *bit-identical* to a disabled one, so
+enabling observability can never change science outputs.
+
+This module needs no pytest plugins (plain ``perf_counter`` timing),
+so CI can run it with only numpy + pytest installed:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_telemetry.py -q
+"""
+
+import time
+
+from repro.sim.fast import FastEngine
+from repro.sim.sweep import run_one
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.workloads.profiles import get_profile
+
+#: Instruction budget for engine timing (hundreds of samples, < 1 s).
+INSTRUCTIONS = 500_000
+
+#: Overhead budget for disabled telemetry, as a fraction of a sample.
+OVERHEAD_BUDGET = 0.02
+
+
+def _run_engine(repeats: int = 3) -> tuple[float, int]:
+    """Best-of-N seconds-per-sample for a disabled-telemetry run."""
+    best = float("inf")
+    samples = 0
+    for _ in range(repeats):
+        engine = FastEngine(get_profile("gcc"), seed=0)
+        start = time.perf_counter()
+        engine.run(instructions=INSTRUCTIONS)
+        elapsed = time.perf_counter() - start
+        samples = engine.manager.samples
+        best = min(best, elapsed / samples)
+    return best, samples
+
+
+def _disabled_micro_ops(iterations: int) -> float:
+    """Seconds per iteration of the disabled path's per-sample checks.
+
+    Mirrors exactly what the instrumented call sites add when telemetry
+    is off: two hoisted-flag tests in the engine loop, one
+    ``telemetry.enabled`` attribute test in the DTM manager, and two
+    ``is None`` profiler checks in the thermal model.
+    """
+    telemetry = NULL_TELEMETRY
+    recording = telemetry.enabled
+    time_samples = False
+    profiler = None
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if time_samples:  # engine: latency clock gate
+            sink += 1
+        if telemetry.enabled:  # manager: record_control gate
+            sink += 1
+        if profiler is not None:  # thermal: advance() span gate
+            sink += 1
+        if profiler is not None:  # thermal: step_cycle() span gate
+            sink += 1
+        if recording:  # engine: record_sample gate
+            sink += 1
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / iterations
+
+
+def test_disabled_overhead_under_two_percent():
+    """Per-sample cost of disabled instrumentation < 2% of a sample."""
+    per_sample, samples = _run_engine()
+    assert samples > 100
+    micro = min(_disabled_micro_ops(200_000) for _ in range(3))
+    ratio = micro / per_sample
+    assert ratio < OVERHEAD_BUDGET, (
+        f"disabled telemetry micro-ops cost {1e9 * micro:.1f} ns/sample "
+        f"against a {1e6 * per_sample:.2f} us engine sample "
+        f"({100 * ratio:.3f}% > {100 * OVERHEAD_BUDGET:g}%)"
+    )
+
+
+def test_disabled_run_bit_identical_to_enabled():
+    """Enabling telemetry never perturbs simulation results."""
+    disabled = run_one("gcc", "pid", instructions=INSTRUCTIONS)
+    enabled = run_one(
+        "gcc", "pid", instructions=INSTRUCTIONS, telemetry=Telemetry()
+    )
+    assert enabled.cycles == disabled.cycles
+    assert enabled.instructions == disabled.instructions
+    assert enabled.ipc == disabled.ipc
+    assert enabled.max_temperature == disabled.max_temperature
+    assert enabled.emergency_fraction == disabled.emergency_fraction
+    assert enabled.energy_joules == disabled.energy_joules
+
+
+def test_enabled_overhead_is_bounded():
+    """Full telemetry (trace + metrics + spans) stays within ~25x.
+
+    Not a contract like the disabled bound -- just a tripwire against
+    accidentally quadratic record assembly.  The bound is deliberately
+    loose (typical measured factor is ~1.3x) because CI machines are
+    noisy and span timing amplifies scheduler jitter.
+    """
+    per_sample_disabled, _ = _run_engine()
+    best = float("inf")
+    for _ in range(3):
+        engine = FastEngine(
+            get_profile("gcc"), seed=0, telemetry=Telemetry()
+        )
+        start = time.perf_counter()
+        engine.run(instructions=INSTRUCTIONS)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed / engine.manager.samples)
+    assert best < 25 * per_sample_disabled, (
+        f"enabled telemetry: {1e6 * best:.2f} us/sample vs "
+        f"{1e6 * per_sample_disabled:.2f} us/sample disabled"
+    )

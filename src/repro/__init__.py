@@ -20,6 +20,7 @@ from repro.config import (
     CacheConfig,
     DTMConfig,
     MachineConfig,
+    TelemetryConfig,
     ThermalConfig,
 )
 from repro.control import PIDController, dtm_plant, simulate_step_response, tune
@@ -27,6 +28,7 @@ from repro.dtm import DTMManager, FetchToggling, make_policy
 from repro.errors import ReproError
 from repro.power import PowerModel
 from repro.sim import DetailedSimulator, FastEngine, RunResult, run_suite
+from repro.telemetry import Telemetry
 from repro.thermal import Floorplan, LumpedThermalModel, PackageModel
 from repro.workloads import BENCHMARKS, get_profile
 
@@ -49,6 +51,8 @@ __all__ = [
     "PowerModel",
     "ReproError",
     "RunResult",
+    "Telemetry",
+    "TelemetryConfig",
     "ThermalConfig",
     "dtm_plant",
     "get_profile",

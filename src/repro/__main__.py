@@ -7,6 +7,9 @@ Examples::
     python -m repro run gcc --policy pi --dropout 0.05 --watchdog
     python -m repro run gcc --policy pi --stuck-window 420 470 \
         --stuck-value 100.5 --watchdog
+    python -m repro run gcc --policy pid --trace-out trace.jsonl \
+        --metrics-out metrics.json
+    python -m repro trace trace.jsonl --top 5
     python -m repro compare gcc --policies toggle1 m pid
     python -m repro list
 """
@@ -16,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import FailsafeConfig
+from repro.config import FailsafeConfig, TelemetryConfig
 from repro.dtm.policies import POLICY_NAMES
 from repro.faults import FaultSchedule, FaultWindow
 from repro.sim.sweep import run_one
@@ -67,6 +70,53 @@ def _fault_schedule(args) -> FaultSchedule | None:
     )
 
 
+def _build_telemetry(args):
+    """A live :class:`Telemetry` when any observability flag asks for one."""
+    if not (args.telemetry or args.trace_out or args.metrics_out):
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(TelemetryConfig(trace_mode=args.trace_mode))
+
+
+def _export_telemetry(telemetry, args) -> None:
+    """Write the requested trace/metrics files and a one-line receipt."""
+    from repro.telemetry import (
+        write_metrics_json,
+        write_trace_csv,
+        write_trace_jsonl,
+    )
+
+    if args.trace_out:
+        if args.trace_out.endswith(".csv"):
+            rows = write_trace_csv(
+                telemetry.trace,
+                args.trace_out,
+                block_names=telemetry.meta.get("block_names"),
+            )
+            print(f"trace:            {args.trace_out} ({rows} samples, CSV)")
+        else:
+            lines = write_trace_jsonl(
+                telemetry.trace, args.trace_out, meta=telemetry.meta
+            )
+            print(f"trace:            {args.trace_out} ({lines} lines, JSONL)")
+    if args.metrics_out:
+        write_metrics_json(telemetry.snapshot(), args.metrics_out)
+        print(f"metrics:          {args.metrics_out}")
+
+
+def _print_telemetry_summary(telemetry) -> None:
+    snapshot = telemetry.snapshot()
+    trace = snapshot["trace"]
+    print(
+        f"trace retained:   {trace['retained']} of {trace['emitted']} "
+        f"samples (mode={trace['mode']}, stride={trace['stride']}), "
+        f"{trace['events']} events"
+    )
+    if snapshot["spans"]:
+        print(telemetry.profiler.report())
+
+
 def cmd_run(args) -> int:
     get_profile(args.benchmark)  # validate early, friendly error
     baseline = None
@@ -75,6 +125,7 @@ def cmd_run(args) -> int:
             args.benchmark, "none", instructions=args.instructions,
             seed=args.seed,
         )
+    telemetry = _build_telemetry(args)
     result = run_one(
         args.benchmark,
         args.policy,
@@ -83,8 +134,29 @@ def cmd_run(args) -> int:
         setpoint=args.setpoint,
         fault_schedule=_fault_schedule(args),
         failsafe=FailsafeConfig() if args.watchdog else None,
+        telemetry=telemetry,
     )
     _print_result(result, baseline)
+    if telemetry is not None:
+        _print_telemetry_summary(telemetry)
+        _export_telemetry(telemetry, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Render the offline report for an exported JSONL trace."""
+    from repro.telemetry import read_trace_jsonl, render_report
+
+    trace = read_trace_jsonl(args.trace_file)
+    print(
+        render_report(
+            trace.records,
+            trace.events,
+            threshold=args.threshold,
+            top=args.top,
+            meta=trace.meta,
+        )
+    )
     return 0
 
 
@@ -160,6 +232,44 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the failsafe DTM layer (plausibility gate, "
         "thermal watchdog, open-loop fallback)",
     )
+    observability = run_parser.add_argument_group(
+        "observability (see docs/observability.md)"
+    )
+    observability.add_argument(
+        "--telemetry", action="store_true",
+        help="collect metrics, a DTM decision trace, and span timings; "
+        "print a summary after the run",
+    )
+    observability.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the per-sample trace (JSONL, or CSV if PATH ends "
+        "in .csv); implies --telemetry",
+    )
+    observability.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics/profiler snapshot as JSON; "
+        "implies --telemetry",
+    )
+    observability.add_argument(
+        "--trace-mode", default="decimate", choices=("decimate", "ring"),
+        help="trace retention: whole run at decreasing resolution "
+        "(decimate) or the last N samples (ring)",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="report on an exported JSONL trace"
+    )
+    trace_parser.add_argument(
+        "trace_file", help="a trace written by --trace-out"
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=10,
+        help="number of hottest samples to list",
+    )
+    trace_parser.add_argument(
+        "--threshold", type=float, default=102.0, metavar="DEGC",
+        help="emergency threshold for episode detection",
+    )
 
     compare_parser = sub.add_parser(
         "compare", help="compare several policies on one benchmark"
@@ -173,7 +283,12 @@ def main(argv: list[str] | None = None) -> int:
     compare_parser.add_argument("--seed", type=int, default=0)
 
     args = parser.parse_args(argv)
-    commands = {"list": cmd_list, "run": cmd_run, "compare": cmd_compare}
+    commands = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "trace": cmd_trace,
+    }
     return commands[args.command](args)
 
 

@@ -231,6 +231,39 @@ class FailsafeConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Parameters of the observability layer (:mod:`repro.telemetry`).
+
+    Telemetry is strictly opt-in: no engine constructs one of these on
+    its own, and the disabled default (a null object) adds no
+    measurable overhead to the fast engine (guarded by a benchmark,
+    ``benchmarks/test_bench_telemetry.py``).
+    """
+
+    #: Per-sample trace records retained before the recorder starts
+    #: decimating (``"decimate"``) or wrapping (``"ring"``).
+    trace_capacity: int = 4096
+    #: Retention mode: ``"decimate"`` keeps the whole run at reduced
+    #: resolution, ``"ring"`` keeps the most recent samples.
+    trace_mode: str = "decimate"
+    #: Cap on retained discrete events (failsafe transitions, faults).
+    event_capacity: int = 1024
+    #: Collect span timings (engine run, DTM sample, thermal stepping).
+    profile: bool = True
+    #: Time every engine sample individually (feeds the sample-latency
+    #: histogram; costs two clock reads per sample when enabled).
+    sample_latency: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 2:
+            raise ConfigError("trace_capacity must be at least 2")
+        if self.trace_mode not in ("ring", "decimate"):
+            raise ConfigError("trace_mode must be 'ring' or 'decimate'")
+        if self.event_capacity < 1:
+            raise ConfigError("event_capacity must be positive")
+
+
+@dataclass(frozen=True)
 class DTMConfig:
     """Parameters shared by all DTM policies (Sections 2, 3, 5.3)."""
 

@@ -73,6 +73,12 @@ class PIDController:
         self._previous_error: float | None = None
         self._previous_measurement: float | None = None
         self._last_output = bias
+        # Last-update internals, kept for telemetry/introspection
+        # (repro.telemetry traces P/I/D terms and saturation per sample).
+        self.last_error = 0.0
+        self.last_proportional = 0.0
+        self.last_derivative = 0.0
+        self.last_unsaturated = bias
 
     # -- state ------------------------------------------------------------
     @property
@@ -85,12 +91,34 @@ class PIDController:
         """Most recent saturated output."""
         return self._last_output
 
+    @property
+    def terms(self) -> dict[str, float]:
+        """P/I/D breakdown of the most recent :meth:`update`.
+
+        ``integral`` is the accumulated integral term *after* the
+        update (post anti-windup); ``unsaturated`` is the raw control
+        law output before clamping to ``output_limits``; ``output`` is
+        the saturated value actually returned.
+        """
+        return {
+            "error": self.last_error,
+            "proportional": self.last_proportional,
+            "integral": self._integral,
+            "derivative": self.last_derivative,
+            "unsaturated": self.last_unsaturated,
+            "output": self._last_output,
+        }
+
     def reset(self) -> None:
         """Clear accumulated state (integral and derivative history)."""
         self._integral = 0.0
         self._previous_error = None
         self._previous_measurement = None
         self._last_output = self.bias
+        self.last_error = 0.0
+        self.last_proportional = 0.0
+        self.last_derivative = 0.0
+        self.last_unsaturated = self.bias
 
     # -- control law --------------------------------------------------------
     def update(self, measurement: float) -> float:
@@ -122,6 +150,10 @@ class PIDController:
         self._previous_error = error
         self._previous_measurement = measurement
         self._last_output = output
+        self.last_error = error
+        self.last_proportional = proportional
+        self.last_derivative = derivative
+        self.last_unsaturated = unsaturated
         return output
 
     def _derivative_term(self, error: float, measurement: float) -> float:

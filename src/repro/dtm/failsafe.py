@@ -34,8 +34,15 @@ against that failure mode:
   staleness budget); the loop runs open-loop at ``fallback_duty``
   (toggle1-style graceful degradation) until readings recover.
 
-Transitions are recorded as :class:`~repro.errors.FailsafeEngaged`
-info objects (never raised) on a bounded event log.
+Transitions are recorded on a bounded
+:class:`~repro.telemetry.trace.EventLog` of structured
+:class:`~repro.telemetry.trace.TraceEvent` entries (kind
+``"failsafe_transition"``), and mirrored onto the shared
+:class:`~repro.telemetry.core.Telemetry` event stream when one is
+attached (see :meth:`FailsafeGuard.attach_telemetry`).  The historical
+``events`` property remains as a thin compatibility shim that
+materializes :class:`~repro.errors.FailsafeEngaged` objects from the
+event log.
 """
 
 from __future__ import annotations
@@ -45,6 +52,8 @@ import math
 
 from repro.config import FailsafeConfig
 from repro.errors import FailsafeEngaged
+from repro.telemetry.core import NULL_TELEMETRY, ensure_telemetry
+from repro.telemetry.trace import EventLog, TraceEvent
 
 #: Two readings closer than this are "identical" for stuck detection.
 _STUCK_EPSILON = 1e-9
@@ -84,8 +93,15 @@ class FailsafeGuard:
 
     def __init__(self, config: FailsafeConfig | None = None) -> None:
         self.config = config if config is not None else FailsafeConfig()
-        self.events: list[FailsafeEngaged] = []
+        #: Bounded log of ``"failsafe_transition"`` trace events -- the
+        #: canonical record of this guard's state changes.
+        self.event_log = EventLog(self.config.max_event_log)
+        self._telemetry = NULL_TELEMETRY
         self.reset()
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Mirror future transitions onto a shared telemetry stream."""
+        self._telemetry = ensure_telemetry(telemetry)
 
     # -- state ---------------------------------------------------------------
     def reset(self) -> None:
@@ -100,7 +116,26 @@ class FailsafeGuard:
         self.degraded_samples = 0
         self.failsafe_samples = 0
         self.engagements = 0
-        self.events.clear()
+        self.event_log.clear()
+
+    @property
+    def events(self) -> list[FailsafeEngaged]:
+        """Recorded transitions as :class:`FailsafeEngaged` objects.
+
+        Compatibility shim over :attr:`event_log` (the storage moved to
+        the telemetry event stream); the returned list is freshly built
+        on every access, so mutating it cannot corrupt the guard.
+        """
+        return [
+            FailsafeEngaged(
+                event.reason,
+                event.sample_index,
+                event.data["state"],
+                last_good=event.data.get("last_good"),
+                duty=event.data.get("duty"),
+            )
+            for event in self.event_log
+        ]
 
     # -- helpers -------------------------------------------------------------
     def _plausible(self, measurement: float) -> bool:
@@ -122,15 +157,26 @@ class FailsafeGuard:
     def _record(
         self, reason: str, sample_index: int, duty: float | None = None
     ) -> None:
-        if len(self.events) < self.config.max_event_log:
-            self.events.append(
-                FailsafeEngaged(
-                    reason,
-                    sample_index,
-                    self.state.value,
-                    last_good=self.last_good,
-                    duty=duty,
-                )
+        self.event_log.append(
+            TraceEvent(
+                "failsafe_transition",
+                sample_index,
+                reason,
+                {
+                    "state": self.state.value,
+                    "last_good": self.last_good,
+                    "duty": duty,
+                },
+            )
+        )
+        if self._telemetry.enabled:
+            self._telemetry.event(
+                "failsafe_transition",
+                sample_index,
+                reason,
+                state=self.state.value,
+                last_good=self.last_good,
+                duty=duty,
             )
 
     def _enter(self, state: FailsafeState, reason: str, index: int) -> None:

@@ -14,14 +14,24 @@ Two optional robustness layers extend the paper's loop:
 * a pluggable **actuator**, so fault-injection wrappers
   (:class:`~repro.faults.actuator.FaultyActuator`) can corrupt the
   command path without the manager knowing.
+
+When a :class:`~repro.telemetry.core.Telemetry` instance is attached,
+the manager stages the controller-side half of each trace record
+(gated measurement, error and P/I/D terms, pre/post-saturation output,
+quantized duty, failsafe state) via ``record_control``; the engine
+completes the record with the plant-side fields.  The default is the
+null telemetry, which costs one boolean test per sample.
 """
 
 from __future__ import annotations
+
+import math
 
 from repro.config import DTMConfig, FailsafeConfig
 from repro.dtm.failsafe import FailsafeGuard, FailsafeState
 from repro.dtm.mechanisms import FetchToggling
 from repro.dtm.triggers import InterruptModel
+from repro.telemetry.core import ensure_telemetry
 
 
 class DTMManager:
@@ -34,6 +44,7 @@ class DTMManager:
         sensor=None,
         failsafe: FailsafeGuard | FailsafeConfig | None = None,
         actuator=None,
+        telemetry=None,
     ) -> None:
         self.policy = policy
         self.config = dtm_config if dtm_config is not None else DTMConfig()
@@ -49,6 +60,9 @@ class DTMManager:
         if isinstance(failsafe, FailsafeConfig):
             failsafe = FailsafeGuard(failsafe)
         self.failsafe = failsafe
+        self._telemetry = ensure_telemetry(telemetry)
+        if failsafe is not None and self._telemetry.enabled:
+            failsafe.attach_telemetry(self._telemetry)
         self._sensor = sensor
         self._sample_index = 0
         self._raw_output = 1.0
@@ -71,9 +85,13 @@ class DTMManager:
         return self.failsafe.state if self.failsafe is not None else None
 
     @property
-    def failsafe_events(self) -> list:
-        """Recorded :class:`~repro.errors.FailsafeEngaged` transitions."""
-        return self.failsafe.events if self.failsafe is not None else []
+    def failsafe_events(self) -> tuple:
+        """Recorded :class:`~repro.errors.FailsafeEngaged` transitions.
+
+        Returned as a tuple so callers cannot mutate the guard's
+        internal log through this accessor (regression-tested).
+        """
+        return tuple(self.failsafe.events) if self.failsafe is not None else ()
 
     def _apply_output(self, output: float) -> int:
         """Drive the actuator; returns interrupt stall cycles (if any)."""
@@ -113,6 +131,8 @@ class DTMManager:
                 ):
                     self._raw_output = self.policy.decide(decision.measurement)
                 stall = self._apply_output(decision.forced_duty)
+                if self._telemetry.enabled:
+                    self._note_control(decision.measurement, stall)
                 self._finish_sample()
                 return self.actuator.duty, stall
             measurement = decision.measurement
@@ -122,8 +142,41 @@ class DTMManager:
         ):
             self._raw_output = self.policy.decide(measurement)
             stall = self._apply_output(self._raw_output)
+        if self._telemetry.enabled:
+            self._note_control(measurement, stall)
         self._finish_sample()
         return self.actuator.duty, stall
+
+    def _note_control(self, measurement: float | None, stall: int) -> None:
+        """Stage the controller half of this sample's trace record."""
+        nan = math.nan
+        controller = getattr(self.policy, "controller", None)
+        terms = getattr(controller, "terms", None) if controller else None
+        state = self.failsafe.state.value if self.failsafe is not None else ""
+        if terms is not None:
+            self._telemetry.record_control(
+                sample_index=self._sample_index,
+                measurement=nan if measurement is None else measurement,
+                error=terms["error"],
+                p_term=terms["proportional"],
+                i_term=terms["integral"],
+                d_term=terms["derivative"],
+                pre_saturation=terms["unsaturated"],
+                post_saturation=terms["output"],
+                duty=self.actuator.duty,
+                stall_cycles=stall,
+                failsafe_state=state,
+            )
+        else:
+            self._telemetry.record_control(
+                sample_index=self._sample_index,
+                measurement=nan if measurement is None else measurement,
+                pre_saturation=self._raw_output,
+                post_saturation=min(1.0, max(0.0, self._raw_output)),
+                duty=self.actuator.duty,
+                stall_cycles=stall,
+                failsafe_state=state,
+            )
 
     def _finish_sample(self) -> None:
         self._sample_index += 1

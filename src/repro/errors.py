@@ -79,6 +79,10 @@ class FailsafeEngaged(ReproError):
         self.duty = duty
 
 
+class TelemetryError(ReproError):
+    """A telemetry component (metric, trace, profiler) was misused."""
+
+
 class WorkloadError(ReproError):
     """A workload profile or trace is malformed."""
 

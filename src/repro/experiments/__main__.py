@@ -5,6 +5,14 @@ Usage::
     python -m repro.experiments                # everything, full budgets
     python -m repro.experiments --quick        # reduced budgets
     python -m repro.experiments table3_rc table11_dtm_performance
+    python -m repro.experiments figure4_traces table7_emergency_breakdown \
+        --trace-out suite.jsonl --metrics-out suite-metrics.json
+
+``--trace-out`` / ``--metrics-out`` build one shared
+:class:`~repro.telemetry.core.Telemetry` sink, hand it to every
+experiment whose ``run`` accepts a ``telemetry`` keyword (currently
+``figure4_traces`` and ``table7_emergency_breakdown``), and export the
+accumulated trace / metrics afterwards.
 """
 
 from __future__ import annotations
@@ -37,6 +45,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="export the shared DTM trace (JSONL) accumulated by "
+        "telemetry-aware experiments",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="export the shared metrics snapshot (JSON)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -49,17 +66,38 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+
     for name in chosen:
         module = importlib.import_module(f"repro.experiments.{name}")
+        parameters = inspect.signature(module.run).parameters
         kwargs = {}
-        if args.quick and "quick" in inspect.signature(module.run).parameters:
+        if args.quick and "quick" in parameters:
             kwargs["quick"] = True
+        if telemetry is not None and "telemetry" in parameters:
+            kwargs["telemetry"] = telemetry
         started = time.time()
         result = module.run(**kwargs)
         elapsed = time.time() - started
         print(result)
         print(f"[{name}: {elapsed:.1f}s]")
         print()
+
+    if telemetry is not None:
+        from repro.telemetry import write_metrics_json, write_trace_jsonl
+
+        if args.trace_out:
+            lines = write_trace_jsonl(
+                telemetry.trace, args.trace_out, meta=telemetry.meta
+            )
+            print(f"trace: {args.trace_out} ({lines} lines)")
+        if args.metrics_out:
+            write_metrics_json(telemetry.snapshot(), args.metrics_out)
+            print(f"metrics: {args.metrics_out}")
     return 0
 
 

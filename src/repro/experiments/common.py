@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.config import TelemetryConfig
 from repro.sim.fast import FastEngine
 from repro.sim.results import RunResult
+from repro.telemetry import Telemetry, TraceRecord, merge_telemetry
 from repro.workloads.profiles import BENCHMARKS, get_profile
 
 #: Floor on the per-benchmark instruction budget for characterization.
@@ -52,3 +54,36 @@ def characterize_suite(
             warmup_instructions=WARMUP_INSTRUCTIONS,
         )
     return results
+
+
+def characterize_suite_traced(
+    quick: bool = False, seed: int = 0, telemetry=None
+) -> tuple[dict[str, RunResult], dict[str, list[TraceRecord]]]:
+    """Unmanaged suite runs with per-benchmark DTM-sample traces.
+
+    Same budgets, warmup, and seeding as :func:`characterize_suite`
+    (telemetry is purely observational, so the :class:`RunResult`
+    values are bit-identical -- a test asserts this), but each run also
+    captures the shared trace schema; returns ``(results, traces)``
+    with ``traces[name]`` the retained
+    :class:`~repro.telemetry.trace.TraceRecord` list for ``name``.
+
+    Each benchmark records into a local
+    :class:`~repro.telemetry.core.Telemetry`, which is then folded into
+    the optional shared ``telemetry`` sink (records, events, metrics),
+    keeping per-benchmark extraction unambiguous even when the sink is
+    shared across many experiments.  Not cached: trace payloads are
+    large and callers usually export them.
+    """
+    results: dict[str, RunResult] = {}
+    traces: dict[str, list[TraceRecord]] = {}
+    for name in BENCHMARKS:
+        local = Telemetry(TelemetryConfig())
+        engine = FastEngine(get_profile(name), seed=seed, telemetry=local)
+        results[name] = engine.run(
+            instructions=benchmark_budget(name, quick),
+            warmup_instructions=WARMUP_INSTRUCTIONS,
+        )
+        traces[name] = local.trace.records()
+        merge_telemetry(telemetry, local)
+    return results, traces

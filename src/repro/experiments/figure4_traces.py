@@ -5,31 +5,47 @@ the hottest-block temperature and the commanded fetch duty.  This is
 the visual form of the paper's core result: the fixed policy bangs
 between extremes below a conservative trigger, the CT policy rides
 just below the emergency threshold.
+
+The per-sample series come from the shared trace schema
+(:class:`~repro.telemetry.trace.TraceRecord`): each policy runs with a
+local :class:`~repro.telemetry.core.Telemetry` whose recorder keeps
+every sample, and the chart reads ``max_temp`` / ``duty`` straight off
+the retained records.  Pass a shared ``telemetry`` sink (e.g. from
+``python -m repro.experiments --trace-out``) and the per-run traces,
+events, and metrics are folded into it.
 """
 
 from __future__ import annotations
 
+from repro.config import TelemetryConfig
 from repro.experiments.reporting import ExperimentResult, ascii_chart, format_table
 from repro.sim.sweep import run_one
+from repro.telemetry import Telemetry, merge_telemetry
 
 
 def run(
     benchmark: str = "gcc",
     policies: tuple[str, ...] = ("none", "toggle1", "m", "pid"),
     instructions: float = 1_000_000,
+    telemetry=None,
 ) -> ExperimentResult:
     """Record per-sample traces for several policies on one benchmark."""
     temps: dict[str, list[float]] = {}
     duties: dict[str, list[float]] = {}
     rows = []
     for policy in policies:
-        result = run_one(
-            benchmark, policy, instructions=instructions, record_history=True
+        # A ring large enough never to wrap at this budget: the chart
+        # needs every sample, not a decimated view.
+        local = Telemetry(
+            TelemetryConfig(trace_mode="ring", trace_capacity=65_536)
         )
-        history = result.history
-        assert history is not None
-        temps[policy] = list(history.max_temp)
-        duties[policy] = list(history.duty)
+        result = run_one(
+            benchmark, policy, instructions=instructions, telemetry=local
+        )
+        records = local.trace.records()
+        assert records, "telemetry-enabled run must retain samples"
+        temps[policy] = [record.max_temp for record in records]
+        duties[policy] = [record.duty for record in records]
         rows.append(
             {
                 "policy": policy,
@@ -37,9 +53,10 @@ def run(
                 "ipc": result.ipc,
                 "pct_emergency": 100.0 * result.emergency_fraction,
                 "max_temp_c": result.max_temperature,
-                "mean_duty": sum(history.duty) / len(history.duty),
+                "mean_duty": sum(duties[policy]) / len(duties[policy]),
             }
         )
+        merge_telemetry(telemetry, local)
     text = "\n".join(
         [
             format_table(

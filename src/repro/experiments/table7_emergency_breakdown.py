@@ -2,33 +2,52 @@
 
 The per-structure breakdown behind Table 4's chip-level emergency
 column: which structures are the hot spots for which benchmarks.
+
+The runs also capture the shared trace schema
+(:mod:`repro.telemetry`), from which the ``episodes`` column counts
+*contiguous* chip-level emergencies -- the same emergency time split
+into many short excursions stresses a package very differently from
+one long soak, which per-cycle percentages alone cannot distinguish.
 """
 
 from __future__ import annotations
 
-from repro.experiments.common import characterize_suite
+from repro.experiments.common import characterize_suite_traced
 from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.telemetry import emergency_episodes
 from repro.thermal.floorplan import STRUCTURES
 from repro.workloads.profiles import BENCHMARKS
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    """Per-structure emergency-cycle percentages, unmanaged runs."""
-    results = characterize_suite(quick=quick)
+def run(quick: bool = False, telemetry=None) -> ExperimentResult:
+    """Per-structure emergency-cycle percentages, unmanaged runs.
+
+    ``telemetry`` is an optional shared sink (e.g. from ``python -m
+    repro.experiments --trace-out``) the per-benchmark traces fold
+    into.
+    """
+    results, traces = characterize_suite_traced(
+        quick=quick, telemetry=telemetry
+    )
     rows = []
     for name in BENCHMARKS:
         result = results[name]
         row: dict = {"benchmark": name}
         for structure in STRUCTURES:
             row[structure] = percent(result.block_emergency_fraction[structure])
+        row["episodes"] = len(emergency_episodes(traces[name]))
         rows.append(row)
-    columns = [("benchmark", "benchmark", None)] + [
-        (structure, structure, ".2f") for structure in STRUCTURES
-    ]
+    columns = (
+        [("benchmark", "benchmark", None)]
+        + [(structure, structure, ".2f") for structure in STRUCTURES]
+        + [("episodes", "episodes", "d")]
+    )
     text = format_table(rows, columns=tuple(columns))
     return ExperimentResult(
         experiment_id="T7",
         title="Percent of cycles above the emergency threshold, per structure",
         rows=rows,
         text=text,
+        notes="episodes = contiguous chip-level emergency intervals "
+        "(from the per-sample trace)",
     )

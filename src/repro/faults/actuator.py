@@ -14,21 +14,32 @@ to a :class:`~repro.faults.schedule.FaultSchedule`:
 The controller keeps issuing commands throughout; the wrapper records
 how many were overridden or dropped so experiments can report
 actuation fidelity alongside thermal outcomes.
+
+With a :class:`~repro.telemetry.core.Telemetry` instance attached the
+wrapper emits ``"fault"`` events at window *entry* (``channel`` one of
+``actuator.stuck`` / ``actuator.ignored``) rather than per dropped
+command, keeping the event stream proportional to the number of fault
+windows instead of their length.
 """
 
 from __future__ import annotations
 
 from repro.faults.schedule import FaultSchedule
+from repro.telemetry.core import ensure_telemetry
 
 
 class FaultyActuator:
     """Wrap ``inner`` and inject the actuation faults of ``schedule``."""
 
-    def __init__(self, inner, schedule: FaultSchedule) -> None:
+    def __init__(
+        self, inner, schedule: FaultSchedule, telemetry=None
+    ) -> None:
         self.inner = inner
         self.schedule = schedule
+        self._telemetry = ensure_telemetry(telemetry)
         self._index = 0
         self._frozen_duty: float | None = None
+        self._ignoring = False
         # Injection counters.
         self.ignored_commands = 0
         self.stuck_commands = 0
@@ -63,19 +74,32 @@ class FaultyActuator:
                 self._frozen_duty = (
                     self.inner.duty if window.value is None else window.value
                 )
+                self._note("actuator.stuck", index, duty=self._frozen_duty)
             self.stuck_commands += 1
             return self.inner.set_output(self._frozen_duty)
         self._frozen_duty = None
 
         if schedule.actuator_ignores(index):
+            if not self._ignoring:
+                self._ignoring = True
+                self._note("actuator.ignored", index, duty=self.inner.duty)
             self.ignored_commands += 1
             return self.inner.duty
+        self._ignoring = False
         return self.inner.set_output(output)
+
+    def _note(self, channel: str, index: int, **data) -> None:
+        """Emit one fault event when telemetry is attached."""
+        if self._telemetry.enabled:
+            self._telemetry.event(
+                "fault", index, channel, channel=channel, **data
+            )
 
     def reset(self) -> None:
         """Reset the wrapped actuator and restart the fault stream."""
         self.inner.reset()
         self._index = 0
         self._frozen_duty = None
+        self._ignoring = False
         self.ignored_commands = 0
         self.stuck_commands = 0

@@ -16,6 +16,12 @@ FaultSchedule`.  Faults compose in a fixed, physically motivated order:
 
 With every rate at zero and no windows the wrapper is byte-identical
 to the wrapped sensor (a property test asserts this).
+
+When a :class:`~repro.telemetry.core.Telemetry` instance is attached,
+each injection emits a ``"fault"`` event onto its trace event stream
+(``channel`` one of ``sensor.stale``, ``sensor.stuck``,
+``sensor.spike``, ``sensor.dropout``); stuck-at windows report one
+event at window entry rather than one per held sample.
 """
 
 from __future__ import annotations
@@ -24,14 +30,18 @@ import math
 from collections import deque
 
 from repro.faults.schedule import FaultSchedule
+from repro.telemetry.core import ensure_telemetry
 
 
 class FaultySensor:
     """Wrap ``inner`` and inject the faults driven by ``schedule``."""
 
-    def __init__(self, inner, schedule: FaultSchedule) -> None:
+    def __init__(
+        self, inner, schedule: FaultSchedule, telemetry=None
+    ) -> None:
         self.inner = inner
         self.schedule = schedule
+        self._telemetry = ensure_telemetry(telemetry)
         self._index = 0
         #: Recent *pre-fault* readings, newest last, for staleness.
         self._recent: deque[float] = deque(maxlen=schedule.stale_depth + 1)
@@ -64,6 +74,7 @@ class FaultySensor:
             # (or the oldest available early in the run).
             reading = self._recent[0]
             self.stale_reads += 1
+            self._note("sensor.stale", index, reading=reading)
 
         window = schedule.sensor_stuck(index)
         if window is not None:
@@ -77,6 +88,9 @@ class FaultySensor:
                     self._stuck_value = (
                         self._recent[-2] if len(self._recent) > 1 else reading
                     )
+                self._note(
+                    "sensor.stuck", index, value=self._stuck_value
+                )
             reading = self._stuck_value
             self.stuck_reads += 1
         else:
@@ -90,11 +104,20 @@ class FaultySensor:
         if spike:
             reading += spike
             self.spikes += 1
+            self._note("sensor.spike", index, magnitude=spike)
 
         if schedule.dropout(index):
             self.dropouts += 1
+            self._note("sensor.dropout", index)
             return math.nan
         return reading
+
+    def _note(self, channel: str, index: int, **data) -> None:
+        """Emit one fault event when telemetry is attached."""
+        if self._telemetry.enabled:
+            self._telemetry.event(
+                "fault", index, channel, channel=channel, **data
+            )
 
     def reset(self) -> None:
         """Restart the fault stream (same schedule, sample 0)."""

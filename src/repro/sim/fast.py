@@ -27,6 +27,9 @@ Per sample the engine:
 
 from __future__ import annotations
 
+import math
+from time import perf_counter
+
 import numpy as np
 
 from repro.config import DTMConfig, MachineConfig, ThermalConfig
@@ -36,6 +39,7 @@ from repro.errors import SimulationError
 from repro.power.clock_gating import ClockGatingStyle
 from repro.power.wattch import PowerModel
 from repro.sim.results import History, RunResult
+from repro.telemetry.core import ensure_telemetry
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.lumped import LumpedThermalModel
 from repro.workloads.profiles import BenchmarkProfile
@@ -67,6 +71,7 @@ class FastEngine:
         monitored_blocks: tuple[str, ...] | None = None,
         failsafe=None,
         actuator=None,
+        telemetry=None,
     ) -> None:
         if not 0.0 < supply_efficiency <= 1.0:
             raise SimulationError("supply_efficiency must be in (0, 1]")
@@ -78,6 +83,9 @@ class FastEngine:
         )
         self.dtm_config = dtm_config if dtm_config is not None else DTMConfig()
         self.policy = policy if policy is not None else NoDTMPolicy()
+        # ``telemetry`` is a repro.telemetry.Telemetry (opt-in; None is
+        # the zero-overhead null object asserted bit-identical by tests).
+        self.telemetry = ensure_telemetry(telemetry)
         # ``failsafe`` is a FailsafeConfig or prebuilt FailsafeGuard;
         # ``actuator`` lets fault-injection wrappers replace the stock
         # FetchToggling (see repro.faults).
@@ -87,6 +95,7 @@ class FastEngine:
             sensor=sensor,
             failsafe=failsafe,
             actuator=actuator,
+            telemetry=telemetry,
         )
         self.power_model = PowerModel(self.floorplan, gating=gating)
         self.thermal = LumpedThermalModel(
@@ -94,6 +103,8 @@ class FastEngine:
             heatsink_temperature=self.thermal_config.heatsink_temperature,
             cycle_time=self.machine.cycle_time,
         )
+        if self.telemetry.enabled and self.telemetry.profiler.enabled:
+            self.thermal.attach_profiler(self.telemetry.profiler)
         self.seed = seed
         self.record_history = record_history
         self.supply_efficiency = supply_efficiency
@@ -127,6 +138,15 @@ class FastEngine:
         from every reported metric -- the analogue of the paper's
         skipping the first 2 billion instructions of each benchmark.
         """
+        with self.telemetry.span("engine.run"):
+            return self._run(instructions, max_cycles, warmup_instructions)
+
+    def _run(
+        self,
+        instructions: float,
+        max_cycles: int | None,
+        warmup_instructions: float,
+    ) -> RunResult:
         if instructions <= 0:
             raise SimulationError("instructions must be positive")
         sample = self.dtm_config.sampling_interval
@@ -137,6 +157,34 @@ class FastEngine:
         emergency_level = self.thermal_config.emergency_temperature
         stress_level = self.dtm_config.nonct_trigger
         fetch_supply = self.machine.fetch_width * self.supply_efficiency
+
+        # Telemetry is opt-in: ``recording`` is hoisted into a local so
+        # the disabled path costs one boolean test per sample and the
+        # simulation arithmetic is untouched (bit-identical results).
+        telemetry = self.telemetry
+        recording = telemetry.enabled
+        time_samples = False
+        sample_start = 0.0
+        on_sample = self.manager.on_sample
+        if recording:
+            telemetry.set_context(self.profile.name, self.policy.name)
+            telemetry.meta.update(
+                benchmark=self.profile.name,
+                policy=self.policy.name,
+                block_names=list(self.floorplan.names),
+                sample_cycles=sample,
+                seed=self.seed,
+                supply_efficiency=self.supply_efficiency,
+            )
+            time_samples = telemetry.config.sample_latency
+            if telemetry.profiler.enabled:
+                def on_sample(
+                    sensed,
+                    _base=self.manager.on_sample,
+                    _span=telemetry.profiler.span,
+                ):
+                    with _span("dtm.on_sample"):
+                        return _base(sensed)
 
         rng = np.random.default_rng(
             np.random.SeedSequence([self.profile.seed, self.seed])
@@ -165,6 +213,8 @@ class FastEngine:
         history_rows: list[tuple] = []
 
         while committed < instructions and cycles < max_cycles:
+            if time_samples:
+                sample_start = perf_counter()
             phase = self.profile.phase_at(int(total_committed))
             activity = np.array(phase.activity_vector(names), dtype=float)
             if phase.jitter:
@@ -181,7 +231,7 @@ class FastEngine:
                 sensed = self.thermal.max_temperature
             else:
                 sensed = float(self.thermal.temperatures[self._monitored].max())
-            duty, stall = self.manager.on_sample(sensed)
+            duty, stall = on_sample(sensed)
             supply_ipc = duty * fetch_supply
             effective_ipc = min(demand_ipc, supply_ipc)
             ratio = effective_ipc / demand_ipc
@@ -252,10 +302,12 @@ class FastEngine:
                 start, steady, sample_seconds, stress_level
             )
 
+            em_peak = float(em_frac.max())
+            st_peak = float(st_frac.max())
             committed += sample_committed
             cycles += sample
-            emergency_cycles += float(em_frac.max()) * sample
-            stress_cycles += float(st_frac.max()) * sample
+            emergency_cycles += em_peak * sample
+            stress_cycles += st_peak * sample
             block_emergency += em_frac * sample
             block_stress += st_frac * sample
             temp_sum += end
@@ -276,6 +328,24 @@ class FastEngine:
                         em_frac,
                         st_frac,
                     )
+                )
+            if recording:
+                telemetry.record_sample(
+                    index=samples - 1,
+                    cycle=cycles,
+                    sensed=sensed,
+                    max_temp=float(end.max()),
+                    block_temps=end,
+                    chip_power=chip_power,
+                    ipc=sample_committed / sample,
+                    duty=duty,
+                    emergency_fraction=em_peak,
+                    stress_fraction=st_peak,
+                    latency_seconds=(
+                        perf_counter() - sample_start
+                        if time_samples
+                        else math.nan
+                    ),
                 )
 
         if samples == 0:

@@ -17,6 +17,7 @@ from repro.dtm.policies import make_policy
 from repro.faults import FaultSchedule, FaultyActuator, FaultySensor
 from repro.sim.fast import FastEngine
 from repro.sim.results import RunResult
+from repro.telemetry.core import ensure_telemetry
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.sensors import IdealSensor
 from repro.workloads.profiles import BENCHMARKS, get_profile
@@ -42,6 +43,7 @@ def run_one(
     policy=None,
     fault_schedule: FaultSchedule | None = None,
     failsafe=None,
+    telemetry=None,
 ) -> RunResult:
     """Run one benchmark under one named policy.
 
@@ -53,7 +55,10 @@ def run_one(
     carries actuator windows, the actuator in a
     :class:`~repro.faults.actuator.FaultyActuator`.  ``failsafe`` is a
     :class:`~repro.config.FailsafeConfig` (or prebuilt guard) enabling
-    the failsafe DTM layer.
+    the failsafe DTM layer.  ``telemetry`` is a
+    :class:`~repro.telemetry.core.Telemetry` observing the run
+    (metrics, per-sample trace, span profile); fault injectors and the
+    failsafe guard report their events onto its trace stream.
     """
     floorplan = floorplan if floorplan is not None else Floorplan.default()
     if policy is None:
@@ -67,7 +72,9 @@ def run_one(
     actuator = None
     if fault_schedule is not None:
         sensor = FaultySensor(
-            sensor if sensor is not None else IdealSensor(), fault_schedule
+            sensor if sensor is not None else IdealSensor(),
+            fault_schedule,
+            telemetry=telemetry,
         )
         if (
             fault_schedule.actuator_stuck_windows
@@ -75,7 +82,9 @@ def run_one(
         ):
             config = dtm_config if dtm_config is not None else DTMConfig()
             actuator = FaultyActuator(
-                FetchToggling(config.toggle_levels), fault_schedule
+                FetchToggling(config.toggle_levels),
+                fault_schedule,
+                telemetry=telemetry,
             )
     engine = FastEngine(
         get_profile(benchmark),
@@ -89,6 +98,7 @@ def run_one(
         sensor=sensor,
         failsafe=failsafe,
         actuator=actuator,
+        telemetry=telemetry,
     )
     return engine.run(instructions=instructions)
 
@@ -103,12 +113,19 @@ def run_suite(
     dtm_config: DTMConfig | None = None,
     seed: int = 0,
     include_baseline: bool = True,
+    telemetry=None,
 ) -> Mapping[tuple[str, str], RunResult]:
     """Run the full (benchmark x policy) matrix.
 
     Returns results keyed by ``(benchmark, policy)``; the unmanaged
     baseline is included under policy name ``"none"`` unless disabled.
+
+    A single ``telemetry`` instance is shared across every run: trace
+    records are tagged with their (benchmark, policy) context, metrics
+    aggregate over the whole sweep, and the profiler accumulates one
+    ``sweep.run_suite`` span around per-run ``engine.run`` spans.
     """
+    telemetry = ensure_telemetry(telemetry)
     chosen_benchmarks = (
         list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
     )
@@ -116,18 +133,20 @@ def run_suite(
     if include_baseline and "none" not in chosen_policies:
         chosen_policies.insert(0, "none")
     results: dict[tuple[str, str], RunResult] = {}
-    for benchmark in chosen_benchmarks:
-        for policy_name in chosen_policies:
-            results[(benchmark, policy_name)] = run_one(
-                benchmark,
-                policy_name,
-                instructions=instructions,
-                floorplan=floorplan,
-                machine=machine,
-                thermal_config=thermal_config,
-                dtm_config=dtm_config,
-                seed=seed,
-            )
+    with telemetry.span("sweep.run_suite"):
+        for benchmark in chosen_benchmarks:
+            for policy_name in chosen_policies:
+                results[(benchmark, policy_name)] = run_one(
+                    benchmark,
+                    policy_name,
+                    instructions=instructions,
+                    floorplan=floorplan,
+                    machine=machine,
+                    thermal_config=thermal_config,
+                    dtm_config=dtm_config,
+                    seed=seed,
+                    telemetry=None if not telemetry.enabled else telemetry,
+                )
     return results
 
 

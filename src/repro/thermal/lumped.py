@@ -60,6 +60,18 @@ class LumpedThermalModel:
         )
         self._initial = start
         self._temps = np.full(len(floorplan.blocks), start, dtype=float)
+        #: Optional span profiler (:mod:`repro.telemetry`); ``None``
+        #: keeps the update paths free of instrumentation overhead.
+        self._profiler = None
+
+    def attach_profiler(self, profiler) -> None:
+        """Time future :meth:`step_cycle` / :meth:`advance` calls.
+
+        ``profiler`` is a :class:`~repro.telemetry.profiler.Profiler`
+        (or anything with its ``span(name)`` surface); pass ``None`` to
+        detach and restore the uninstrumented fast path.
+        """
+        self._profiler = profiler
 
     # -- state ---------------------------------------------------------------
     @property
@@ -108,6 +120,12 @@ class LumpedThermalModel:
         temperatures.  A timestep that large is rejected outright --
         use :meth:`advance` (exact for constant power) instead.
         """
+        if self._profiler is not None:
+            with self._profiler.span("thermal.step_cycle"):
+                return self._step_cycle(powers)
+        return self._step_cycle(powers)
+
+    def _step_cycle(self, powers: np.ndarray) -> np.ndarray:
         if self.cycle_time >= self._euler_limit:
             raise ThermalModelError(
                 f"cycle_time {self.cycle_time:g} s is forward-Euler "
@@ -131,6 +149,12 @@ class LumpedThermalModel:
         toward the steady state ``T_sink + P * R``; using it makes the
         fast engine's thermal state independent of the sampling interval.
         """
+        if self._profiler is not None:
+            with self._profiler.span("thermal.advance"):
+                return self._advance(powers, cycles)
+        return self._advance(powers, cycles)
+
+    def _advance(self, powers: np.ndarray, cycles: int) -> np.ndarray:
         if cycles <= 0:
             raise ThermalModelError("cycles must be positive")
         powers = np.asarray(powers, dtype=float)

@@ -1,0 +1,225 @@
+"""Metric primitives: bin semantics, registry rules, merge algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    DUTY_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(TelemetryError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_max_extreme(self):
+        gauge = Gauge("g")
+        for value in (3.0, 7.0, 5.0):
+            gauge.set(value)
+        assert gauge.value == 5.0
+        assert gauge.extreme == 7.0
+        assert gauge.updates == 3
+
+    def test_min_preference(self):
+        gauge = Gauge("g", prefer="min")
+        for value in (3.0, 7.0, 1.0, 5.0):
+            gauge.set(value)
+        assert gauge.extreme == 1.0
+
+    def test_rejects_bad_preference(self):
+        with pytest.raises(TelemetryError):
+            Gauge("g", prefer="median")
+
+
+class TestHistogramBinBoundaries:
+    """The documented half-open-left semantics ``[e_i, e_{i+1})``."""
+
+    def test_value_on_interior_edge_starts_its_bin(self):
+        hist = Histogram("h", edges=(0.0, 1.0, 2.0))
+        hist.observe(1.0)
+        # Bins: (-inf,0) [0,1) [1,2) [2,+inf)
+        assert hist.counts == [0, 0, 1, 0]
+
+    def test_underflow_and_overflow(self):
+        hist = Histogram("h", edges=(0.0, 1.0))
+        hist.observe(-0.5)  # below edges[0]
+        hist.observe(1.0)  # exactly edges[-1] -> overflow bin
+        hist.observe(99.0)
+        assert hist.counts == [1, 0, 2]
+
+    def test_nan_counted_separately(self):
+        hist = Histogram("h", edges=(0.0, 1.0))
+        hist.observe(math.nan)
+        hist.observe(0.5)
+        assert hist.nan_count == 1
+        assert hist.count == 1
+        assert sum(hist.counts) == 1
+
+    def test_mean_min_max(self):
+        hist = Histogram("h", edges=(0.0, 10.0))
+        for value in (1.0, 3.0, 8.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.min == 1.0
+        assert hist.max == 8.0
+
+    def test_quantile_returns_bin_upper_edge(self):
+        hist = Histogram("h", edges=(0.0, 1.0, 2.0, 3.0))
+        for value in (0.5, 0.6, 1.5, 2.5):
+            hist.observe(value)
+        assert hist.quantile(0.25) == 1.0  # first bin's upper edge
+        assert hist.quantile(1.0) == 3.0  # last occupied bin's upper edge
+
+    def test_quantile_in_overflow_bin_returns_max(self):
+        hist = Histogram("h", edges=(0.0, 1.0))
+        hist.observe(5.0)
+        assert hist.quantile(1.0) == 5.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", edges=(0.0, 1.0)).quantile(1.5)
+
+    def test_bin_labels(self):
+        hist = Histogram("h", edges=(0.0, 1.0))
+        assert hist.bin_label(0) == "(-inf, 0)"
+        assert hist.bin_label(1) == "[0, 1)"
+        assert hist.bin_label(2) == "[1, +inf)"
+
+    def test_edges_must_increase(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", edges=(1.0, 1.0))
+
+    def test_duty_edges_align_with_toggle_grid(self):
+        """Every 8-level quantized duty starts its own bin."""
+        hist = Histogram("duty", DUTY_EDGES)
+        for level in range(9):
+            hist.observe(level / 8)
+        # No underflow; one observation per [k/8, (k+1)/8) bin and the
+        # 1.0 observation in the overflow bin [1.0, +inf).
+        assert hist.counts[0] == 0
+        assert all(count == 1 for count in hist.counts[1:])
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TelemetryError):
+            registry.gauge("a")
+
+    def test_histogram_edge_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (0.0, 1.0))
+        with pytest.raises(TelemetryError):
+            registry.histogram("h", (0.0, 2.0))
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert "a" in registry
+        assert registry.names() == ("a", "b")
+
+
+def _random_registry(counters, gauge_values, observations):
+    registry = MetricsRegistry()
+    for amount in counters:
+        registry.counter("events").inc(amount)
+    for value in gauge_values:
+        registry.gauge("peak").set(value)
+    hist = registry.histogram("temps", (90.0, 100.0, 102.0))
+    for value in observations:
+        hist.observe(value)
+    return registry
+
+
+amounts = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=10
+)
+values = st.lists(
+    st.floats(min_value=-50.0, max_value=150.0, allow_nan=False), max_size=20
+)
+
+
+def _assert_snapshots_equal(left, right):
+    """Structural equality; running float sums compare to FP tolerance.
+
+    Counter values and histogram ``sum`` fields are floating-point
+    accumulators, so the algebra is associative/commutative only up to
+    rounding; counts, bins, and extremes must match exactly.
+    """
+    assert left.keys() == right.keys()
+    for name in left:
+        a, b = dict(left[name]), dict(right[name])
+        for key in ("sum", "value"):
+            if isinstance(a.get(key), float):
+                assert a.pop(key) == pytest.approx(
+                    b.pop(key), rel=1e-12, abs=1e-9
+                ), name
+        assert a == b, name
+
+
+class TestMergeAlgebra:
+    @given(a=amounts, b=amounts, c=amounts, va=values, vb=values, vc=values)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_associative(self, a, b, c, va, vb, vc):
+        """(A + B) + C == A + (B + C), metric by metric."""
+        snaps = [
+            _random_registry(x, v, v).snapshot()
+            for x, v in ((a, va), (b, vb), (c, vc))
+        ]
+        left = merge_snapshots(merge_snapshots(snaps[0], snaps[1]), snaps[2])
+        right = merge_snapshots(snaps[0], merge_snapshots(snaps[1], snaps[2]))
+        _assert_snapshots_equal(left, right)
+
+    @given(a=amounts, b=amounts, va=values, vb=values)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_commutative(self, a, b, va, vb):
+        one = _random_registry(a, va, va).snapshot()
+        two = _random_registry(b, vb, vb).snapshot()
+        _assert_snapshots_equal(
+            merge_snapshots(one, two), merge_snapshots(two, one)
+        )
+
+    def test_merge_adds_counters_and_bins(self):
+        one = _random_registry([2.0], [5.0], [95.0]).snapshot()
+        two = _random_registry([3.0], [9.0], [101.0, 103.0]).snapshot()
+        merged = merge_snapshots(one, two)
+        assert merged["events"]["value"] == 5.0
+        assert merged["peak"]["extreme"] == 9.0
+        assert merged["temps"]["count"] == 3
+        assert sum(merged["temps"]["counts"]) == 3
+
+    def test_merge_rejects_mismatched_edges(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (0.0, 1.0))
+        other = MetricsRegistry()
+        other.histogram("h", (0.0, 2.0))
+        with pytest.raises(TelemetryError):
+            registry.merge_snapshot(other.snapshot())
+
+    def test_merge_rejects_unknown_kind(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().merge_snapshot({"x": {"kind": "summary"}})

@@ -1,0 +1,123 @@
+"""Span profiling: timing attribution on a deterministic fake clock."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import NULL_PROFILER, Profiler
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSpans:
+    def test_total_and_count(self, clock):
+        profiler = Profiler(clock=clock)
+        for _ in range(3):
+            with profiler.span("work"):
+                clock.tick(0.5)
+        stats = profiler.stats("work")
+        assert stats.count == 3
+        assert stats.total == pytest.approx(1.5)
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.min == pytest.approx(0.5)
+        assert stats.max == pytest.approx(0.5)
+
+    def test_self_time_excludes_children(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.span("outer"):
+            clock.tick(1.0)
+            with profiler.span("inner"):
+                clock.tick(3.0)
+            clock.tick(0.5)
+        outer = profiler.stats("outer")
+        inner = profiler.stats("inner")
+        assert outer.total == pytest.approx(4.5)
+        assert outer.self_total == pytest.approx(1.5)
+        assert inner.total == inner.self_total == pytest.approx(3.0)
+
+    def test_nested_same_name_reentrant(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.span("f"):
+            clock.tick(1.0)
+            with profiler.span("f"):
+                clock.tick(2.0)
+        stats = profiler.stats("f")
+        assert stats.count == 2
+        assert stats.total == pytest.approx(3.0 + 2.0)  # outer + inner
+        assert stats.self_total == pytest.approx(3.0)
+
+    def test_time_helper_returns_result(self, clock):
+        profiler = Profiler(clock=clock)
+        assert profiler.time("calc", lambda x: x + 1, 41) == 42
+        assert profiler.stats("calc").count == 1
+
+    def test_unknown_span_raises(self):
+        with pytest.raises(TelemetryError):
+            Profiler().stats("never")
+
+    def test_snapshot_and_names_sorted(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.span("b"):
+            clock.tick(1.0)
+        with profiler.span("a"):
+            clock.tick(2.0)
+        assert profiler.names() == ("a", "b")
+        snapshot = profiler.snapshot()
+        assert snapshot["a"]["total_seconds"] == pytest.approx(2.0)
+        assert snapshot["b"]["count"] == 1
+
+    def test_report_lists_slowest_first(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.span("fast"):
+            clock.tick(0.1)
+        with profiler.span("slow"):
+            clock.tick(5.0)
+        lines = profiler.report().splitlines()
+        assert lines[1].startswith("slow")
+
+    def test_clear(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.span("x"):
+            clock.tick(1.0)
+        profiler.clear()
+        assert profiler.names() == ()
+
+    def test_exception_still_recorded(self, clock):
+        profiler = Profiler(clock=clock)
+        with pytest.raises(ValueError):
+            with profiler.span("boom"):
+                clock.tick(1.0)
+                raise ValueError("x")
+        assert profiler.stats("boom").count == 1
+
+
+class TestNullProfiler:
+    def test_span_is_shared_noop(self):
+        span = NULL_PROFILER.span("anything")
+        assert span is NULL_PROFILER.span("else")
+        with span:
+            pass
+        assert NULL_PROFILER.snapshot() == {}
+        assert NULL_PROFILER.names() == ()
+        assert not NULL_PROFILER.enabled
+
+    def test_time_passthrough(self):
+        assert NULL_PROFILER.time("n", lambda: 7) == 7
+
+    def test_report_placeholder(self):
+        assert "disabled" in NULL_PROFILER.report()

@@ -1,0 +1,114 @@
+"""Offline trace analysis: episodes, hottest samples, report rendering."""
+
+import math
+
+from repro.telemetry import (
+    TraceEvent,
+    TraceRecord,
+    emergency_episodes,
+    hottest_samples,
+    render_report,
+    summarize,
+)
+
+
+def _record(index, temp, emergency=0.0, duty=1.0):
+    return TraceRecord(
+        index=index,
+        cycle=1000 * (index + 1),
+        benchmark="gcc",
+        policy="pid",
+        max_temp=temp,
+        duty=duty,
+        emergency_fraction=emergency,
+    )
+
+
+class TestEpisodes:
+    def test_groups_contiguous_samples(self):
+        records = [
+            _record(0, 101.0),
+            _record(1, 102.5, emergency=0.4),
+            _record(2, 102.8, emergency=1.0),
+            _record(3, 101.0),
+            _record(4, 102.2, emergency=0.2),
+        ]
+        episodes = emergency_episodes(records)
+        assert len(episodes) == 2
+        first = episodes[0]
+        assert (first.start_index, first.end_index) == (1, 2)
+        assert first.samples == 2
+        assert first.span == 2
+        assert first.peak_temp == 102.8
+        assert first.emergency_sample_equivalents == 1.4
+
+    def test_episode_open_at_end_is_closed(self):
+        records = [_record(0, 101.0), _record(1, 103.0, emergency=1.0)]
+        episodes = emergency_episodes(records)
+        assert len(episodes) == 1
+        assert episodes[0].end_index == 1
+
+    def test_threshold_fallback_without_fractions(self):
+        """max_temp alone triggers detection when fractions are zero."""
+        records = [_record(0, 103.0), _record(1, 101.0)]
+        assert len(emergency_episodes(records, threshold=102.0)) == 1
+        assert not emergency_episodes(records, threshold=104.0)
+
+    def test_no_emergencies(self):
+        assert emergency_episodes([_record(0, 100.0)]) == []
+
+
+class TestHottest:
+    def test_sorted_hottest_first(self):
+        records = [_record(i, 100.0 + i % 3) for i in range(9)]
+        hot = hottest_samples(records, n=2)
+        assert [r.max_temp for r in hot] == [102.0, 102.0]
+
+    def test_nan_temps_skipped(self):
+        records = [_record(0, math.nan), _record(1, 101.0)]
+        assert [r.index for r in hottest_samples(records)] == [1]
+
+
+class TestSummarize:
+    def test_headline_numbers(self):
+        records = [
+            _record(0, 101.0, duty=1.0),
+            _record(1, 102.5, emergency=1.0, duty=0.5),
+            _record(2, 101.5, duty=0.75),
+        ]
+        events = [TraceEvent("fault", 1, "spike")]
+        summary = summarize(records, events)
+        assert summary["samples"] == 3
+        assert summary["benchmark"] == "gcc"
+        assert summary["policy"] == "pid"
+        assert summary["temperature"]["max"] == 102.5
+        assert summary["engaged_samples"] == 2
+        assert summary["emergency_samples"] == 1
+        assert summary["emergency_episodes"] == 1
+        assert summary["events"] == {"fault": 1}
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary["samples"] == 0
+        assert summary["temperature"]["mean"] is None
+
+
+class TestRenderReport:
+    def test_report_sections(self):
+        records = [
+            _record(0, 101.0),
+            _record(1, 102.5, emergency=1.0, duty=0.5),
+        ]
+        events = [TraceEvent("failsafe_transition", 1, "watchdog")]
+        text = render_report(
+            records, events, meta={"retained": 2, "emitted": 2, "mode": "ring"}
+        )
+        assert "gcc / pid" in text
+        assert "retention:" in text
+        assert "emergency episodes:" in text
+        assert "hottest samples" in text
+        assert "failsafe_transition: 1" in text
+
+    def test_report_handles_empty_trace(self):
+        text = render_report([])
+        assert "samples:            0" in text
