@@ -9,9 +9,16 @@ Examples::
         --stuck-value 100.5 --watchdog
     python -m repro run gcc --policy pid --trace-out trace.jsonl \
         --metrics-out metrics.json
+    python -m repro run gcc,gzip,art,mesa --cores 4 --policy pid \
+        --coordinator proportional
     python -m repro trace trace.jsonl --top 5
     python -m repro compare gcc --policies toggle1 m pid
     python -m repro list
+
+With ``--cores N`` (N > 1) the benchmark argument is a comma-separated
+mix assigned to cores round-robin and the run uses the multicore engine
+(:mod:`repro.multicore`); ``--coordinator`` adds chip-level arbitration
+above the per-core loops.
 """
 
 from __future__ import annotations
@@ -117,7 +124,95 @@ def _print_telemetry_summary(telemetry) -> None:
         print(telemetry.profiler.report())
 
 
+def _print_multicore_result(result, baseline=None) -> None:
+    print(f"benchmarks:       {','.join(result.benchmarks)}")
+    print(f"policy:           {result.policy}")
+    print(f"coordinator:      {result.coordinator or '(none)'}")
+    print(f"cores:            {result.n_cores}")
+    print(f"cycles:           {result.cycles:,}")
+    print(f"throughput:       {result.throughput:.3f} IPC")
+    if baseline is not None:
+        print(
+            f"% of non-DTM thr: "
+            f"{100 * result.relative_throughput(baseline):.1f}"
+        )
+    print(f"mean chip power:  {result.mean_chip_power:.1f} W")
+    print(f"max temperature:  {result.max_temperature:.3f} C "
+          f"(core {result.hottest_core})")
+    print(f"emergency cycles: {100 * result.emergency_fraction:.3f} %")
+    print(f"stress cycles:    {100 * result.stress_fraction:.3f} %")
+    if result.extra:
+        width = max(len(key) for key in result.extra) + 2
+        for key, value in sorted(result.extra.items()):
+            print(f"{key + ':':<{width}}{value:g}")
+    header = (
+        f"{'core':>4} {'benchmark':>10} {'IPC':>7} {'em%':>8} "
+        f"{'maxT':>9} {'demoted':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for core in result.cores:
+        print(
+            f"{core.core:>4} {core.benchmark:>10} {core.ipc:7.3f} "
+            f"{100 * core.emergency_fraction:8.3f} "
+            f"{core.max_temperature:9.3f} {core.demoted_samples:8d}"
+        )
+
+
+def _run_multicore(args) -> int:
+    """The ``run --cores N`` branch: one multiprogram multicore run."""
+    from repro.multicore import MulticoreEngine
+
+    names = [name.strip() for name in args.benchmark.split(",") if name.strip()]
+    for name in names:
+        get_profile(name)  # validate early, friendly error
+    benchmarks = tuple(names[i % len(names)] for i in range(args.cores))
+    schedule = _fault_schedule(args)
+    # Faults target core 0 (the engine supports arbitrary per-core
+    # schedules; the CLI exposes the single-victim case).
+    fault_schedules = {0: schedule} if schedule is not None else None
+    failsafe = FailsafeConfig() if args.watchdog else None
+
+    baseline = None
+    if args.policy != "none":
+        baseline = MulticoreEngine(
+            benchmarks, policy="none", seed=args.seed
+        ).run(instructions=args.instructions)
+    telemetry = _build_telemetry(args)
+    engine = MulticoreEngine(
+        benchmarks,
+        policy=args.policy,
+        coordinator=args.coordinator,
+        seed=args.seed,
+        fault_schedules=fault_schedules,
+        failsafe=failsafe,
+        telemetry=telemetry,
+    )
+    result = engine.run(instructions=args.instructions)
+    _print_multicore_result(result, baseline)
+    if telemetry is not None:
+        _print_telemetry_summary(telemetry)
+        _export_telemetry(telemetry, args)
+    return 0
+
+
 def cmd_run(args) -> int:
+    if args.cores < 1:
+        print("error: --cores must be at least 1", file=sys.stderr)
+        return 2
+    if args.cores > 1:
+        if args.setpoint is not None:
+            print(
+                "error: --setpoint is not supported with --cores > 1",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_multicore(args)
+    if args.coordinator is not None:
+        print(
+            "error: --coordinator requires --cores > 1", file=sys.stderr
+        )
+        return 2
     get_profile(args.benchmark)  # validate early, friendly error
     baseline = None
     if args.policy != "none":
@@ -193,11 +288,29 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list benchmarks and policies")
 
     run_parser = sub.add_parser("run", help="run one benchmark under one policy")
-    run_parser.add_argument("benchmark")
+    run_parser.add_argument(
+        "benchmark",
+        help="benchmark name; with --cores, a comma-separated mix "
+        "assigned to cores round-robin",
+    )
     run_parser.add_argument("--policy", default="pid", choices=POLICY_NAMES)
     run_parser.add_argument("--instructions", type=float, default=2_000_000)
     run_parser.add_argument("--setpoint", type=float, default=None)
     run_parser.add_argument("--seed", type=int, default=0)
+    multicore = run_parser.add_argument_group(
+        "multicore (see docs/multicore.md)"
+    )
+    multicore.add_argument(
+        "--cores", type=int, default=1, metavar="N",
+        help="number of cores; N > 1 uses the multicore engine with "
+        "one per-core DTM loop each (default: 1, single-core)",
+    )
+    multicore.add_argument(
+        "--coordinator", default=None,
+        choices=("uniform", "hottest", "proportional"),
+        help="chip-level duty-budget arbitration above the per-core "
+        "loops (multicore only; default: uncoordinated)",
+    )
     faults = run_parser.add_argument_group(
         "fault injection (see docs/robustness.md)"
     )

@@ -91,6 +91,10 @@ class GateDecision:
 class FailsafeGuard:
     """The sensor plausibility gate + thermal watchdog state machine."""
 
+    #: Core index stamped onto transition events in multicore runs;
+    #: ``None`` (single-core) omits the field for old-trace compat.
+    core: int | None = None
+
     def __init__(self, config: FailsafeConfig | None = None) -> None:
         self.config = config if config is not None else FailsafeConfig()
         #: Bounded log of ``"failsafe_transition"`` trace events -- the
@@ -157,16 +161,19 @@ class FailsafeGuard:
     def _record(
         self, reason: str, sample_index: int, duty: float | None = None
     ) -> None:
+        data = {
+            "state": self.state.value,
+            "last_good": self.last_good,
+            "duty": duty,
+        }
+        if self.core is not None:
+            data["core"] = self.core
         self.event_log.append(
             TraceEvent(
                 "failsafe_transition",
                 sample_index,
                 reason,
-                {
-                    "state": self.state.value,
-                    "last_good": self.last_good,
-                    "duty": duty,
-                },
+                dict(data),
             )
         )
         if self._telemetry.enabled:
@@ -174,9 +181,7 @@ class FailsafeGuard:
                 "failsafe_transition",
                 sample_index,
                 reason,
-                state=self.state.value,
-                last_good=self.last_good,
-                duty=duty,
+                **data,
             )
 
     def _enter(self, state: FailsafeState, reason: str, index: int) -> None:

@@ -288,6 +288,109 @@ class PredictivePolicy:
         self._slope_estimate = None
 
 
+class AdjustableGainIntegralPolicy:
+    """Integral control with an online-adapted gain (multicore extension).
+
+    The shape of Rao et al.'s chip-level regulator: a pure integrator
+
+    ``duty[k+1] = sat(duty[k] + K[k] * (setpoint - T[k]))``
+
+    whose gain is *re-tuned every sample* against an online estimate of
+    the plant's steady-state sensitivity ``S`` [degC of eventual rise
+    per unit duty].  A fixed-gain integrator tuned for one workload is
+    sluggish on a cool one and oscillatory on a hot one; normalizing
+    the gain as ``K = rate / S`` makes the closed loop converge at the
+    same fractional ``rate`` per sample regardless of how much heat a
+    unit of duty currently buys.
+
+    The sensitivity estimate reuses the thermal-RC inversion of
+    :class:`PredictivePolicy`: from two consecutive temperature samples
+    the steady target the last interval headed toward is
+    ``S_target = (T1 - T0 * e) / (1 - e)`` with ``e = exp(-h / tau)``,
+    so the observed sensitivity is ``(S_target - T_sink) /
+    duty[k-1]``, smoothed exponentially and seeded from the worst-case
+    block's peak temperature rise until real data arrives.
+    """
+
+    is_interrupt_driven = False
+    check_interval_samples = 1
+
+    def __init__(
+        self,
+        setpoint: float,
+        sensitivity_prior: float,
+        time_constant: float,
+        heatsink_temperature: float = 100.0,
+        rate: float = 0.2,
+        gain_limits: tuple[float, float] = (0.01, 1.0),
+        sample_seconds: float = units.SAMPLING_INTERVAL_SECONDS,
+        smoothing: float = 0.2,
+        name: str = "agi",
+    ) -> None:
+        if sensitivity_prior <= 0:
+            raise ConfigError("sensitivity_prior must be positive")
+        if time_constant <= 0 or sample_seconds <= 0:
+            raise ConfigError("plant parameters must be positive")
+        if not 0.0 < rate <= 1.0:
+            raise ConfigError("rate must be in (0, 1]")
+        if not 0.0 < gain_limits[0] <= gain_limits[1]:
+            raise ConfigError("gain_limits must satisfy 0 < low <= high")
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigError("smoothing must be in (0, 1]")
+        self.setpoint = setpoint
+        self.sensitivity_prior = sensitivity_prior
+        self.time_constant = time_constant
+        self.heatsink_temperature = heatsink_temperature
+        self.rate = rate
+        self.gain_limits = gain_limits
+        self.sample_seconds = sample_seconds
+        self.smoothing = smoothing
+        self.name = name
+        self._decay = math.exp(-sample_seconds / time_constant)
+        self.reset()
+
+    @property
+    def gain(self) -> float:
+        """The adapted integral gain ``K = rate / S`` [duty per degC]."""
+        low, high = self.gain_limits
+        return min(high, max(low, self.rate / self._sensitivity))
+
+    @property
+    def sensitivity(self) -> float:
+        """Current sensitivity estimate [degC per unit duty]."""
+        return self._sensitivity
+
+    def decide(self, measurement: float) -> float:
+        """One adaptive-integral update from the newest sample."""
+        if self._previous_temp is not None and self._previous_duty > 0.05:
+            # Invert the exponential update for the steady target the
+            # last interval was heading toward, then normalize by the
+            # duty that produced it.
+            e = self._decay
+            steady = (measurement - self._previous_temp * e) / (1.0 - e)
+            observed = (steady - self.heatsink_temperature) / (
+                self._previous_duty
+            )
+            observed = max(1e-3, observed)
+            self._sensitivity += self.smoothing * (
+                observed - self._sensitivity
+            )
+        self._previous_temp = measurement
+        error = self.setpoint - measurement
+        duty = self._duty + self.gain * error
+        duty = min(1.0, max(0.0, duty))
+        self._duty = duty
+        self._previous_duty = duty
+        return duty
+
+    def reset(self) -> None:
+        """Full duty, prior sensitivity, no temperature history."""
+        self._duty = 1.0
+        self._previous_duty = 1.0
+        self._previous_temp: float | None = None
+        self._sensitivity = self.sensitivity_prior
+
+
 class HierarchicalPolicy:
     """A realistic deployment: a cheap primary policy plus a last-ditch
     backup (paper Section 2.1: "a low-cost mechanism like toggling
@@ -356,6 +459,7 @@ POLICY_NAMES: tuple[str, ...] = (
     "pi",
     "pid",
     "mpc",
+    "agi",
     "fallback",
 )
 
@@ -399,6 +503,17 @@ def make_policy(
             resistance=worst.resistance,
             time_constant=floorplan.longest_block_time_constant,
             idle_power=0.15 * worst.peak_power,
+            sample_seconds=config.sampling_interval * units.CYCLE_TIME,
+        )
+    if kind == "agi":
+        # Adjustable-gain integral (Rao et al.): seed the sensitivity
+        # estimate from the worst-case block's peak temperature rise.
+        chosen_setpoint = setpoint if setpoint is not None else config.pid_setpoint
+        worst = max(floorplan.blocks, key=lambda b: b.peak_temperature_rise)
+        return AdjustableGainIntegralPolicy(
+            setpoint=chosen_setpoint,
+            sensitivity_prior=worst.peak_temperature_rise,
+            time_constant=floorplan.longest_block_time_constant,
             sample_seconds=config.sampling_interval * units.CYCLE_TIME,
         )
 

@@ -38,6 +38,7 @@ Extension  :mod:`repro.experiments.extension_full_suite`
 Extension  :mod:`repro.experiments.extension_multiprogram`
 Extension  :mod:`repro.experiments.extension_predictive`
 Extension  :mod:`repro.experiments.extension_heatsink_drift`
+Extension  :mod:`repro.experiments.extension_multicore`
 Extension  :mod:`repro.experiments.power_breakdown`
 Sensitiv.  :mod:`repro.experiments.sensitivity_floorplan`
 Valid.     :mod:`repro.experiments.validation_grid`
@@ -83,6 +84,7 @@ ALL_EXPERIMENTS: tuple[str, ...] = (
     "extension_multiprogram",
     "extension_predictive",
     "extension_heatsink_drift",
+    "extension_multicore",
     "power_breakdown",
     "sensitivity_floorplan",
     "validation_grid",

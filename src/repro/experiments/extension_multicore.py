@@ -1,0 +1,129 @@
+"""Extension X6: multicore scaling of per-core vs coordinated DTM.
+
+The paper manages one core; this experiment tiles N copies of its
+floorplan onto a shared die (:mod:`repro.multicore`) and runs a
+migration-free multiprogram mix -- one benchmark pinned per core,
+assigned round-robin from a hot/cool list -- under three regimes:
+
+* **unmanaged** -- no DTM anywhere (the baseline both success metrics
+  are measured against);
+* **per-core** -- each core runs its own feedback loop (the paper's
+  policy, replicated), blind to its neighbors;
+* **coordinated** -- the same per-core loops underneath a chip-level
+  :class:`~repro.multicore.coordinator.ThermalBudgetCoordinator` that
+  arbitrates a shared duty budget and demotes cores camped at the
+  emergency threshold.
+
+For each core count the table reports the unmanaged union emergency
+time, then throughput retained (vs unmanaged) and residual emergency
+time for the per-core and coordinated regimes, plus the coordinator's
+demotion/budget activity.  Because lateral core-to-core coupling is
+weak (~15 K/W vs the ~0.2 K/W vertical path), per-core control already
+removes most emergencies; what coordination buys is bounded *chip*
+behaviour -- the duty budget caps total toggling demand the way a
+package power limit would.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import benchmark_budget
+from repro.experiments.reporting import ExperimentResult, format_table, percent
+from repro.multicore.engine import MulticoreEngine
+
+#: Chip sizes swept, as in the acceptance criteria.
+DEFAULT_CORE_COUNTS: tuple[int, ...] = (2, 4, 8, 16)
+
+#: Round-robin per-core benchmark assignment: alternating hot (gcc,
+#: art) and cool (gzip, mesa) programs so every chip size mixes both.
+DEFAULT_MIX: tuple[str, ...] = ("gcc", "gzip", "art", "mesa")
+
+
+def _mix_for(n_cores: int, mix: tuple[str, ...]) -> tuple[str, ...]:
+    """Assign benchmarks to cores round-robin from ``mix``."""
+    return tuple(mix[i % len(mix)] for i in range(n_cores))
+
+
+def run(
+    core_counts: tuple[int, ...] = DEFAULT_CORE_COUNTS,
+    policy: str = "pid",
+    coordinator: str = "proportional",
+    mix: tuple[str, ...] = DEFAULT_MIX,
+    quick: bool = False,
+    seed: int = 0,
+    telemetry=None,
+) -> ExperimentResult:
+    """Sweep chip sizes; compare unmanaged / per-core / coordinated."""
+    rows = []
+    for n_cores in core_counts:
+        benchmarks = _mix_for(n_cores, mix)
+        budget = max(benchmark_budget(name, quick) for name in benchmarks)
+        if quick:
+            # Multicore cost scales with N; keep quick mode quick.
+            budget = min(budget, 400_000)
+
+        def simulate(run_policy: str, run_coordinator: str | None):
+            engine = MulticoreEngine(
+                benchmarks,
+                policy=run_policy,
+                coordinator=run_coordinator,
+                seed=seed,
+                telemetry=telemetry,
+            )
+            return engine.run(instructions=budget)
+
+        baseline = simulate("none", None)
+        percore = simulate(policy, None)
+        coordinated = simulate(policy, coordinator)
+        rows.append(
+            {
+                "cores": n_cores,
+                "base_em": percent(baseline.emergency_fraction),
+                "percore_thr": percent(
+                    percore.relative_throughput(baseline)
+                ),
+                "percore_em": percent(percore.emergency_fraction),
+                "coord_thr": percent(
+                    coordinated.relative_throughput(baseline)
+                ),
+                "coord_em": percent(coordinated.emergency_fraction),
+                "demotions": int(
+                    coordinated.extra.get("coordinator_demotions", 0)
+                ),
+                "budget_samples": int(
+                    coordinated.extra.get("coordinator_budget_samples", 0)
+                ),
+            }
+        )
+    text = format_table(
+        rows,
+        columns=(
+            ("cores", "cores", "d"),
+            ("base_em", "unmanaged em%", ".2f"),
+            ("percore_thr", f"{policy} %thr", ".1f"),
+            ("percore_em", f"{policy} em%", ".3f"),
+            ("coord_thr", f"+{coordinator} %thr", ".1f"),
+            ("coord_em", f"+{coordinator} em%", ".3f"),
+            ("demotions", "demotions", "d"),
+            ("budget_samples", "budget hits", "d"),
+        ),
+        title=(
+            f"Multicore DTM scaling ({'+'.join(mix)} round-robin, "
+            f"policy={policy}, coordinator={coordinator})"
+        ),
+    )
+    notes = (
+        "Per-core loops replicate the paper's single-core result at\n"
+        "every chip size: emergencies vanish at a few percent of\n"
+        "throughput.  The coordinator adds chip-level guarantees on\n"
+        "top -- the duty budget caps aggregate fetch demand and the\n"
+        "demotion watchdog removes cores that camp at the emergency\n"
+        "threshold -- at a small extra throughput cost that grows\n"
+        "with core count as the shared budget tightens."
+    )
+    return ExperimentResult(
+        experiment_id="X6",
+        title="Multicore scaling: per-core vs coordinated DTM",
+        rows=rows,
+        text=text,
+        notes=notes,
+    )

@@ -21,7 +21,11 @@ When a :class:`~repro.telemetry.core.Telemetry` instance is attached,
 each injection emits a ``"fault"`` event onto its trace event stream
 (``channel`` one of ``sensor.stale``, ``sensor.stuck``,
 ``sensor.spike``, ``sensor.dropout``); stuck-at windows report one
-event at window entry rather than one per held sample.
+event at window entry rather than one per held sample.  In multicore
+runs each core's wrapper is built with a ``core`` index, which rides
+every fault event as a ``core`` data field so ``python -m repro trace``
+can attribute injections to cores; single-core traces simply omit the
+field.
 """
 
 from __future__ import annotations
@@ -37,10 +41,16 @@ class FaultySensor:
     """Wrap ``inner`` and inject the faults driven by ``schedule``."""
 
     def __init__(
-        self, inner, schedule: FaultSchedule, telemetry=None
+        self,
+        inner,
+        schedule: FaultSchedule,
+        telemetry=None,
+        core: int | None = None,
     ) -> None:
         self.inner = inner
         self.schedule = schedule
+        #: Core index stamped onto fault events (``None`` single-core).
+        self.core = core
         self._telemetry = ensure_telemetry(telemetry)
         self._index = 0
         #: Recent *pre-fault* readings, newest last, for staleness.
@@ -115,6 +125,8 @@ class FaultySensor:
     def _note(self, channel: str, index: int, **data) -> None:
         """Emit one fault event when telemetry is attached."""
         if self._telemetry.enabled:
+            if self.core is not None:
+                data["core"] = self.core
             self._telemetry.event(
                 "fault", index, channel, channel=channel, **data
             )

@@ -1,0 +1,52 @@
+"""Multicore extension: N thermally coupled cores under coordinated DTM.
+
+The paper's thermal-RC model and CT-DTM controllers are single-chip,
+per-block (Sections 3-4).  This package scales them out:
+
+* :class:`~repro.multicore.floorplan.MulticoreFloorplan` tiles N copies
+  of the single-core :class:`~repro.thermal.floorplan.Floorplan` onto
+  one die and derives core-to-core lateral coupling resistances from
+  the material model (:mod:`repro.thermal.materials`);
+* :class:`~repro.multicore.thermal.MulticoreThermalModel` steps every
+  core's block temperatures in one stacked ``(n_cores, n_blocks)``
+  numpy update -- bit-identical to N independent
+  :class:`~repro.thermal.lumped.LumpedThermalModel` instances at zero
+  coupling (asserted by tests) and >= 3x faster at N=16 (asserted by a
+  benchmark);
+* each core runs its own DTM loop (any policy from
+  :func:`~repro.dtm.policies.make_policy`, including the
+  adjustable-gain integral mode ``"agi"`` after Rao et al.);
+* :class:`~repro.multicore.coordinator.ThermalBudgetCoordinator`
+  arbitrates a chip-level duty budget across cores (uniform /
+  hottest-first / proportional-share) and demotes persistently hot
+  cores to a failsafe fallback duty;
+* :class:`~repro.multicore.engine.MulticoreEngine` drives migration-free
+  multiprogram mixes from :mod:`repro.workloads.profiles` through the
+  whole stack, wired into :mod:`repro.telemetry` (per-core event tags,
+  coordinator decisions) and :mod:`repro.faults` (per-core sensor
+  faults).
+
+See ``docs/multicore.md`` for the model derivation and CLI usage, and
+:mod:`repro.experiments.extension_multicore` for the headline
+per-core-vs-coordinated table.
+"""
+
+from repro.multicore.coordinator import (
+    COORDINATOR_STRATEGIES,
+    ThermalBudgetCoordinator,
+)
+from repro.multicore.engine import MulticoreEngine
+from repro.multicore.floorplan import CoreCoupling, MulticoreFloorplan
+from repro.multicore.results import CoreResult, MulticoreRunResult
+from repro.multicore.thermal import MulticoreThermalModel
+
+__all__ = [
+    "COORDINATOR_STRATEGIES",
+    "CoreCoupling",
+    "CoreResult",
+    "MulticoreEngine",
+    "MulticoreFloorplan",
+    "MulticoreRunResult",
+    "MulticoreThermalModel",
+    "ThermalBudgetCoordinator",
+]

@@ -1,0 +1,231 @@
+"""Chip-level arbitration over per-core DTM loops.
+
+Per-core feedback controllers keep each core near its own setpoint,
+but they cannot see chip-level constraints: a shared power/cooling
+budget, or a neighbor that has been camped at the emergency threshold
+for milliseconds.  :class:`ThermalBudgetCoordinator` is the layer above
+the per-core loops (the shape of Rao et al.'s chip-level regulator, or
+a fleet scheduler over per-worker control loops):
+
+* a **duty budget** caps the sum of granted fetch duties across cores
+  (the toggling analogue of a chip power cap).  Three arbitration
+  strategies split it: ``"uniform"`` (equal per-core cap),
+  ``"hottest"`` (cut the hottest cores first), and ``"proportional"``
+  (scale every request by the same factor);
+* **demotion**: a core whose temperature stays at or above the
+  demotion threshold for ``demote_trigger_samples`` consecutive
+  samples is demoted to an open-loop fallback duty (the same graceful-
+  degradation posture as :mod:`repro.dtm.failsafe`), re-armed only
+  after ``rearm_samples`` consecutive samples a hysteresis margin
+  below the threshold.
+
+Decisions are pure functions of the observed temperatures and proposed
+duties -- the coordinator never touches controller state, it only caps
+the granted duty -- so per-core policies keep their own integrators.
+Transitions ride the shared ``repro.trace/v1`` event stream (kinds
+``coordinator_demote`` / ``coordinator_rearm`` / ``coordinator_budget``)
+with a ``core`` field where applicable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.telemetry.core import ensure_telemetry
+
+#: Arbitration strategies accepted by :class:`ThermalBudgetCoordinator`.
+COORDINATOR_STRATEGIES: tuple[str, ...] = (
+    "uniform",
+    "hottest",
+    "proportional",
+)
+
+
+class ThermalBudgetCoordinator:
+    """Arbitrates a global duty budget and demotes runaway cores."""
+
+    def __init__(
+        self,
+        n_cores: int,
+        strategy: str = "proportional",
+        duty_budget: float | None = None,
+        demote_temperature: float = 102.0,
+        demote_trigger_samples: int = 3,
+        demote_duty: float = 0.25,
+        rearm_margin: float = 0.3,
+        rearm_samples: int = 20,
+        telemetry=None,
+    ) -> None:
+        if n_cores < 1:
+            raise ConfigError("need at least one core")
+        if strategy not in COORDINATOR_STRATEGIES:
+            raise ConfigError(
+                f"unknown coordinator strategy {strategy!r}; "
+                f"known: {COORDINATOR_STRATEGIES}"
+            )
+        if duty_budget is None:
+            duty_budget = 0.75 * n_cores
+        if duty_budget <= 0:
+            raise ConfigError("duty_budget must be positive")
+        if demote_trigger_samples < 1:
+            raise ConfigError("demote_trigger_samples must be positive")
+        if not 0.0 <= demote_duty <= 1.0:
+            raise ConfigError("demote_duty must be in [0, 1]")
+        if rearm_margin < 0:
+            raise ConfigError("rearm_margin must be non-negative")
+        if rearm_samples < 1:
+            raise ConfigError("rearm_samples must be positive")
+        self.n_cores = n_cores
+        self.strategy = strategy
+        self.duty_budget = float(duty_budget)
+        self.demote_temperature = float(demote_temperature)
+        self.demote_trigger_samples = demote_trigger_samples
+        self.demote_duty = float(demote_duty)
+        self.rearm_margin = float(rearm_margin)
+        self.rearm_samples = rearm_samples
+        self._telemetry = ensure_telemetry(telemetry)
+        self.reset()
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Mirror future decisions onto a shared telemetry stream."""
+        self._telemetry = ensure_telemetry(telemetry)
+
+    # -- state ---------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all demotions, streaks, and counters."""
+        self._hot_streak = np.zeros(self.n_cores, dtype=int)
+        self._cool_streak = np.zeros(self.n_cores, dtype=int)
+        self._demoted = np.zeros(self.n_cores, dtype=bool)
+        self._budget_engaged = False
+        self.demotions = 0
+        self.rearms = 0
+        self.budget_engaged_samples = 0
+        self.samples = 0
+
+    @property
+    def demoted(self) -> tuple[bool, ...]:
+        """Per-core demotion flags (read-only snapshot)."""
+        return tuple(bool(flag) for flag in self._demoted)
+
+    @property
+    def budget_engaged(self) -> bool:
+        """True while the last arbitration had to cut duties."""
+        return self._budget_engaged
+
+    # -- the arbitration step ------------------------------------------------
+    def arbitrate(
+        self,
+        proposed: np.ndarray,
+        core_temperatures: np.ndarray,
+        sample_index: int,
+    ) -> np.ndarray:
+        """Grant per-core duties for one sample.
+
+        ``proposed`` are the duties the per-core loops want;
+        ``core_temperatures`` the hottest-block temperature of each
+        core.  Returns the granted duties (a new array): demoted cores
+        are capped at the fallback duty, then the strategy enforces the
+        chip-wide budget.
+        """
+        proposed = np.asarray(proposed, dtype=float)
+        temps = np.asarray(core_temperatures, dtype=float)
+        if proposed.shape != (self.n_cores,) or temps.shape != (self.n_cores,):
+            raise ConfigError(
+                f"expected {self.n_cores} proposed duties and temperatures"
+            )
+        self.samples += 1
+        self._update_demotions(temps, sample_index)
+        granted = np.clip(proposed, 0.0, 1.0)
+        granted[self._demoted] = np.minimum(
+            granted[self._demoted], self.demote_duty
+        )
+        granted = self._enforce_budget(granted, temps, sample_index)
+        return granted
+
+    # -- demotion ------------------------------------------------------------
+    def _update_demotions(self, temps: np.ndarray, sample_index: int) -> None:
+        hot = temps >= self.demote_temperature
+        cool = temps < self.demote_temperature - self.rearm_margin
+        self._hot_streak = np.where(hot, self._hot_streak + 1, 0)
+        self._cool_streak = np.where(cool, self._cool_streak + 1, 0)
+        trip = (
+            ~self._demoted
+            & (self._hot_streak >= self.demote_trigger_samples)
+        )
+        release = self._demoted & (self._cool_streak >= self.rearm_samples)
+        for core in np.flatnonzero(trip):
+            self._demoted[core] = True
+            self._cool_streak[core] = 0
+            self.demotions += 1
+            self._telemetry.event(
+                "coordinator_demote",
+                sample_index,
+                f"core {core} at or above "
+                f"{self.demote_temperature:g} degC for "
+                f"{int(self._hot_streak[core])} samples",
+                core=int(core),
+                temperature=float(temps[core]),
+                duty=self.demote_duty,
+            )
+        for core in np.flatnonzero(release):
+            self._demoted[core] = False
+            self._hot_streak[core] = 0
+            self._cool_streak[core] = 0
+            self.rearms += 1
+            self._telemetry.event(
+                "coordinator_rearm",
+                sample_index,
+                f"core {core} cool for {self.rearm_samples} samples",
+                core=int(core),
+                temperature=float(temps[core]),
+            )
+
+    # -- budget --------------------------------------------------------------
+    def _enforce_budget(
+        self, granted: np.ndarray, temps: np.ndarray, sample_index: int
+    ) -> np.ndarray:
+        total = float(granted.sum())
+        over = total > self.duty_budget + 1e-12
+        if over:
+            if self.strategy == "uniform":
+                granted = np.minimum(granted, self.duty_budget / self.n_cores)
+            elif self.strategy == "proportional":
+                granted = granted * (self.duty_budget / total)
+            else:  # hottest-first cuts
+                excess = total - self.duty_budget
+                for core in np.argsort(-temps):
+                    cut = min(excess, float(granted[core]))
+                    granted[core] -= cut
+                    excess -= cut
+                    if excess <= 1e-12:
+                        break
+            self.budget_engaged_samples += 1
+        if over != self._budget_engaged:
+            self._budget_engaged = over
+            self._telemetry.event(
+                "coordinator_budget",
+                sample_index,
+                (
+                    f"duty demand {total:.3f} exceeds budget "
+                    f"{self.duty_budget:g} ({self.strategy})"
+                    if over
+                    else f"duty demand {total:.3f} back within budget "
+                    f"{self.duty_budget:g}"
+                ),
+                engaged=over,
+                demand=total,
+                budget=self.duty_budget,
+                strategy=self.strategy,
+            )
+        return granted
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> dict[str, float]:
+        """Counters for experiment tables and ``RunResult.extra``."""
+        return {
+            "coordinator_demotions": float(self.demotions),
+            "coordinator_rearms": float(self.rearms),
+            "coordinator_budget_samples": float(self.budget_engaged_samples),
+            "coordinator_demoted_now": float(int(self._demoted.sum())),
+        }

@@ -1,0 +1,268 @@
+"""Tile N single-core floorplans onto one die, with lateral coupling.
+
+Each core is one copy of the paper's per-block floorplan
+(:class:`~repro.thermal.floorplan.Floorplan`), laid out on a near-square
+grid.  Adjacent tiles exchange heat sideways through the die: the
+core-to-core coupling resistance is derived from the same annular
+tangential-conduction formula the paper uses to justify *dropping*
+lateral paths within one core (Equation 4,
+:func:`~repro.thermal.materials.block_tangential_resistance`) -- two
+half-paths in series, from each core's monitored-area footprint out to
+its tile boundary.  The resulting resistance (~15 K/W per neighbor
+pair with the calibrated constants) is weak next to the ~0.2 K/W
+vertical path, which is exactly why the single-core model could ignore
+it; across cores it is the only path, so the multicore model keeps it.
+
+:meth:`MulticoreFloorplan.to_rc_network` expands the tiling into an
+explicit :class:`~repro.thermal.rc_network.ThermalRCNetwork` (node
+``core{i}.{block}``), against which the vectorized
+:class:`~repro.multicore.thermal.MulticoreThermalModel` is validated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+from repro.thermal import materials
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.rc_network import ThermalRCNetwork
+
+
+@dataclass(frozen=True)
+class CoreCoupling:
+    """One lateral thermal path between two core tiles."""
+
+    core_a: int
+    core_b: int
+    #: Core-to-core thermal resistance [K/W].
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.core_a == self.core_b:
+            raise ThermalModelError("a core cannot couple to itself")
+        if self.core_a < 0 or self.core_b < 0:
+            raise ThermalModelError("core indices must be non-negative")
+        if self.resistance <= 0:
+            raise ThermalModelError("coupling resistance must be positive")
+
+
+def core_coupling_resistance(
+    core: Floorplan,
+    thickness: float | None = None,
+    resistivity: float | None = None,
+) -> float:
+    """Lateral resistance between two adjacent core tiles [K/W].
+
+    Two tangential half-paths in series: heat spreads from one core's
+    monitored footprint (equivalent radius of the summed block areas)
+    out to its tile boundary (equivalent radius of the tile die area),
+    crosses into the neighbor, and converges again.  Each half-path is
+    the paper's Equation 4 integral.
+    """
+    kwargs = {}
+    if thickness is not None:
+        kwargs["thickness"] = thickness
+    if resistivity is not None:
+        kwargs["resistivity"] = resistivity
+    monitored_area = sum(block.area_m2 for block in core.blocks)
+    half_path = materials.block_tangential_resistance(
+        monitored_area, core.die_area_m2, **kwargs
+    )
+    return 2.0 * half_path
+
+
+@dataclass(frozen=True)
+class MulticoreFloorplan:
+    """N copies of one core floorplan on a shared die.
+
+    ``couplings`` lists the lateral core-to-core paths (typically the
+    4-neighbor grid adjacency built by :meth:`tile`); an empty tuple
+    means thermally independent cores -- the configuration in which the
+    vectorized model must match N single-core models bit for bit.
+    """
+
+    core: Floorplan
+    n_cores: int
+    rows: int
+    cols: int
+    couplings: tuple[CoreCoupling, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ThermalModelError("need at least one core")
+        if self.rows < 1 or self.cols < 1:
+            raise ThermalModelError("grid dimensions must be positive")
+        if self.rows * self.cols < self.n_cores:
+            raise ThermalModelError(
+                f"a {self.rows}x{self.cols} grid cannot hold "
+                f"{self.n_cores} cores"
+            )
+        seen = set()
+        for coupling in self.couplings:
+            if coupling.core_a >= self.n_cores or coupling.core_b >= self.n_cores:
+                raise ThermalModelError(
+                    f"coupling references core beyond n_cores="
+                    f"{self.n_cores}: {coupling}"
+                )
+            key = frozenset((coupling.core_a, coupling.core_b))
+            if key in seen:
+                raise ThermalModelError(f"duplicate coupling for pair {key}")
+            seen.add(key)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def tile(
+        cls,
+        core: Floorplan | None = None,
+        n_cores: int = 4,
+        coupling_scale: float = 1.0,
+    ) -> "MulticoreFloorplan":
+        """Lay ``n_cores`` copies of ``core`` on a near-square grid.
+
+        Cores are placed row-major on a ``ceil(sqrt(N))``-wide grid and
+        every 4-neighbor pair gets one lateral coupling at the
+        material-model resistance (:func:`core_coupling_resistance`)
+        divided by ``coupling_scale``.  ``coupling_scale=0`` disables
+        coupling entirely (independent cores); larger values model a
+        thinner inter-core channel (stronger coupling).
+        """
+        if n_cores < 1:
+            raise ThermalModelError("need at least one core")
+        if coupling_scale < 0:
+            raise ThermalModelError("coupling_scale must be non-negative")
+        core = core if core is not None else Floorplan.default()
+        cols = int(math.ceil(math.sqrt(n_cores)))
+        rows = int(math.ceil(n_cores / cols))
+        couplings: list[CoreCoupling] = []
+        if coupling_scale > 0:
+            resistance = core_coupling_resistance(core) / coupling_scale
+            for index in range(n_cores):
+                row, col = divmod(index, cols)
+                # Right and down neighbors only: each pair once.
+                for d_row, d_col in ((0, 1), (1, 0)):
+                    neighbor_row, neighbor_col = row + d_row, col + d_col
+                    neighbor = neighbor_row * cols + neighbor_col
+                    if (
+                        neighbor_row < rows
+                        and neighbor_col < cols
+                        and neighbor < n_cores
+                    ):
+                        couplings.append(
+                            CoreCoupling(index, neighbor, resistance)
+                        )
+        return cls(
+            core=core,
+            n_cores=n_cores,
+            rows=rows,
+            cols=cols,
+            couplings=tuple(couplings),
+        )
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        """Blocks per core."""
+        return len(self.core.blocks)
+
+    @property
+    def die_area_m2(self) -> float:
+        """Total multicore die area [m^2]."""
+        return self.n_cores * self.core.die_area_m2
+
+    @property
+    def core_names(self) -> tuple[str, ...]:
+        """``("core0", "core1", ...)`` in index order."""
+        return tuple(f"core{i}" for i in range(self.n_cores))
+
+    def position(self, core_index: int) -> tuple[int, int]:
+        """Grid (row, col) of one core."""
+        self._check_core(core_index)
+        return divmod(core_index, self.cols)
+
+    def node_name(self, core_index: int, block_name: str) -> str:
+        """Fully qualified RC-network node name, ``core{i}.{block}``."""
+        self._check_core(core_index)
+        self.core.block(block_name)  # validates the block name
+        return f"core{core_index}.{block_name}"
+
+    def neighbors(self, core_index: int) -> tuple[int, ...]:
+        """Indices of the cores laterally coupled to ``core_index``."""
+        self._check_core(core_index)
+        found = []
+        for coupling in self.couplings:
+            if coupling.core_a == core_index:
+                found.append(coupling.core_b)
+            elif coupling.core_b == core_index:
+                found.append(coupling.core_a)
+        return tuple(sorted(found))
+
+    def _check_core(self, core_index: int) -> None:
+        if not 0 <= core_index < self.n_cores:
+            raise ThermalModelError(
+                f"core index {core_index} out of range [0, {self.n_cores})"
+            )
+
+    # -- derived matrices ----------------------------------------------------
+    def coupling_conductance_matrix(self) -> np.ndarray:
+        """Symmetric ``(n_cores, n_cores)`` lateral conductance [W/K].
+
+        Zero diagonal; entry ``(a, b)`` is ``1 / R_ab`` for coupled
+        pairs and 0 otherwise.  The all-zeros matrix (no couplings) is
+        the decoupled configuration.
+        """
+        matrix = np.zeros((self.n_cores, self.n_cores), dtype=float)
+        for coupling in self.couplings:
+            conductance = 1.0 / coupling.resistance
+            matrix[coupling.core_a, coupling.core_b] += conductance
+            matrix[coupling.core_b, coupling.core_a] += conductance
+        return matrix
+
+    def capacitance_shares(self) -> np.ndarray:
+        """Per-block fraction of one core's total thermal capacitance.
+
+        The stacked model treats each core as quasi-isothermal for the
+        lateral exchange: the core temperature seen by neighbors is the
+        capacitance-weighted block mean, and net lateral heat is
+        redistributed to blocks by the same weights.
+        """
+        capacitance = np.array(
+            [block.capacitance for block in self.core.blocks], dtype=float
+        )
+        return capacitance / capacitance.sum()
+
+    # -- expansion -----------------------------------------------------------
+    def to_rc_network(
+        self, heatsink_temperature: float = 100.0
+    ) -> ThermalRCNetwork:
+        """Expand into an explicit per-block thermal RC network.
+
+        Every block of every core becomes one capacitive node
+        (``core{i}.{block}``) tied to the isothermal heatsink through
+        its normal resistance; each lateral coupling becomes per-block
+        edges between same-named blocks of the two cores, splitting the
+        core-to-core conductance by capacitance share (so the network's
+        aggregate lateral flow matches the stacked model's).  Used to
+        validate :class:`~repro.multicore.thermal.MulticoreThermalModel`
+        against the general solver.
+        """
+        network = ThermalRCNetwork()
+        for core_index in range(self.n_cores):
+            for block in self.core.blocks:
+                name = f"core{core_index}.{block.name}"
+                network.add_node(name, block.capacitance, heatsink_temperature)
+                network.connect_reference(
+                    name, heatsink_temperature, block.resistance
+                )
+        shares = self.capacitance_shares()
+        for coupling in self.couplings:
+            for block, share in zip(self.core.blocks, shares):
+                network.connect(
+                    f"core{coupling.core_a}.{block.name}",
+                    f"core{coupling.core_b}.{block.name}",
+                    coupling.resistance / share,
+                )
+        return network

@@ -1,0 +1,114 @@
+"""Result containers for multicore runs.
+
+A multicore run reports two levels: per-core outcomes (one
+:class:`CoreResult` per core -- the paper's two success metrics,
+emergency time and retained IPC, now per core) and chip-level
+aggregates (:class:`MulticoreRunResult` -- total throughput, chip
+power/energy, the union emergency time, and the coordinator's
+counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreResult:
+    """Outcome of one core of a multicore simulation."""
+
+    core: int
+    benchmark: str
+    policy: str
+    cycles: int
+    instructions: float
+    #: Fraction of cycles any of this core's blocks exceeded the
+    #: emergency threshold.
+    emergency_fraction: float
+    #: Fraction of cycles any of this core's blocks exceeded the stress
+    #: (non-CT trigger) threshold.
+    stress_fraction: float
+    mean_temperature: float
+    max_temperature: float
+    #: Mean power of this core (blocks + unmonitored share) [W].
+    mean_power: float
+    engaged_fraction: float = 0.0
+    interrupt_stall_cycles: int = 0
+    #: Samples this core spent demoted by the coordinator.
+    demoted_samples: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle on this core."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def relative_ipc(self, baseline: "CoreResult") -> float:
+        """This core's IPC as a fraction of an unmanaged baseline's."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+
+@dataclass
+class MulticoreRunResult:
+    """Outcome of one multicore (mix, policy, coordinator) simulation."""
+
+    policy: str
+    #: Coordinator strategy name, or ``""`` when uncoordinated.
+    coordinator: str
+    cycles: int
+    cores: tuple[CoreResult, ...]
+    #: Fraction of cycles *any* core was in thermal emergency (union
+    #: lower bound at sample resolution, as in the single-core engine).
+    emergency_fraction: float
+    stress_fraction: float
+    mean_chip_power: float
+    max_chip_power: float
+    energy_joules: float = 0.0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores in the run."""
+        return len(self.cores)
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions committed across all cores."""
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def throughput(self) -> float:
+        """Chip throughput: total committed IPC summed over cores."""
+        if not self.cycles:
+            return 0.0
+        return self.total_instructions / self.cycles
+
+    @property
+    def max_temperature(self) -> float:
+        """Hottest temperature any block on any core reached [degC]."""
+        return max(core.max_temperature for core in self.cores)
+
+    @property
+    def hottest_core(self) -> int:
+        """Index of the core that ran hottest."""
+        return max(self.cores, key=lambda core: core.max_temperature).core
+
+    @property
+    def benchmarks(self) -> tuple[str, ...]:
+        """Per-core benchmark names, in core order."""
+        return tuple(core.benchmark for core in self.cores)
+
+    def relative_throughput(self, baseline: "MulticoreRunResult") -> float:
+        """Chip throughput as a fraction of an unmanaged baseline's."""
+        if baseline.throughput == 0:
+            return 0.0
+        return self.throughput / baseline.throughput
+
+    def core(self, index: int) -> CoreResult:
+        """Look up one core's result by core index."""
+        for result in self.cores:
+            if result.core == index:
+                return result
+        raise KeyError(f"no core {index} in this result")

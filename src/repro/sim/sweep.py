@@ -8,12 +8,14 @@ deterministic seeding.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Mapping
 
 from repro.config import DTMConfig, MachineConfig, ThermalConfig
 from repro.control.pid import AntiWindup
 from repro.dtm.mechanisms import FetchToggling
 from repro.dtm.policies import make_policy
+from repro.errors import SimulationError
 from repro.faults import FaultSchedule, FaultyActuator, FaultySensor
 from repro.sim.fast import FastEngine
 from repro.sim.results import RunResult
@@ -24,7 +26,33 @@ from repro.workloads.profiles import BENCHMARKS, get_profile
 
 #: Default instruction budget per run (fast-engine samples are cheap;
 #: this covers hundreds of thermal time constants).
-DEFAULT_INSTRUCTIONS = 2_000_000
+DEFAULT_INSTRUCTIONS: int = 2_000_000
+
+
+def _validate_instructions(instructions: float) -> float:
+    """Reject non-positive, non-finite, or fractional budgets early.
+
+    These used to slip through to the engine (``instructions=0`` ran
+    zero samples and divided by zero cycles; ``1e6 + 0.5`` silently
+    committed half an instruction of budget accounting error).
+    """
+    try:
+        instructions = float(instructions)
+    except (TypeError, ValueError):
+        raise SimulationError(
+            f"instructions must be a number, got {instructions!r}"
+        ) from None
+    if not math.isfinite(instructions) or instructions <= 0:
+        raise SimulationError(
+            f"instructions must be a positive finite count, "
+            f"got {instructions!r}"
+        )
+    if instructions != int(instructions):
+        raise SimulationError(
+            f"instructions must be a whole number of instructions, "
+            f"got {instructions!r}"
+        )
+    return instructions
 
 
 def run_one(
@@ -60,6 +88,7 @@ def run_one(
     (metrics, per-sample trace, span profile); fault injectors and the
     failsafe guard report their events onto its trace stream.
     """
+    instructions = _validate_instructions(instructions)
     floorplan = floorplan if floorplan is not None else Floorplan.default()
     if policy is None:
         policy = make_policy(
@@ -125,6 +154,7 @@ def run_suite(
     aggregate over the whole sweep, and the profiler accumulates one
     ``sweep.run_suite`` span around per-run ``engine.run`` spans.
     """
+    instructions = _validate_instructions(instructions)
     telemetry = ensure_telemetry(telemetry)
     chosen_benchmarks = (
         list(benchmarks) if benchmarks is not None else list(BENCHMARKS)

@@ -118,8 +118,16 @@ def summarize(
     """Headline numbers for one trace (plain data, render-agnostic)."""
     episodes = emergency_episodes(records, threshold)
     event_kinds: dict[str, int] = {}
+    events_by_core: dict[int, dict[str, int]] = {}
     for event in events:
         event_kinds[event.kind] = event_kinds.get(event.kind, 0) + 1
+        # Multicore traces tag per-core events with a "core" data
+        # field; traces written before that field existed simply
+        # produce an empty breakdown.
+        core = (event.data or {}).get("core")
+        if isinstance(core, int) and not isinstance(core, bool):
+            per_core = events_by_core.setdefault(core, {})
+            per_core[event.kind] = per_core.get(event.kind, 0) + 1
     saturated = sum(
         1
         for r in records
@@ -148,6 +156,7 @@ def summarize(
             (e.samples for e in episodes), default=0
         ),
         "events": event_kinds,
+        "events_by_core": events_by_core,
     }
 
 
@@ -238,4 +247,13 @@ def render_report(
         lines.append("events:")
         for kind, count in sorted(summary["events"].items()):
             lines.append(f"  {kind}: {count}")
+        if summary["events_by_core"]:
+            lines.append("  per core:")
+            for core in sorted(summary["events_by_core"]):
+                kinds = summary["events_by_core"][core]
+                detail = ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(kinds.items())
+                )
+                lines.append(f"    core {core}: {detail}")
     return "\n".join(lines)

@@ -109,7 +109,16 @@ class GridThermalModel:
         return float(self._temps.max())
 
     def block_temperatures(self, statistic: str = "mean") -> np.ndarray:
-        """Per-block cell-temperature summary, in floorplan order."""
+        """Per-block cell-temperature summary, in floorplan order.
+
+        ``statistic`` must be ``"mean"`` or ``"max"``; anything else
+        raises :class:`ValueError` (it used to fall back to the mean
+        silently, hiding typos like ``"median"``).
+        """
+        if statistic not in ("mean", "max"):
+            raise ValueError(
+                f"unknown statistic {statistic!r}; expected 'mean' or 'max'"
+            )
         result = np.empty(len(self.floorplan.blocks))
         for b in range(len(self.floorplan.blocks)):
             cells = self._temps[self._block_masks[b]]
@@ -117,7 +126,11 @@ class GridThermalModel:
         return result
 
     def block_temperature(self, name: str, statistic: str = "mean") -> float:
-        """One block's cell-temperature summary."""
+        """One block's cell-temperature summary.
+
+        ``statistic`` is validated exactly as in
+        :meth:`block_temperatures`.
+        """
         index = self.floorplan.index(name)
         return float(self.block_temperatures(statistic)[index])
 

@@ -45,6 +45,53 @@ class TestReproCLI:
             repro_main(["run", "gzip", "--policy", "lqr"])
 
 
+class TestMulticoreCLI:
+    def test_run_multicore(self, capsys):
+        code = repro_main(
+            [
+                "run", "gcc,gzip", "--cores", "2", "--policy", "pid",
+                "--coordinator", "proportional",
+                "--instructions", "300000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core  benchmark" in out
+        assert "gzip" in out
+        assert "coordinator_demotions" in out
+
+    def test_coordinator_requires_multiple_cores(self, capsys):
+        code = repro_main(
+            ["run", "gcc", "--coordinator", "proportional"]
+        )
+        assert code == 2
+        assert "--coordinator" in capsys.readouterr().err
+
+    def test_setpoint_rejected_with_cores(self, capsys):
+        code = repro_main(
+            [
+                "run", "gcc,gzip", "--cores", "2",
+                "--policy", "pid", "--setpoint", "81.0",
+            ]
+        )
+        assert code == 2
+
+    def test_multicore_trace_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "chip.jsonl"
+        code = repro_main(
+            [
+                "run", "gcc,gzip", "--cores", "2", "--policy", "pid",
+                "--instructions", "300000",
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert repro_main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "samples:" in out
+
+
 class TestExperimentsCLI:
     def test_list(self, capsys):
         assert experiments_main(["--list"]) == 0

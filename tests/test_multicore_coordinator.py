@@ -1,0 +1,175 @@
+"""Tests for the chip-level thermal-budget coordinator."""
+
+import numpy as np
+import pytest
+
+from repro.config import TelemetryConfig
+from repro.errors import ConfigError
+from repro.multicore.coordinator import (
+    COORDINATOR_STRATEGIES,
+    ThermalBudgetCoordinator,
+)
+from repro.telemetry import Telemetry
+
+COOL = np.array([100.0, 100.0, 100.0, 100.0])
+
+
+def make(strategy="proportional", **kwargs):
+    return ThermalBudgetCoordinator(4, strategy=strategy, **kwargs)
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError, match="strategy"):
+            ThermalBudgetCoordinator(4, strategy="lottery")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duty_budget": 0.0},
+            {"demote_trigger_samples": 0},
+            {"demote_duty": 1.5},
+            {"rearm_margin": -0.1},
+            {"rearm_samples": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ThermalBudgetCoordinator(4, **kwargs)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermalBudgetCoordinator(0)
+
+    def test_wrong_shapes_rejected(self):
+        coordinator = make()
+        with pytest.raises(ConfigError):
+            coordinator.arbitrate(np.ones(3), COOL, 0)
+
+    def test_default_budget(self):
+        assert make().duty_budget == pytest.approx(3.0)
+
+
+class TestBudget:
+    def test_within_budget_untouched(self):
+        coordinator = make(duty_budget=3.0)
+        proposed = np.array([0.5, 0.5, 0.5, 0.5])
+        granted = coordinator.arbitrate(proposed, COOL, 0)
+        assert np.array_equal(granted, proposed)
+        assert not coordinator.budget_engaged
+
+    def test_proportional_scales_uniformly(self):
+        coordinator = make("proportional", duty_budget=2.0)
+        proposed = np.array([1.0, 1.0, 1.0, 1.0])
+        granted = coordinator.arbitrate(proposed, COOL, 0)
+        assert granted.sum() == pytest.approx(2.0)
+        assert np.allclose(granted, 0.5)
+        assert coordinator.budget_engaged
+
+    def test_uniform_caps_per_core(self):
+        coordinator = make("uniform", duty_budget=2.0)
+        proposed = np.array([1.0, 0.2, 1.0, 1.0])
+        granted = coordinator.arbitrate(proposed, COOL, 0)
+        assert np.all(granted <= 0.5 + 1e-12)
+        assert granted[1] == pytest.approx(0.2)  # under the cap: kept
+
+    def test_hottest_cut_first(self):
+        coordinator = make("hottest", duty_budget=3.0)
+        proposed = np.array([1.0, 1.0, 1.0, 1.0])
+        temps = np.array([100.0, 101.0, 102.5, 100.5])
+        granted = coordinator.arbitrate(proposed, temps, 0)
+        assert granted.sum() == pytest.approx(3.0)
+        assert granted[2] == pytest.approx(0.0)  # hottest loses it all
+        assert granted[0] == pytest.approx(1.0)  # coolest untouched
+
+    def test_budget_event_on_transition_only(self):
+        telemetry = Telemetry(TelemetryConfig())
+        coordinator = make("proportional", duty_budget=2.0,
+                           telemetry=telemetry)
+        hot_demand = np.ones(4)
+        for index in range(3):
+            coordinator.arbitrate(hot_demand, COOL, index)
+        coordinator.arbitrate(np.full(4, 0.25), COOL, 3)
+        events = [
+            e for e in telemetry.trace.events
+            if e.kind == "coordinator_budget"
+        ]
+        assert len(events) == 2  # one engage, one release
+        assert events[0].data["engaged"] is True
+        assert events[1].data["engaged"] is False
+        assert coordinator.budget_engaged_samples == 3
+
+
+class TestDemotion:
+    def test_demotes_after_trigger_streak(self):
+        coordinator = make(
+            demote_temperature=102.0, demote_trigger_samples=3,
+            demote_duty=0.25, duty_budget=4.0,
+        )
+        hot = np.array([103.0, 100.0, 100.0, 100.0])
+        for index in range(2):
+            granted = coordinator.arbitrate(np.ones(4), hot, index)
+            assert not coordinator.demoted[0]
+        granted = coordinator.arbitrate(np.ones(4), hot, 2)
+        assert coordinator.demoted[0]
+        assert granted[0] == pytest.approx(0.25)
+        assert coordinator.demotions == 1
+
+    def test_streak_resets_on_cool_sample(self):
+        coordinator = make(demote_trigger_samples=3)
+        hot = np.array([103.0, 100.0, 100.0, 100.0])
+        coordinator.arbitrate(np.ones(4), hot, 0)
+        coordinator.arbitrate(np.ones(4), hot, 1)
+        coordinator.arbitrate(np.ones(4), COOL, 2)  # breaks the streak
+        coordinator.arbitrate(np.ones(4), hot, 3)
+        coordinator.arbitrate(np.ones(4), hot, 4)
+        assert not any(coordinator.demoted)
+
+    def test_rearms_after_cool_streak(self):
+        telemetry = Telemetry(TelemetryConfig())
+        coordinator = make(
+            demote_trigger_samples=1, rearm_samples=3,
+            telemetry=telemetry,
+        )
+        hot = np.array([103.0, 100.0, 100.0, 100.0])
+        coordinator.arbitrate(np.ones(4), hot, 0)
+        assert coordinator.demoted[0]
+        for index in range(1, 4):
+            coordinator.arbitrate(np.ones(4), COOL, index)
+        assert not coordinator.demoted[0]
+        assert coordinator.rearms == 1
+        kinds = [e.kind for e in telemetry.trace.events]
+        assert "coordinator_demote" in kinds
+        assert "coordinator_rearm" in kinds
+        demote = next(
+            e for e in telemetry.trace.events
+            if e.kind == "coordinator_demote"
+        )
+        assert demote.data["core"] == 0
+
+    def test_stats_counters(self):
+        coordinator = make(demote_trigger_samples=1)
+        hot = np.array([103.0, 100.0, 100.0, 100.0])
+        coordinator.arbitrate(np.ones(4), hot, 0)
+        stats = coordinator.stats()
+        assert stats["coordinator_demotions"] == 1.0
+        assert stats["coordinator_demoted_now"] == 1.0
+
+    def test_reset_clears_everything(self):
+        coordinator = make(demote_trigger_samples=1)
+        hot = np.array([103.0, 100.0, 100.0, 100.0])
+        coordinator.arbitrate(np.ones(4), hot, 0)
+        coordinator.reset()
+        assert not any(coordinator.demoted)
+        assert coordinator.demotions == 0
+        assert coordinator.samples == 0
+
+
+class TestStrategies:
+    def test_all_strategies_enforce_budget(self):
+        for strategy in COORDINATOR_STRATEGIES:
+            coordinator = ThermalBudgetCoordinator(
+                4, strategy=strategy, duty_budget=1.5
+            )
+            granted = coordinator.arbitrate(np.ones(4), COOL, 0)
+            assert granted.sum() <= 1.5 + 1e-9, strategy

@@ -1,0 +1,138 @@
+"""Tests for multicore floorplan tiling and lateral coupling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalModelError
+from repro.multicore.floorplan import (
+    CoreCoupling,
+    MulticoreFloorplan,
+    core_coupling_resistance,
+)
+from repro.thermal.floorplan import Floorplan
+
+
+class TestCoreCoupling:
+    def test_self_coupling_rejected(self):
+        with pytest.raises(ThermalModelError):
+            CoreCoupling(1, 1, 10.0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ThermalModelError):
+            CoreCoupling(-1, 0, 10.0)
+
+    def test_non_positive_resistance_rejected(self):
+        with pytest.raises(ThermalModelError):
+            CoreCoupling(0, 1, 0.0)
+
+
+class TestCouplingResistance:
+    def test_weak_next_to_vertical_path(self):
+        """The lateral path must be much weaker than the ~0.2 K/W
+        vertical one -- the paper's justification for dropping it
+        within a core."""
+        core = Floorplan.default()
+        resistance = core_coupling_resistance(core)
+        assert resistance > 5.0
+        worst_vertical = max(block.resistance for block in core.blocks)
+        assert resistance > 10.0 * worst_vertical
+
+    def test_thinner_die_raises_resistance(self):
+        core = Floorplan.default()
+        nominal = core_coupling_resistance(core)  # 0.1 mm die
+        thin = core_coupling_resistance(core, thickness=0.05e-3)
+        assert thin > nominal
+
+
+class TestTiling:
+    def test_near_square_grid(self):
+        tiling = MulticoreFloorplan.tile(n_cores=4)
+        assert (tiling.rows, tiling.cols) == (2, 2)
+        tiling = MulticoreFloorplan.tile(n_cores=8)
+        assert tiling.rows * tiling.cols >= 8
+        assert abs(tiling.rows - tiling.cols) <= 1
+
+    def test_four_neighbor_couplings(self):
+        tiling = MulticoreFloorplan.tile(n_cores=4)
+        # 2x2 grid: 2 horizontal + 2 vertical pairs.
+        assert len(tiling.couplings) == 4
+        assert tiling.neighbors(0) == (1, 2)
+        assert tiling.neighbors(3) == (1, 2)
+
+    def test_zero_scale_decouples(self):
+        tiling = MulticoreFloorplan.tile(n_cores=4, coupling_scale=0.0)
+        assert tiling.couplings == ()
+        assert not np.any(tiling.coupling_conductance_matrix())
+
+    def test_scale_divides_resistance(self):
+        nominal = MulticoreFloorplan.tile(n_cores=2, coupling_scale=1.0)
+        strong = MulticoreFloorplan.tile(n_cores=2, coupling_scale=2.0)
+        assert strong.couplings[0].resistance == pytest.approx(
+            nominal.couplings[0].resistance / 2.0
+        )
+
+    def test_duplicate_coupling_rejected(self):
+        with pytest.raises(ThermalModelError):
+            MulticoreFloorplan(
+                core=Floorplan.default(),
+                n_cores=2,
+                rows=1,
+                cols=2,
+                couplings=(
+                    CoreCoupling(0, 1, 10.0),
+                    CoreCoupling(1, 0, 20.0),
+                ),
+            )
+
+    def test_out_of_range_coupling_rejected(self):
+        with pytest.raises(ThermalModelError):
+            MulticoreFloorplan(
+                core=Floorplan.default(),
+                n_cores=2,
+                rows=1,
+                cols=2,
+                couplings=(CoreCoupling(0, 5, 10.0),),
+            )
+
+    def test_grid_must_hold_cores(self):
+        with pytest.raises(ThermalModelError):
+            MulticoreFloorplan(
+                core=Floorplan.default(), n_cores=5, rows=2, cols=2
+            )
+
+
+class TestDerived:
+    @pytest.fixture(scope="class")
+    def tiling(self):
+        return MulticoreFloorplan.tile(n_cores=4)
+
+    def test_names_and_nodes(self, tiling):
+        assert tiling.core_names == ("core0", "core1", "core2", "core3")
+        assert tiling.node_name(2, "regfile") == "core2.regfile"
+        with pytest.raises(ThermalModelError):
+            tiling.node_name(9, "regfile")
+        with pytest.raises(ThermalModelError):
+            tiling.node_name(0, "nonesuch")
+
+    def test_conductance_matrix_symmetric(self, tiling):
+        matrix = tiling.coupling_conductance_matrix()
+        assert matrix.shape == (4, 4)
+        assert np.allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_capacitance_shares_sum_to_one(self, tiling):
+        shares = tiling.capacitance_shares()
+        assert shares.shape == (tiling.n_blocks,)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares > 0.0)
+
+    def test_die_area_scales(self, tiling):
+        assert tiling.die_area_m2 == pytest.approx(
+            4 * tiling.core.die_area_m2
+        )
+
+    def test_rc_network_expansion(self, tiling):
+        network = tiling.to_rc_network(100.0)
+        temps = network.temperatures()
+        assert len(temps) == tiling.n_cores * tiling.n_blocks
+        assert "core3.lsq" in temps

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for the thermal models."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -117,3 +118,106 @@ class TestNetworkProperties:
         assert steady["die"] == (
             27.0 + power * resistance
         ) or abs(steady["die"] - (27.0 + power * resistance)) < 1e-9
+
+
+class TestNetworkSteadyStateAgreesWithSettledRun:
+    """steady_state must be the fixed point the Euler run settles to."""
+
+    @given(
+        n_nodes=st.integers(2, 4),
+        powers=st.lists(st.floats(0.0, 10.0), min_size=4, max_size=4),
+        resistances=st.lists(st.floats(0.2, 2.0), min_size=4, max_size=4),
+        capacitances=st.lists(
+            st.floats(1e-4, 8e-4), min_size=4, max_size=4
+        ),
+        chain_resistance=st.floats(0.5, 10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_long_run_settles_to_steady_state(
+        self, n_nodes, powers, resistances, capacitances, chain_resistance
+    ):
+        network = ThermalRCNetwork()
+        names = [f"n{i}" for i in range(n_nodes)]
+        for name, capacitance in zip(names, capacitances):
+            network.add_node(name, capacitance, 100.0)
+        # Only the head node sees the reference; the rest reach it
+        # through the chain, so the solve is genuinely coupled.
+        network.connect_reference(names[0], 100.0, resistances[0])
+        for left, right, resistance in zip(
+            names, names[1:], resistances[1:]
+        ):
+            network.connect(left, right, chain_resistance * resistance)
+        injected = dict(zip(names, powers))
+        steady = network.steady_state(injected)
+        # Longest possible time constant: every capacitance through
+        # the full series resistance to the reference.
+        total_r = resistances[0] + chain_resistance * sum(
+            resistances[1:n_nodes]
+        )
+        tau = sum(capacitances[:n_nodes]) * total_r
+        network.run(injected, duration=30.0 * tau, dt=tau / 50.0)
+        for name in names:
+            assert network.temperatures()[name] == pytest.approx(
+                steady[name], abs=1e-6
+            )
+
+
+class TestMulticoreZeroCouplingProperties:
+    """Decoupled stacked model == N independent single-core models."""
+
+    @given(
+        n_cores=st.integers(1, 4),
+        seed=st.integers(0, 2**32 - 1),
+        steps=st.integers(1, 5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bitwise_identical_to_independent_models(
+        self, n_cores, seed, steps
+    ):
+        from repro.multicore.floorplan import MulticoreFloorplan
+        from repro.multicore.thermal import MulticoreThermalModel
+
+        tiling = MulticoreFloorplan.tile(
+            n_cores=n_cores, coupling_scale=0.0
+        )
+        stacked = MulticoreThermalModel(tiling)
+        independents = [
+            LumpedThermalModel(tiling.core) for _ in range(n_cores)
+        ]
+        rng = np.random.default_rng(seed)
+        for _ in range(steps):
+            powers = rng.uniform(0.0, 12.0, size=stacked.shape)
+            cycles = int(rng.integers(1, 200_000))
+            stacked.advance(powers, cycles)
+            for core, model in enumerate(independents):
+                model.advance(powers[core], cycles)
+        expected = np.stack(
+            [model.temperatures for model in independents]
+        )
+        assert np.array_equal(stacked.temperatures, expected)
+
+    @given(
+        n_cores=st.integers(2, 4),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fraction_above_matches_single_core(self, n_cores, seed):
+        from repro.multicore.floorplan import MulticoreFloorplan
+        from repro.multicore.thermal import MulticoreThermalModel
+
+        tiling = MulticoreFloorplan.tile(
+            n_cores=n_cores, coupling_scale=0.0
+        )
+        stacked = MulticoreThermalModel(tiling)
+        single = LumpedThermalModel(tiling.core)
+        rng = np.random.default_rng(seed)
+        powers = rng.uniform(0.0, 12.0, size=stacked.shape)
+        start0, steady0, _ = stacked.sample_update(powers, 1000)
+        single._temps = start0[0].copy()
+        frac_stack = stacked.fraction_above(
+            start0, steady0, 1000 / 1.5e9, 101.0
+        )
+        frac_single = single.fraction_above(
+            start0[0], steady0[0], 1000 / 1.5e9, 101.0
+        )
+        assert np.array_equal(frac_stack[0], frac_single)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.sim.sweep import run_one, run_suite, suite_summary
 
 
@@ -52,3 +53,38 @@ class TestRunSuite:
     def test_summary_of_absent_policy_is_zero(self, results):
         summary = suite_summary(results, "toggle1")
         assert summary["mean_relative_ipc"] == 0.0
+
+
+class TestInstructionValidation:
+    """Regression: bad budgets used to reach the engine unchecked."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -2_000_000, 0.0])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(SimulationError, match="positive"):
+            run_one("gzip", "none", instructions=bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_rejected(self, bad):
+        with pytest.raises(SimulationError, match="positive finite"):
+            run_one("gzip", "none", instructions=bad)
+
+    def test_fractional_rejected(self):
+        with pytest.raises(SimulationError, match="whole number"):
+            run_one("gzip", "none", instructions=1000.5)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SimulationError, match="number"):
+            run_one("gzip", "none", instructions="lots")
+
+    def test_integral_float_accepted(self):
+        result = run_one("gzip", "none", instructions=200_000.0)
+        assert result.instructions > 0
+
+    def test_run_suite_validates_before_any_run(self):
+        with pytest.raises(SimulationError):
+            run_suite(policies=("pid",), benchmarks=("gzip",),
+                      instructions=-5)
+
+    def test_default_is_an_int(self):
+        from repro.sim.sweep import DEFAULT_INSTRUCTIONS
+        assert isinstance(DEFAULT_INSTRUCTIONS, int)

@@ -112,3 +112,46 @@ class TestRenderReport:
     def test_report_handles_empty_trace(self):
         text = render_report([])
         assert "samples:            0" in text
+
+
+class TestCoreFieldCompat:
+    """Multicore runs tag events with ``data["core"]``; old traces
+    don't have the field and must keep producing the old report."""
+
+    def test_old_trace_without_core_field_unchanged(self):
+        records = [_record(0, 101.0)]
+        events = [
+            TraceEvent("fault", 0, "spike"),
+            TraceEvent("fault", 1, "dropout", {"channel": "sensor"}),
+        ]
+        summary = summarize(records, events)
+        assert summary["events"] == {"fault": 2}
+        assert summary["events_by_core"] == {}
+        text = render_report(records, events)
+        assert "fault: 2" in text
+        assert "per core" not in text
+
+    def test_core_tagged_events_grouped(self):
+        records = [_record(0, 101.0)]
+        events = [
+            TraceEvent("fault", 0, "spike", {"core": 1}),
+            TraceEvent("fault", 1, "spike", {"core": 1}),
+            TraceEvent("failsafe_transition", 2, "watchdog", {"core": 0}),
+            TraceEvent("coordinator_budget", 3, "over", {"engaged": True}),
+        ]
+        summary = summarize(records, events)
+        assert summary["events_by_core"] == {
+            0: {"failsafe_transition": 1},
+            1: {"fault": 2},
+        }
+        text = render_report(records, events)
+        assert "per core:" in text
+        assert "core 0: failsafe_transition=1" in text
+        assert "core 1: fault=2" in text
+
+    def test_boolean_core_value_not_treated_as_index(self):
+        # JSON round-trips can surface odd payloads; ``True`` must not
+        # be counted as core 1.
+        events = [TraceEvent("fault", 0, "spike", {"core": True})]
+        summary = summarize([_record(0, 101.0)], events)
+        assert summary["events_by_core"] == {}

@@ -139,3 +139,31 @@ class TestGridModel:
     def test_too_coarse_grid_rejected(self, floorplan):
         with pytest.raises(ThermalModelError):
             GridThermalModel(floorplan, resolution=4)
+
+
+class TestBlockStatisticValidation:
+    """Regression: unknown statistics used to fall back to "mean"."""
+
+    def test_mean_and_max_accepted(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=16)
+        powers = np.array([b.peak_power for b in floorplan.blocks])
+        grid.advance(powers, 1e-4)
+        means = grid.block_temperatures("mean")
+        maxes = grid.block_temperatures("max")
+        assert np.all(maxes >= means)
+
+    def test_unknown_statistic_rejected(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=16)
+        with pytest.raises(ValueError, match="median"):
+            grid.block_temperatures("median")
+
+    def test_unknown_statistic_rejected_single_block(self, floorplan):
+        grid = GridThermalModel(floorplan, resolution=16)
+        with pytest.raises(ValueError, match="statistic"):
+            grid.block_temperature("regfile", "p99")
+
+    def test_case_sensitive(self, floorplan):
+        # "Mean" is not "mean"; silent coercion is exactly the bug.
+        grid = GridThermalModel(floorplan, resolution=16)
+        with pytest.raises(ValueError):
+            grid.block_temperature("regfile", "Mean")
