@@ -256,19 +256,22 @@ def cmd_trace(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    baseline = run_one(
-        args.benchmark, "none", instructions=args.instructions, seed=args.seed
+    from repro.sim.parallel import matrix_specs, run_specs
+
+    specs = matrix_specs(
+        [args.benchmark],
+        ["none", *args.policies],
+        seeds=(args.seed,),
+        instructions=args.instructions,
     )
+    results = run_specs(specs, jobs=args.jobs)
+    baseline, policy_results = results[0], results[1:]
     print(f"{args.benchmark}: baseline IPC {baseline.ipc:.3f}, "
           f"{100 * baseline.emergency_fraction:.2f}% emergency")
     header = f"{'policy':>8} {'%IPC':>7} {'em%':>8} {'maxT':>9}"
     print(header)
     print("-" * len(header))
-    for policy in args.policies:
-        result = run_one(
-            args.benchmark, policy, instructions=args.instructions,
-            seed=args.seed,
-        )
+    for policy, result in zip(args.policies, policy_results):
         print(
             f"{policy:>8} {100 * result.relative_ipc(baseline):7.1f} "
             f"{100 * result.emergency_fraction:8.3f} "
@@ -394,6 +397,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     compare_parser.add_argument("--instructions", type=float, default=2_000_000)
     compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the policy matrix (0 = all cores; "
+        "results are bit-identical to --jobs 1)",
+    )
 
     args = parser.parse_args(argv)
     commands = {

@@ -5,8 +5,14 @@ Usage::
     python -m repro.experiments                # everything, full budgets
     python -m repro.experiments --quick        # reduced budgets
     python -m repro.experiments table3_rc table11_dtm_performance
+    python -m repro.experiments --jobs 8        # fan sweeps out over 8 cores
     python -m repro.experiments figure4_traces table7_emergency_breakdown \
         --trace-out suite.jsonl --metrics-out suite-metrics.json
+
+``--jobs N`` sets the process-wide default worker count
+(:func:`repro.sim.parallel.set_default_jobs`), so every ``run_suite`` /
+``run_specs`` call inside the experiment modules fans out over worker
+processes; results are bit-identical to the serial run.
 
 ``--trace-out`` / ``--metrics-out`` build one shared
 :class:`~repro.telemetry.core.Telemetry` sink, hand it to every
@@ -54,7 +60,18 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics-out", default=None, metavar="PATH",
         help="export the shared metrics snapshot (JSON)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for every sweep inside the experiments "
+        "(0 = all cores; results are bit-identical to --jobs 1, see "
+        "docs/performance.md)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs != 1:
+        from repro.sim.parallel import set_default_jobs
+
+        set_default_jobs(args.jobs)
 
     if args.list:
         for name in ALL_EXPERIMENTS:

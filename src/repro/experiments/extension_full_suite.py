@@ -12,27 +12,47 @@ from __future__ import annotations
 
 from repro.experiments.common import benchmark_budget
 from repro.experiments.reporting import ExperimentResult, format_table, percent
-from repro.sim.sweep import run_one
+from repro.sim.parallel import WorkSpec, run_specs
 from repro.workloads.profiles import ALL_BENCHMARKS, EXTENDED_BENCHMARKS
 
 
 def run(
     policies: tuple[str, ...] = ("toggle1", "pid"),
     quick: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """toggle1 vs PID over all 26 SPEC2000-like benchmarks."""
+    """toggle1 vs PID over all 26 SPEC2000-like benchmarks.
+
+    The 26 x (1 + len(policies)) matrix is built as
+    :class:`~repro.sim.parallel.WorkSpec` entries (per-benchmark
+    budgets) and handed to :func:`~repro.sim.parallel.run_specs`, so
+    ``--jobs`` fans the whole experiment out over worker processes with
+    bit-identical results.
+    """
+    specs = [
+        WorkSpec(
+            benchmark=benchmark,
+            policy=policy,
+            instructions=benchmark_budget(benchmark, quick),
+        )
+        for benchmark in ALL_BENCHMARKS
+        for policy in ("none", *policies)
+    ]
+    results = dict(
+        zip(((s.benchmark, s.policy) for s in specs), run_specs(specs, jobs=jobs))
+    )
+
     rows = []
     losses: dict[str, list[float]] = {policy: [] for policy in policies}
     for benchmark in ALL_BENCHMARKS:
-        budget = benchmark_budget(benchmark, quick)
-        baseline = run_one(benchmark, "none", instructions=budget)
+        baseline = results[(benchmark, "none")]
         row: dict = {
             "benchmark": benchmark,
             "suite": "extended" if benchmark in EXTENDED_BENCHMARKS else "paper",
             "base_em": percent(baseline.emergency_fraction),
         }
         for policy in policies:
-            result = run_one(benchmark, policy, instructions=budget)
+            result = results[(benchmark, policy)]
             relative = result.relative_ipc(baseline)
             row[f"ipc_{policy}"] = percent(relative)
             row[f"em_{policy}"] = percent(result.emergency_fraction)

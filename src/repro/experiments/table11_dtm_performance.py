@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.common import benchmark_budget
 from repro.experiments.reporting import ExperimentResult, format_table, percent
-from repro.sim.sweep import run_one
+from repro.sim.parallel import WorkSpec, run_specs
 from repro.workloads.profiles import BENCHMARKS
 
 #: Policies reported, in the paper's comparison order.
@@ -22,22 +22,43 @@ def run(
     policies: tuple[str, ...] = DEFAULT_POLICIES,
     benchmarks: tuple[str, ...] | None = None,
     quick: bool = False,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Regenerate the Section 7 performance table."""
+    """Regenerate the Section 7 performance table.
+
+    The (benchmark x policy) matrix -- the single biggest serial
+    hot-spot in a full reproduction -- is expressed as
+    :class:`~repro.sim.parallel.WorkSpec` entries with per-benchmark
+    budgets and executed by :func:`~repro.sim.parallel.run_specs`;
+    ``--jobs`` (or an explicit ``jobs=``) fans it out over worker
+    processes with bit-identical results.
+    """
     chosen = benchmarks if benchmarks is not None else tuple(BENCHMARKS)
+    specs = [
+        WorkSpec(
+            benchmark=benchmark,
+            policy=policy,
+            instructions=benchmark_budget(benchmark, quick),
+        )
+        for benchmark in chosen
+        for policy in ("none", *policies)
+    ]
+    results = dict(
+        zip(((s.benchmark, s.policy) for s in specs), run_specs(specs, jobs=jobs))
+    )
+
     rows = []
     losses: dict[str, list[float]] = {policy: [] for policy in policies}
     emergencies: dict[str, list[float]] = {policy: [] for policy in policies}
     for benchmark in chosen:
-        budget = benchmark_budget(benchmark, quick)
-        baseline = run_one(benchmark, "none", instructions=budget)
+        baseline = results[(benchmark, "none")]
         row: dict = {
             "benchmark": benchmark,
             "base_ipc": baseline.ipc,
             "base_em": percent(baseline.emergency_fraction),
         }
         for policy in policies:
-            result = run_one(benchmark, policy, instructions=budget)
+            result = results[(benchmark, policy)]
             relative = result.relative_ipc(baseline)
             row[f"ipc_{policy}"] = percent(relative)
             row[f"em_{policy}"] = percent(result.emergency_fraction)

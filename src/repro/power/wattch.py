@@ -38,6 +38,10 @@ class PowerModel:
         self._peaks = np.array(
             [block.peak_power for block in floorplan.blocks], dtype=float
         )
+        # Peaks never change after construction, so the no-copy view
+        # can be built once and handed out forever.
+        self._peaks_readonly = self._peaks.view()
+        self._peaks_readonly.flags.writeable = False
 
     # -- vectorized path (fast engine) ------------------------------------
     def block_powers(self, utilization: np.ndarray) -> np.ndarray:
@@ -91,6 +95,17 @@ class PowerModel:
     def peaks(self) -> np.ndarray:
         """Per-block peak powers [W] in floorplan order (copy)."""
         return self._peaks.copy()
+
+    @property
+    def peaks_view(self) -> np.ndarray:
+        """Per-block peak powers as a cached **read-only view**.
+
+        The fast engine's leakage path reads the peaks every sample;
+        this skips the defensive per-read copy of :attr:`peaks` while
+        still making external mutation impossible (the view is not
+        writeable, regression-tested).
+        """
+        return self._peaks_readonly
 
     @property
     def peak_chip_power(self) -> float:

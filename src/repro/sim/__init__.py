@@ -13,6 +13,13 @@ Two engines share the power, thermal, controller, and DTM code:
 """
 
 from repro.sim.fast import FastEngine
+from repro.sim.parallel import (
+    WorkSpec,
+    get_default_jobs,
+    matrix_specs,
+    run_specs,
+    set_default_jobs,
+)
 from repro.sim.results import History, RunResult
 from repro.sim.simulator import DetailedSimulator
 from repro.sim.sweep import run_suite
@@ -22,5 +29,10 @@ __all__ = [
     "FastEngine",
     "History",
     "RunResult",
+    "WorkSpec",
+    "get_default_jobs",
+    "matrix_specs",
+    "run_specs",
     "run_suite",
+    "set_default_jobs",
 ]

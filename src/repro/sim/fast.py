@@ -28,6 +28,7 @@ Per sample the engine:
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from time import perf_counter
 
 import numpy as np
@@ -49,6 +50,13 @@ from repro.workloads.profiles import BenchmarkProfile
 #: gated fetch cycles interact with branch-driven fetch-block breaks,
 #: so the sustained supply is ~0.8 * duty * fetch_width.
 DEFAULT_SUPPLY_EFFICIENCY = 0.80
+
+
+def _grow(buffer: np.ndarray, capacity: int) -> np.ndarray:
+    """Double a history buffer, preserving its leading rows."""
+    grown = np.empty((capacity, *buffer.shape[1:]))
+    grown[: len(buffer)] = buffer
+    return grown
 
 
 class FastEngine:
@@ -147,6 +155,27 @@ class FastEngine:
         max_cycles: int | None,
         warmup_instructions: float,
     ) -> RunResult:
+        """The fused per-sample kernel.
+
+        Optimized but **bit-identical** to the original (pinned as
+        :class:`repro.sim.reference.ReferenceFastEngine` and asserted
+        equal by ``tests/test_sim_reference.py``): every transformation
+        below is a pure strength reduction --
+
+        * per-phase activity vectors are prebuilt numpy arrays looked
+          up by committed-instruction position (no per-sample tuple
+          rebuild + ``np.array``);
+        * thermal state and power peaks are read through cached
+          read-only views (no defensive per-read copies);
+        * one fused :meth:`~repro.thermal.lumped.LumpedThermalModel.
+          advance_from` call returns ``(end, steady)`` and shares the
+          steady-state solve the original computed twice;
+        * the emergency and stress thresholds go through one broadcast
+          :meth:`~repro.thermal.lumped.LumpedThermalModel.
+          fractions_above` pass instead of two full kernels;
+        * history lands in preallocated (amortized-doubling) buffers
+          instead of a list of tuples + ``np.vstack``.
+        """
         if instructions <= 0:
             raise SimulationError("instructions must be positive")
         sample = self.dtm_config.sampling_interval
@@ -156,6 +185,7 @@ class FastEngine:
             max_cycles = int(40 * instructions / max(0.1, self.profile.mean_ipc))
         emergency_level = self.thermal_config.emergency_temperature
         stress_level = self.dtm_config.nonct_trigger
+        thresholds = (emergency_level, stress_level)
         fetch_supply = self.machine.fetch_width * self.supply_efficiency
 
         # Telemetry is opt-in: ``recording`` is hoisted into a local so
@@ -192,6 +222,43 @@ class FastEngine:
         names = self.floorplan.names
         block_count = len(names)
 
+        # -- precomputed per-phase tables (replaces phase_at + the
+        # per-sample activity_vector tuple rebuild).  ``phase_ends``
+        # holds cumulative instruction boundaries, so the phase at a
+        # committed-instruction position is one bisect; the prebuilt
+        # activity arrays are marked read-only because the non-jittered
+        # path hands them straight to the power computation.
+        phases = self.profile.phases
+        phase_total = self.profile.total_instructions
+        phase_ends: list[int] = []
+        running = 0
+        phase_activity: list[np.ndarray] = []
+        phase_jitter: list[float] = []
+        phase_ipc: list[float] = []
+        for phase in phases:
+            running += phase.instructions
+            phase_ends.append(running)
+            base = np.array(phase.activity_vector(names), dtype=float)
+            base.flags.writeable = False
+            phase_activity.append(base)
+            phase_jitter.append(phase.jitter)
+            phase_ipc.append(phase.ipc)
+        single_phase = len(phases) == 1
+
+        # -- hoisted hot-path handles (no per-sample attribute chains).
+        thermal = self.thermal
+        power_model = self.power_model
+        peaks = power_model.peaks_view
+        leakage = self.leakage
+        monitored = self._monitored
+        # CC3 (the default) is inlined; the clip in block_powers is a
+        # value-level no-op here because activity and ratio are both in
+        # [0, 1] by construction, so the inlined product is identical.
+        fused_cc3 = power_model.gating is ClockGatingStyle.CC3
+        idle = power_model.idle_fraction
+        active = 1.0 - idle
+        unmonitored_peak = self.floorplan.unmonitored_peak_power
+
         committed = 0.0
         warmup_remaining = float(warmup_instructions)
         cycles = 0
@@ -207,48 +274,79 @@ class FastEngine:
         interrupt_stalls = 0
         samples = 0
         total_committed = 0.0  # includes warmup; drives phase position
-        warmup_budget = max_cycles  # warmup gets the same cycle safety net
+        # One shared budget for warmup + measurement (the original
+        # engine gave warmup its own ``max_cycles`` allowance on top of
+        # the main loop's, so a warmed-up run could simulate up to
+        # twice the requested budget -- regression-tested).
+        budget_remaining = max_cycles
         warmup_cycles = 0
         warmup_samples = 0
-        history_rows: list[tuple] = []
 
-        while committed < instructions and cycles < max_cycles:
+        # -- preallocated history buffers (amortized doubling growth).
+        record_history = self.record_history
+        hist_cap = 0
+        if record_history:
+            hist_cap = 1024
+            h_max_temp = np.empty(hist_cap)
+            h_duty = np.empty(hist_cap)
+            h_chip_power = np.empty(hist_cap)
+            h_temps = np.empty((hist_cap, block_count))
+            h_powers = np.empty((hist_cap, block_count))
+            h_em = np.empty((hist_cap, block_count))
+            h_st = np.empty((hist_cap, block_count))
+
+        while committed < instructions and budget_remaining > 0:
             if time_samples:
                 sample_start = perf_counter()
-            phase = self.profile.phase_at(int(total_committed))
-            activity = np.array(phase.activity_vector(names), dtype=float)
-            if phase.jitter:
-                activity *= 1.0 + rng.normal(0.0, phase.jitter, block_count)
+            if single_phase:
+                index = 0
+            else:
+                position = int(total_committed) % phase_total
+                index = bisect_right(phase_ends, position)
+            jitter = phase_jitter[index]
+            if jitter:
+                activity = phase_activity[index] * (
+                    1.0 + rng.normal(0.0, jitter, block_count)
+                )
                 np.clip(activity, 0.0, 1.0, out=activity)
-                demand_ipc = phase.ipc * (
-                    1.0 + rng.normal(0.0, 0.5 * phase.jitter)
+                demand_ipc = phase_ipc[index] * (
+                    1.0 + rng.normal(0.0, 0.5 * jitter)
                 )
             else:
-                demand_ipc = phase.ipc
+                activity = phase_activity[index]
+                demand_ipc = phase_ipc[index]
             demand_ipc = max(0.05, demand_ipc)
 
-            if self._monitored is None:
-                sensed = self.thermal.max_temperature
+            temps = thermal.temperatures_view
+            if monitored is None:
+                sensed = float(temps.max())
             else:
-                sensed = float(self.thermal.temperatures[self._monitored].max())
+                sensed = float(temps[monitored].max())
             duty, stall = on_sample(sensed)
             supply_ipc = duty * fetch_supply
             effective_ipc = min(demand_ipc, supply_ipc)
             ratio = effective_ipc / demand_ipc
 
             utilization = activity * ratio
-            powers = self.power_model.block_powers(utilization)
-            if self.leakage is not None:
-                powers = powers + self.leakage.power(
-                    self.power_model.peaks, self.thermal.temperatures
+            if fused_cc3:
+                powers = peaks * (idle + active * utilization)
+                unmonitored = unmonitored_peak * (
+                    idle + active * float(utilization.mean())
                 )
-            chip_power = float(powers.sum()) + self.power_model.unmonitored_power(
-                float(utilization.mean())
-            )
+            else:
+                powers = power_model.block_powers(utilization)
+                unmonitored = power_model.unmonitored_power(
+                    float(utilization.mean())
+                )
+            if leakage is not None:
+                powers = powers + leakage.power(peaks, temps)
+            chip_power = float(powers.sum()) + unmonitored
 
-            start = self.thermal.temperatures
-            steady = self.thermal.steady_state(powers)
-            end = self.thermal.advance(powers, sample)
+            # One fused thermal call: steady state solved once and
+            # shared between the exponential update and the threshold
+            # crossing analysis.  ``temps`` stays a valid pre-advance
+            # snapshot because advance_from rebinds the model state.
+            end, steady = thermal.advance_from(temps, powers, sample)
 
             # Guard rails: a non-finite power or temperature means the
             # loop has blown up (NaN sensor feedback, runaway gains,
@@ -258,7 +356,7 @@ class FastEngine:
                 bad = (
                     names[int(np.argmin(np.isfinite(end)))]
                     if not np.all(np.isfinite(end))
-                    else self.thermal.hottest_block
+                    else thermal.hottest_block
                 )
                 raise SimulationError(
                     f"non-finite simulation state in profile "
@@ -272,15 +370,15 @@ class FastEngine:
 
             sample_committed = effective_ipc * max(0, sample - stall)
             total_committed += sample_committed
+            budget_remaining -= sample
             if warmup_remaining > 0:
                 # Warmup samples are excluded from every metric but
                 # still advance the samples-independent safety
                 # accounting, so a wedged warmup is diagnosable.
                 warmup_remaining -= sample_committed
-                warmup_budget -= sample
                 warmup_cycles += sample
                 warmup_samples += 1
-                if warmup_budget <= 0:
+                if budget_remaining <= 0:
                     raise SimulationError(
                         f"warmup of profile {self.profile.name!r} exceeded "
                         f"its cycle budget of {max_cycles:,} cycles "
@@ -295,12 +393,13 @@ class FastEngine:
                     )
                 continue
 
-            em_frac = self.thermal.fraction_above(
-                start, steady, sample_seconds, emergency_level
+            # One broadcast pass over both thresholds (emergency row 0,
+            # stress row 1) instead of two independent kernels.
+            fractions = thermal.fractions_above(
+                temps, steady, sample_seconds, thresholds
             )
-            st_frac = self.thermal.fraction_above(
-                start, steady, sample_seconds, stress_level
-            )
+            em_frac = fractions[0]
+            st_frac = fractions[1]
 
             em_peak = float(em_frac.max())
             st_peak = float(st_frac.max())
@@ -317,18 +416,24 @@ class FastEngine:
             energy_joules += chip_power * sample_seconds
             interrupt_stalls += stall
             samples += 1
-            if self.record_history:
-                history_rows.append(
-                    (
-                        float(end.max()),
-                        duty,
-                        chip_power,
-                        end,
-                        powers,
-                        em_frac,
-                        st_frac,
-                    )
-                )
+            if record_history:
+                if samples > hist_cap:
+                    hist_cap *= 2
+                    h_max_temp = _grow(h_max_temp, hist_cap)
+                    h_duty = _grow(h_duty, hist_cap)
+                    h_chip_power = _grow(h_chip_power, hist_cap)
+                    h_temps = _grow(h_temps, hist_cap)
+                    h_powers = _grow(h_powers, hist_cap)
+                    h_em = _grow(h_em, hist_cap)
+                    h_st = _grow(h_st, hist_cap)
+                row = samples - 1
+                h_max_temp[row] = end.max()
+                h_duty[row] = duty
+                h_chip_power[row] = chip_power
+                h_temps[row] = end
+                h_powers[row] = powers
+                h_em[row] = em_frac
+                h_st[row] = st_frac
             if recording:
                 telemetry.record_sample(
                     index=samples - 1,
@@ -364,17 +469,19 @@ class FastEngine:
             extra["failsafe_forced_samples"] = float(guard.failsafe_samples)
 
         history = None
-        if self.record_history:
+        if record_history:
+            # Trim the doubling buffers to the recorded row count; the
+            # copies also release the (up to 2x) growth slack.
             history = History(
                 sample_cycles=sample,
                 names=names,
-                max_temp=np.array([row[0] for row in history_rows]),
-                duty=np.array([row[1] for row in history_rows]),
-                chip_power=np.array([row[2] for row in history_rows]),
-                block_temps=np.vstack([row[3] for row in history_rows]),
-                block_powers=np.vstack([row[4] for row in history_rows]),
-                block_emergency=np.vstack([row[5] for row in history_rows]),
-                block_stress=np.vstack([row[6] for row in history_rows]),
+                max_temp=h_max_temp[:samples].copy(),
+                duty=h_duty[:samples].copy(),
+                chip_power=h_chip_power[:samples].copy(),
+                block_temps=h_temps[:samples].copy(),
+                block_powers=h_powers[:samples].copy(),
+                block_emergency=h_em[:samples].copy(),
+                block_stress=h_st[:samples].copy(),
             )
 
         return RunResult(

@@ -1,0 +1,266 @@
+"""The parallel sweep executor: fan (benchmark x policy x seed) matrices
+out over worker processes.
+
+Every experiment driver funnels through :func:`repro.sim.sweep.run_suite`
+(or a hand-rolled loop over :func:`repro.sim.sweep.run_one`), and a full
+paper reproduction runs hundreds of independent simulations.  Each run
+is CPU-bound pure Python/NumPy with no shared mutable state, which makes
+the matrix embarrassingly parallel -- but only if the observability
+guarantees survive the fan-out.  This module provides:
+
+* :class:`WorkSpec` -- a picklable, self-contained description of one
+  run (names + frozen config dataclasses, never live objects), so a
+  worker process can rebuild the exact engine the serial path would
+  have built;
+* :func:`run_specs` -- execute a list of specs either serially (sharing
+  the caller's telemetry sink, exactly like the classic loop) or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, folding each
+  worker's local telemetry back into the sink **in spec order**;
+* :func:`matrix_specs` -- build the (benchmark x policy x seed) spec
+  list in the canonical benchmark-major order used by ``run_suite``;
+* :func:`set_default_jobs` / :func:`get_default_jobs` -- a process-wide
+  default so ``--jobs`` on a driver's command line reaches every
+  ``run_suite`` call inside table modules without threading a parameter
+  through each one.
+
+Determinism and telemetry parity
+--------------------------------
+
+Results are returned in spec order regardless of completion order, and
+every engine is seeded from its spec alone, so ``jobs=N`` is
+bit-identical to ``jobs=1`` (property-tested).  Telemetry parity works
+because trace decimation is a pure function of the emit sequence:
+workers record into a *retain-everything* local
+:class:`~repro.telemetry.core.Telemetry` (huge capacity, no decimation)
+and the parent re-emits each worker's records onto the sink via
+:func:`~repro.telemetry.core.merge_telemetry` in spec order -- the sink
+therefore sees the exact emit sequence a serial sweep would have
+produced, and retains the exact same records, events, and metrics.  The
+one documented difference: profiler *span* timings are per-process
+wall-clock and are deliberately not merged, so a parallel sweep's sink
+carries the parent's spans only (no per-run ``engine.run`` spans).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.config import (
+    DTMConfig,
+    FailsafeConfig,
+    MachineConfig,
+    TelemetryConfig,
+    ThermalConfig,
+)
+from repro.control.pid import AntiWindup
+from repro.errors import ConfigError
+from repro.faults import FaultSchedule
+from repro.sim.results import RunResult
+from repro.sim.sweep import DEFAULT_INSTRUCTIONS, run_one
+from repro.telemetry.core import Telemetry, ensure_telemetry, merge_telemetry
+from repro.thermal.floorplan import Floorplan
+
+#: Worker-local trace/event capacity: effectively "retain everything".
+#: Workers must not decimate or drop, because the parent re-emits their
+#: records onto the sink, whose own retention policy then applies --
+#: decimating twice would diverge from the serial emit sequence.
+_RETAIN_ALL = 1 << 30
+
+#: Process-wide default for ``jobs=None`` (1 = classic serial sweep).
+_DEFAULT_JOBS = 1
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count (``0`` = all cores).
+
+    Drivers wire their ``--jobs`` flag here so every ``run_suite`` /
+    ``run_specs`` call that does not pass an explicit ``jobs`` fans out.
+    """
+    global _DEFAULT_JOBS
+    if not isinstance(jobs, int) or jobs < 0:
+        raise ConfigError(f"jobs must be a non-negative int, got {jobs!r}")
+    _DEFAULT_JOBS = jobs
+
+
+def get_default_jobs() -> int:
+    """The process-wide default worker count (see :func:`set_default_jobs`)."""
+    return _DEFAULT_JOBS
+
+
+def resolve_jobs(jobs: int | None, tasks: int) -> int:
+    """Effective worker count for ``tasks`` runs.
+
+    ``None`` defers to the process-wide default; ``0`` means "all
+    cores"; the result is clamped to ``[1, tasks]`` so a two-run sweep
+    never spawns eight idle workers.
+    """
+    if jobs is None:
+        jobs = _DEFAULT_JOBS
+    if not isinstance(jobs, int) or jobs < 0:
+        raise ConfigError(f"jobs must be a non-negative int or None, got {jobs!r}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, max(1, tasks)))
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """One self-contained simulation: everything a worker needs, by value.
+
+    Only names and frozen config dataclasses -- never live policy,
+    sensor, or engine objects -- so the spec pickles cheaply and the
+    worker rebuilds the run through the exact same
+    :func:`~repro.sim.sweep.run_one` factory path the serial sweep
+    uses.
+    """
+
+    benchmark: str
+    policy: str
+    instructions: float = DEFAULT_INSTRUCTIONS
+    seed: int = 0
+    floorplan: Floorplan | None = None
+    machine: MachineConfig | None = None
+    thermal_config: ThermalConfig | None = None
+    dtm_config: DTMConfig | None = None
+    record_history: bool = False
+    anti_windup: AntiWindup = AntiWindup.CONDITIONAL
+    setpoint: float | None = None
+    fault_schedule: FaultSchedule | None = None
+    failsafe: FailsafeConfig | None = None
+    #: Extra identifying payload carried through to the caller (e.g. a
+    #: per-driver label); not consumed by the executor itself.
+    tag: tuple = field(default_factory=tuple)
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        """The canonical (benchmark, policy, seed) matrix coordinate."""
+        return (self.benchmark, self.policy, self.seed)
+
+
+def matrix_specs(
+    benchmarks: Iterable[str],
+    policies: Iterable[str],
+    seeds: Iterable[int] = (0,),
+    include_baseline: bool = False,
+    **common,
+) -> list[WorkSpec]:
+    """Specs for the full matrix in canonical benchmark-major order.
+
+    The order (benchmark, then policy, then seed) matches the serial
+    ``run_suite`` loop, so telemetry folded back in spec order
+    reproduces the serial emit sequence.  ``common`` keyword arguments
+    (``instructions``, configs, ...) are applied to every spec.
+    """
+    chosen_policies = list(policies)
+    if include_baseline and "none" not in chosen_policies:
+        chosen_policies.insert(0, "none")
+    return [
+        WorkSpec(benchmark=benchmark, policy=policy, seed=seed, **common)
+        for benchmark in benchmarks
+        for policy in chosen_policies
+        for seed in seeds
+    ]
+
+
+def _worker_telemetry_config(
+    sink_config: TelemetryConfig | None,
+) -> TelemetryConfig:
+    """Retain-everything local telemetry for one worker run.
+
+    Profiling is off (spans are per-process and never merged); the
+    sample-latency switch is inherited from the sink so the latency
+    histogram sees the same number of observations as a serial sweep.
+    """
+    sample_latency = (
+        sink_config.sample_latency if sink_config is not None else True
+    )
+    return TelemetryConfig(
+        trace_capacity=_RETAIN_ALL,
+        trace_mode="decimate",
+        event_capacity=_RETAIN_ALL,
+        profile=False,
+        sample_latency=sample_latency,
+    )
+
+
+def _execute(spec: WorkSpec, telemetry) -> RunResult:
+    """Run one spec in-process against the given telemetry sink."""
+    return run_one(
+        spec.benchmark,
+        spec.policy,
+        instructions=spec.instructions,
+        floorplan=spec.floorplan,
+        machine=spec.machine,
+        thermal_config=spec.thermal_config,
+        dtm_config=spec.dtm_config,
+        seed=spec.seed,
+        record_history=spec.record_history,
+        anti_windup=spec.anti_windup,
+        setpoint=spec.setpoint,
+        fault_schedule=spec.fault_schedule,
+        failsafe=spec.failsafe,
+        telemetry=telemetry,
+    )
+
+
+def _run_spec(
+    spec: WorkSpec, telemetry_config: TelemetryConfig | None
+) -> tuple[RunResult, Telemetry | None]:
+    """Worker entry point: run one spec with optional local telemetry.
+
+    Module-level (picklable by reference).  Returns the result plus the
+    worker's whole local :class:`Telemetry` -- plain dataclass/list
+    state, so it pickles -- for the parent to fold into the sink.
+    """
+    local = (
+        Telemetry(telemetry_config) if telemetry_config is not None else None
+    )
+    result = _execute(spec, local)
+    return result, local
+
+
+def run_specs(
+    specs: Sequence[WorkSpec],
+    jobs: int | None = None,
+    telemetry=None,
+) -> list[RunResult]:
+    """Execute specs, serially or on a process pool; results in spec order.
+
+    ``jobs <= 1`` runs the classic serial loop sharing ``telemetry``
+    directly (identical in every observable way to the pre-executor
+    sweeps, including profiler span counts).  ``jobs > 1`` fans out
+    over worker processes and folds each worker's retain-everything
+    local telemetry back into the sink in spec order, so retained
+    traces, events, and merged metrics match the serial run exactly
+    (spans excepted; see the module docstring).
+    """
+    specs = list(specs)
+    sink = ensure_telemetry(telemetry)
+    jobs = resolve_jobs(jobs, len(specs))
+    if jobs <= 1:
+        shared = sink if sink.enabled else None
+        return [_execute(spec, shared) for spec in specs]
+    config = (
+        _worker_telemetry_config(getattr(sink, "config", None))
+        if sink.enabled
+        else None
+    )
+    results: list[RunResult] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_run_spec, spec, config) for spec in specs]
+        # Collect in SUBMISSION order, not completion order: result
+        # ordering and telemetry fold order must match the serial loop.
+        for future in futures:
+            result, local = future.result()
+            results.append(result)
+            if local is not None:
+                merge_telemetry(sink, local)
+    if sink.enabled and specs:
+        # A serial sweep leaves the sink contextualized on its last
+        # run; match that so downstream snapshot headers agree.
+        last = specs[-1]
+        sink.set_context(last.benchmark, last.policy)
+    return results

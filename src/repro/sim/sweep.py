@@ -143,6 +143,7 @@ def run_suite(
     seed: int = 0,
     include_baseline: bool = True,
     telemetry=None,
+    jobs: int | None = None,
 ) -> Mapping[tuple[str, str], RunResult]:
     """Run the full (benchmark x policy) matrix.
 
@@ -153,7 +154,17 @@ def run_suite(
     records are tagged with their (benchmark, policy) context, metrics
     aggregate over the whole sweep, and the profiler accumulates one
     ``sweep.run_suite`` span around per-run ``engine.run`` spans.
+
+    ``jobs`` fans the matrix out over worker processes via
+    :mod:`repro.sim.parallel` (``None`` defers to
+    :func:`~repro.sim.parallel.get_default_jobs`, ``0`` means all
+    cores).  Results and folded-back telemetry are bit-identical to the
+    serial sweep (property-tested); only profiler spans differ, as the
+    per-run ``engine.run`` spans happen in worker processes.
     """
+    # Imported here: parallel builds on this module's run_one/defaults.
+    from repro.sim.parallel import matrix_specs, resolve_jobs, run_specs
+
     instructions = _validate_instructions(instructions)
     telemetry = ensure_telemetry(telemetry)
     chosen_benchmarks = (
@@ -163,6 +174,23 @@ def run_suite(
     if include_baseline and "none" not in chosen_policies:
         chosen_policies.insert(0, "none")
     results: dict[tuple[str, str], RunResult] = {}
+    jobs = resolve_jobs(jobs, len(chosen_benchmarks) * len(chosen_policies))
+    if jobs > 1:
+        specs = matrix_specs(
+            chosen_benchmarks,
+            chosen_policies,
+            seeds=(seed,),
+            instructions=instructions,
+            floorplan=floorplan,
+            machine=machine,
+            thermal_config=thermal_config,
+            dtm_config=dtm_config,
+        )
+        with telemetry.span("sweep.run_suite"):
+            run_results = run_specs(specs, jobs=jobs, telemetry=telemetry)
+        for spec, result in zip(specs, run_results):
+            results[(spec.benchmark, spec.policy)] = result
+        return results
     with telemetry.span("sweep.run_suite"):
         for benchmark in chosen_benchmarks:
             for policy_name in chosen_policies:

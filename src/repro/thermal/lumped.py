@@ -60,6 +60,12 @@ class LumpedThermalModel:
         )
         self._initial = start
         self._temps = np.full(len(floorplan.blocks), start, dtype=float)
+        #: Cached read-only view of ``_temps`` (see ``temperatures_view``).
+        self._temps_view: np.ndarray | None = None
+        #: Exponential decay factors keyed by interval length in cycles
+        #: (the fast engine advances by one fixed sampling interval, so
+        #: this cache turns a per-sample ``np.exp`` into a dict hit).
+        self._decay_cache: dict[int, np.ndarray] = {}
         #: Optional span profiler (:mod:`repro.telemetry`); ``None``
         #: keeps the update paths free of instrumentation overhead.
         self._profiler = None
@@ -88,6 +94,26 @@ class LumpedThermalModel:
     def temperatures(self) -> np.ndarray:
         """Current block temperatures [degC] (read-only copy)."""
         return self._temps.copy()
+
+    @property
+    def temperatures_view(self) -> np.ndarray:
+        """Current block temperatures as a cached **read-only view**.
+
+        Hot paths (the fast engine reads the state every sample) use
+        this instead of :attr:`temperatures` to skip the per-read
+        allocation; external mutation is still impossible because the
+        view's ``writeable`` flag is cleared.  The view tracks state
+        updates: :meth:`advance` rebinds the underlying array (so
+        callers holding the *previous* view keep a stable snapshot of
+        the pre-advance temperatures), and this property re-wraps the
+        current array on demand.
+        """
+        view = self._temps_view
+        if view is None or view.base is not self._temps:
+            view = self._temps.view()
+            view.flags.writeable = False
+            self._temps_view = view
+        return view
 
     def temperature(self, name: str) -> float:
         """Current temperature of one named block [degC]."""
@@ -154,6 +180,21 @@ class LumpedThermalModel:
                 return self._advance(powers, cycles)
         return self._advance(powers, cycles)
 
+    def _decay(self, cycles: int) -> np.ndarray:
+        """Per-block ``exp(-h / tau)`` for an ``h = cycles`` interval.
+
+        Cached per distinct ``cycles`` value: the fast engine advances
+        by one fixed sampling interval for an entire run, so the
+        per-sample ``np.exp`` collapses to a dict lookup.  The cached
+        array is marked read-only so no caller can corrupt it.
+        """
+        decay = self._decay_cache.get(cycles)
+        if decay is None:
+            decay = np.exp(-(cycles * self.cycle_time) / self._tau)
+            decay.flags.writeable = False
+            self._decay_cache[cycles] = decay
+        return decay
+
     def _advance(self, powers: np.ndarray, cycles: int) -> np.ndarray:
         if cycles <= 0:
             raise ThermalModelError("cycles must be positive")
@@ -163,9 +204,47 @@ class LumpedThermalModel:
                 f"expected {self._temps.shape[0]} block powers, got {powers.shape}"
             )
         steady = self.heatsink_temperature + powers * self._resistance
-        decay = np.exp(-(cycles * self.cycle_time) / self._tau)
-        self._temps = steady + (self._temps - steady) * decay
+        self._temps = steady + (self._temps - steady) * self._decay(cycles)
         return self._temps.copy()
+
+    def advance_from(
+        self, start: np.ndarray, powers: np.ndarray, cycles: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused exact update: one call returns ``(end, steady)``.
+
+        The fast engine's original per-sample body paid for the
+        steady-state solve twice -- once via :meth:`steady_state` (to
+        feed :meth:`fraction_above`) and once more inside
+        :meth:`advance`.  This fused entry point computes ``steady``
+        once and reuses it for the exponential update, which is
+        bit-identical because both paths evaluate the exact same
+        expression (``T_sink + P * R``).
+
+        ``start`` is the caller's snapshot of the pre-advance state
+        (normally :attr:`temperatures_view`); the model's state is
+        *rebound* to a freshly computed ``end`` array, so ``start``
+        remains a valid, untouched snapshot after the call.  Both
+        returned arrays are internal (no defensive copies): ``end`` is
+        the model's new state and must not be mutated by the caller;
+        ``steady`` is freshly allocated and owned by the caller.
+        """
+        if self._profiler is not None:
+            with self._profiler.span("thermal.advance"):
+                return self._advance_from(start, powers, cycles)
+        return self._advance_from(start, powers, cycles)
+
+    def _advance_from(
+        self, start: np.ndarray, powers: np.ndarray, cycles: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if cycles <= 0:
+            raise ThermalModelError("cycles must be positive")
+        if powers.shape != self._temps.shape:
+            raise ThermalModelError(
+                f"expected {self._temps.shape[0]} block powers, got {powers.shape}"
+            )
+        steady = self.heatsink_temperature + powers * self._resistance
+        self._temps = steady + (start - steady) * self._decay(cycles)
+        return self._temps, steady
 
     # -- analysis helpers ------------------------------------------------------
     def steady_state(self, powers: np.ndarray) -> np.ndarray:
@@ -197,36 +276,75 @@ class LumpedThermalModel:
         so the crossing time (if any) is
         ``t* = tau * ln((steady - start) / (steady - threshold))``.
         Used to count emergency/stress cycles with sub-sample accuracy.
+
+        Implemented on top of :meth:`fractions_above` (the fused
+        multi-threshold kernel); a property test asserts the two stay
+        bit-identical.
+        """
+        return self.fractions_above(
+            start, steady, duration_seconds, (threshold,)
+        )[0]
+
+    def fractions_above(
+        self,
+        start: np.ndarray,
+        steady: np.ndarray,
+        duration_seconds: float,
+        thresholds,
+    ) -> np.ndarray:
+        """Per-block above-threshold fractions for several thresholds.
+
+        The fast engine needs the emergency *and* the stress fraction
+        of every sample; evaluating both in one broadcast pass shares
+        the trajectory analysis (rising mask, crossing-time ``log``)
+        instead of running the whole kernel twice.  Returns an array of
+        shape ``(len(thresholds), n_blocks)`` whose row ``k`` is
+        bit-identical to ``fraction_above(..., thresholds[k])`` --
+        every operation is the same elementwise expression, merely
+        broadcast over the threshold axis.
         """
         start = np.asarray(start, dtype=float)
         steady = np.asarray(steady, dtype=float)
+        thr = np.asarray(thresholds, dtype=float)[:, np.newaxis]
         if duration_seconds <= 0:
             # Zero-duration limit: the fraction degenerates to the
             # instantaneous indicator "strictly above threshold now".
-            return (start > threshold).astype(float)
+            return (start > thr).astype(float)
         tau = self._tau
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratio = (steady - start) / (steady - threshold)
-            cross = tau * np.log(np.where(ratio > 0, ratio, 1.0))
-        cross = np.clip(np.nan_to_num(cross, nan=0.0), 0.0, duration_seconds)
+        # Crossing time t* = tau * ln((steady - start) / (steady - thr)).
+        # The denominator is zero only where ``steady == thr`` exactly;
+        # those lanes are provably excluded from both crossing masks
+        # below (they are neither strictly above nor strictly below the
+        # threshold), so the division is made warning-free by
+        # substituting a harmless denominator instead of wrapping the
+        # whole pass in an ``np.errstate`` context (measurably costly
+        # per sample).  Every lane that *is* consumed evaluates the
+        # exact same expression as before -- bit-identity is asserted
+        # by a property test against the scalar kernel's history.
+        denominator = steady - thr
+        ratio = (steady - start) / np.where(
+            denominator != 0.0, denominator, 1.0
+        )
+        cross = tau * np.log(np.where(ratio > 0, ratio, 1.0))
+        cross.clip(0.0, duration_seconds, out=cross)
+        scaled = cross / duration_seconds
         rising = steady > start
-        start_above = start > threshold
-        steady_above = steady > threshold
-        steady_below = steady < threshold
-        fraction = np.zeros_like(start)
+        start_above = start > thr
+        steady_above = steady > thr
+        steady_below = steady < thr
         # Rising toward a steady state strictly above threshold,
-        # starting below: crosses upward at t*.
-        crosses_up = rising & ~start_above & steady_above
-        fraction[crosses_up] = 1.0 - cross[crosses_up] / duration_seconds
-        # Falling from above threshold toward a steady state strictly
-        # below it: crosses downward at t*.
-        crosses_down = ~rising & start_above & steady_below
-        fraction[crosses_down] = cross[crosses_down] / duration_seconds
-        # Started above and heading to (or asymptotically toward) a
-        # steady state at or above the threshold: never drops below.
-        fraction[start_above & ~steady_below] = 1.0
-        # Remaining cases start at/below threshold with a steady state
-        # at or below it: the trajectory never exceeds the threshold.
+        # starting below: crosses upward at t*.  Falling from above
+        # threshold toward a steady state strictly below it: crosses
+        # downward at t*.  Started above and heading to (or
+        # asymptotically toward) a steady state at or above the
+        # threshold: never drops below.  The three masks are pairwise
+        # disjoint, so ``where`` composition order is irrelevant;
+        # remaining lanes never exceed the threshold and stay zero.
+        fraction = np.where(rising & ~start_above & steady_above,
+                            1.0 - scaled, 0.0)
+        fraction = np.where(~rising & start_above & steady_below,
+                            scaled, fraction)
+        fraction = np.where(start_above & ~steady_below, 1.0, fraction)
         return fraction
 
     def time_to_temperature(
