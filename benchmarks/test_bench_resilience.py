@@ -1,0 +1,128 @@
+"""Overhead guard for the fault-tolerant sweep orchestrator.
+
+The orchestrator adds per-spec bookkeeping (outcome records, deferred
+in-spec-order telemetry folding, optional journal writes) on top of the
+legacy executor.  On a healthy sweep -- no faults, no retries -- that
+bookkeeping must stay in the noise: an orchestrated sweep may take at
+most ``ORCHESTRATOR_CEILING`` (1.5x) the legacy executor's wall-clock on
+the same matrix, serial and pooled alike.  The generous ceiling absorbs
+scheduler jitter on small CI machines; the recorded target is ~1.05x.
+
+Checkpointing is measured separately (journal lines are fsync'd, so it
+is disk-bound by design) and recorded in the receipt without a floor.
+
+Appends measurements to ``BENCH_sweep.json`` like the other benchmarks
+(override with ``BENCH_SWEEP_OUT``):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_resilience.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+from repro.sim.parallel import SweepOptions, matrix_specs, run_outcomes, run_specs
+
+#: Maximum orchestrated / legacy wall-clock ratio on a fault-free sweep.
+ORCHESTRATOR_CEILING = 1.5
+#: Aspirational ratio (recorded in the receipt, not asserted).
+ORCHESTRATOR_TARGET = 1.05
+
+BENCHMARKS = ("gcc", "gzip")
+POLICIES = ("none", "pid")
+INSTRUCTIONS = 400_000
+REPEATS = 3
+
+
+def _receipt_path() -> str:
+    return os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json")
+
+
+def _update_receipt(section: str, payload: dict) -> None:
+    path = _receipt_path()
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data["generated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    data["cpu_count"] = os.cpu_count()
+    data[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _specs():
+    return matrix_specs(BENCHMARKS, POLICIES, instructions=INSTRUCTIONS)
+
+
+def _best_of(callable_, repeats=REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_orchestrator_overhead_is_bounded():
+    """Fault-free orchestrated sweep <= 1.5x the legacy executor."""
+    specs = _specs()
+    legacy = _best_of(lambda: run_specs(specs, jobs=1))
+    orchestrated = _best_of(
+        lambda: run_outcomes(specs, jobs=1, options=SweepOptions())
+    )
+    ratio = orchestrated / legacy
+    _update_receipt(
+        "resilience_overhead",
+        {
+            "matrix": f"{len(BENCHMARKS)}x{len(POLICIES)}",
+            "instructions": INSTRUCTIONS,
+            "legacy_seconds": round(legacy, 4),
+            "orchestrated_seconds": round(orchestrated, 4),
+            "ratio": round(ratio, 4),
+            "ceiling": ORCHESTRATOR_CEILING,
+            "target": ORCHESTRATOR_TARGET,
+        },
+    )
+    assert ratio <= ORCHESTRATOR_CEILING, (
+        f"orchestrated sweep is {ratio:.2f}x the legacy executor "
+        f"(ceiling {ORCHESTRATOR_CEILING}x)"
+    )
+
+
+def test_checkpoint_write_cost_recorded(tmp_path):
+    """Record (not assert) the fsync'd journal's cost per spec."""
+    specs = _specs()
+    plain = _best_of(
+        lambda: run_outcomes(specs, jobs=1, options=SweepOptions()),
+        repeats=2,
+    )
+
+    def checkpointed():
+        run_outcomes(
+            specs,
+            jobs=1,
+            options=SweepOptions(
+                checkpoint_path=tmp_path / "bench.ckpt.jsonl"
+            ),
+        )
+
+    journaled = _best_of(checkpointed, repeats=2)
+    _update_receipt(
+        "resilience_checkpoint",
+        {
+            "specs": len(specs),
+            "plain_seconds": round(plain, 4),
+            "journaled_seconds": round(journaled, 4),
+            "seconds_per_spec": round(
+                max(0.0, journaled - plain) / len(specs), 5
+            ),
+        },
+    )

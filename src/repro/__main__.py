@@ -255,8 +255,36 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _sweep_options(args):
+    """Build SweepOptions from CLI flags, or None if none were given.
+
+    Returning ``None`` when no resilience flag is set keeps the default
+    path on the legacy (bit-identical, option-free) executor.
+    """
+    from repro.sim.parallel import RetryPolicy, SweepOptions
+
+    if not (
+        args.retries
+        or args.timeout is not None
+        or args.checkpoint is not None
+        or args.resume
+        or args.strict
+    ):
+        return None
+    return SweepOptions(
+        retry=RetryPolicy(
+            max_retries=args.retries,
+            backoff_seconds=args.retry_backoff,
+        ),
+        timeout_seconds=args.timeout,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        strict=args.strict,
+    )
+
+
 def cmd_compare(args) -> int:
-    from repro.sim.parallel import matrix_specs, run_specs
+    from repro.sim.parallel import matrix_specs, run_outcomes, run_specs
 
     specs = matrix_specs(
         [args.benchmark],
@@ -264,20 +292,53 @@ def cmd_compare(args) -> int:
         seeds=(args.seed,),
         instructions=args.instructions,
     )
-    results = run_specs(specs, jobs=args.jobs)
+    options = _sweep_options(args)
+    failures: dict[int, object] = {}
+    if options is None:
+        results = run_specs(specs, jobs=args.jobs)
+    else:
+        from repro.errors import SweepError
+
+        try:
+            outcomes = run_outcomes(
+                specs, jobs=args.jobs, options=options
+            )
+        except SweepError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        results = [outcome.result for outcome in outcomes]
+        failures = {
+            outcome.index: outcome.error
+            for outcome in outcomes
+            if outcome.error is not None
+        }
     baseline, policy_results = results[0], results[1:]
+    if baseline is None:
+        error = failures.get(0)
+        print(
+            f"error: baseline run failed "
+            f"({error.kind}: {error.message})",
+            file=sys.stderr,
+        )
+        return 1
     print(f"{args.benchmark}: baseline IPC {baseline.ipc:.3f}, "
           f"{100 * baseline.emergency_fraction:.2f}% emergency")
     header = f"{'policy':>8} {'%IPC':>7} {'em%':>8} {'maxT':>9}"
     print(header)
     print("-" * len(header))
-    for policy, result in zip(args.policies, policy_results):
+    for position, (policy, result) in enumerate(
+        zip(args.policies, policy_results), start=1
+    ):
+        if result is None:
+            error = failures[position]
+            print(f"{policy:>8}  FAILED ({error.kind}: {error.exc_type})")
+            continue
         print(
             f"{policy:>8} {100 * result.relative_ipc(baseline):7.1f} "
             f"{100 * result.emergency_fraction:8.3f} "
             f"{result.max_temperature:9.3f}"
         )
-    return 0
+    return 2 if failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -402,8 +463,41 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the policy matrix (0 = all cores; "
         "results are bit-identical to --jobs 1)",
     )
+    resilience = compare_parser.add_argument_group(
+        "fault tolerance (see docs/robustness.md)"
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failed/crashed/timed-out spec up to N times",
+    )
+    resilience.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="deterministic backoff before the first retry "
+        "(doubles per further retry)",
+    )
+    resilience.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-spec wall-clock timeout; a hung worker is terminated "
+        "and the spec charged one attempt",
+    )
+    resilience.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="append each completed spec to a crash-safe JSONL journal",
+    )
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help="skip specs already completed in the --checkpoint journal "
+        "(results bit-identical to an uninterrupted sweep)",
+    )
+    resilience.add_argument(
+        "--strict", action="store_true",
+        help="raise one aggregated error at the end if any spec "
+        "failed permanently (default: print FAILED rows, exit 2)",
+    )
 
     args = parser.parse_args(argv)
+    if args.command == "compare" and args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
     commands = {
         "list": cmd_list,
         "run": cmd_run,

@@ -79,6 +79,27 @@ class FailsafeEngaged(ReproError):
         self.duty = duty
 
 
+class SweepError(ReproError):
+    """One or more specs of a strict sweep failed permanently.
+
+    Raised at the *end* of a fault-tolerant sweep (never mid-flight):
+    the orchestrator isolates each failure as a
+    :class:`~repro.sim.parallel.SpecOutcome` and keeps going, then
+    aggregates the permanent failures into one exception so a strict
+    caller sees every problem at once instead of the first.
+    ``failures`` carries the failing outcomes (spec, captured error,
+    attempt count) for programmatic triage.
+    """
+
+    def __init__(self, message: str, failures: list | None = None) -> None:
+        super().__init__(message)
+        self.failures: list = failures if failures is not None else []
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint journal is unreadable or inconsistent."""
+
+
 class TelemetryError(ReproError):
     """A telemetry component (metric, trace, profiler) was misused."""
 

@@ -66,12 +66,75 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = all cores; results are bit-identical to --jobs 1, see "
         "docs/performance.md)",
     )
+    resilience = parser.add_argument_group(
+        "fault tolerance (see docs/robustness.md)"
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run a failed/crashed/timed-out spec up to N times",
+    )
+    resilience.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="deterministic backoff before the first retry "
+        "(doubles per further retry)",
+    )
+    resilience.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-spec wall-clock timeout (pool execution only)",
+    )
+    resilience.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="append each completed spec to a crash-safe JSONL journal "
+        "shared by every sweep in the selected experiments; implies "
+        "--resume (specs are deterministic, so journal reuse is "
+        "bit-identical by construction)",
+    )
+    resilience.add_argument(
+        "--resume", action="store_true",
+        help="skip specs already completed in the --checkpoint journal",
+    )
+    resilience.add_argument(
+        "--strict", action="store_true",
+        help="abort with an aggregated error if any spec fails "
+        "permanently",
+    )
     args = parser.parse_args(argv)
+
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
 
     if args.jobs != 1:
         from repro.sim.parallel import set_default_jobs
 
         set_default_jobs(args.jobs)
+
+    if (
+        args.retries
+        or args.timeout is not None
+        or args.checkpoint is not None
+        or args.resume
+        or args.strict
+    ):
+        from repro.sim.parallel import (
+            RetryPolicy,
+            SweepOptions,
+            set_default_sweep_options,
+        )
+
+        set_default_sweep_options(
+            SweepOptions(
+                retry=RetryPolicy(
+                    max_retries=args.retries,
+                    backoff_seconds=args.retry_backoff,
+                ),
+                timeout_seconds=args.timeout,
+                checkpoint_path=args.checkpoint,
+                # Each experiment's sweep opens the shared journal; only
+                # append semantics keep earlier sweeps' entries alive.
+                resume=args.checkpoint is not None,
+                strict=args.strict,
+            )
+        )
 
     if args.list:
         for name in ALL_EXPERIMENTS:

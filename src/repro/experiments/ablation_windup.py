@@ -14,7 +14,9 @@ from __future__ import annotations
 from repro.control.pid import AntiWindup
 from repro.experiments.common import benchmark_budget
 from repro.experiments.reporting import ExperimentResult, format_table, percent
-from repro.sim.sweep import run_one
+from repro.sim.parallel import WorkSpec, run_specs
+
+WINDUP_MODES = (AntiWindup.NONE, AntiWindup.CLAMP, AntiWindup.CONDITIONAL)
 
 
 def run(
@@ -22,29 +24,41 @@ def run(
     policies: tuple[str, ...] = ("pi", "pid"),
     quick: bool = False,
 ) -> ExperimentResult:
-    """Compare anti-windup strategies on a bursty workload."""
+    """Compare anti-windup strategies on a bursty workload.
+
+    The (policy x anti-windup) grid runs through
+    :func:`~repro.sim.parallel.run_specs`, so ``--jobs`` and the
+    fault-tolerant sweep options apply.
+    """
     # Windup develops over full cool phases, so the run must cover at
     # least two complete burst periods regardless of quick mode.
     budget = benchmark_budget(benchmark, quick=False)
-    baseline = run_one(benchmark, "none", instructions=budget)
+    specs = [WorkSpec(benchmark=benchmark, policy="none", instructions=budget)]
+    specs += [
+        WorkSpec(
+            benchmark=benchmark,
+            policy=policy,
+            instructions=budget,
+            anti_windup=windup,
+            tag=(policy, windup.value),
+        )
+        for policy in policies
+        for windup in WINDUP_MODES
+    ]
+    results = run_specs(specs)
+    baseline = results[0]
     rows = []
-    for policy in policies:
-        for windup in (AntiWindup.NONE, AntiWindup.CLAMP, AntiWindup.CONDITIONAL):
-            result = run_one(
-                benchmark,
-                policy,
-                instructions=budget,
-                anti_windup=windup,
-            )
-            rows.append(
-                {
-                    "policy": policy,
-                    "anti_windup": windup.value,
-                    "pct_ipc": percent(result.relative_ipc(baseline)),
-                    "pct_emergency": percent(result.emergency_fraction),
-                    "max_temp_c": result.max_temperature,
-                }
-            )
+    for spec, result in zip(specs[1:], results[1:]):
+        policy, windup_value = spec.tag
+        rows.append(
+            {
+                "policy": policy,
+                "anti_windup": windup_value,
+                "pct_ipc": percent(result.relative_ipc(baseline)),
+                "pct_emergency": percent(result.emergency_fraction),
+                "max_temp_c": result.max_temperature,
+            }
+        )
     text = format_table(
         rows,
         columns=(

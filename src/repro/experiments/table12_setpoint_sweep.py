@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.experiments.common import benchmark_budget
 from repro.experiments.reporting import ExperimentResult, format_table, percent
-from repro.sim.sweep import run_one
+from repro.sim.parallel import WorkSpec, run_specs
 
 DEFAULT_SETPOINTS = (101.0, 101.2, 101.4, 101.6, 101.8, 101.9)
 DEFAULT_POLICIES = ("toggle1", "pi", "pid")
@@ -27,7 +27,36 @@ def run(
     benchmarks: tuple[str, ...] = DEFAULT_BENCHMARKS,
     quick: bool = False,
 ) -> ExperimentResult:
-    """Sweep trigger/setpoint toward the emergency threshold."""
+    """Sweep trigger/setpoint toward the emergency threshold.
+
+    The whole (setpoint x policy x benchmark) matrix is expressed as
+    :class:`~repro.sim.parallel.WorkSpec` values and fanned out through
+    :func:`~repro.sim.parallel.run_specs`, so ``--jobs`` and the
+    fault-tolerant sweep options apply.  Each benchmark's unmanaged
+    baseline runs once (it does not depend on the setpoint) instead of
+    once per matrix cell.
+    """
+    budgets = {b: benchmark_budget(b, quick) for b in benchmarks}
+    specs = [
+        WorkSpec(benchmark=b, policy="none", instructions=budgets[b])
+        for b in benchmarks
+    ]
+    specs += [
+        WorkSpec(
+            benchmark=benchmark,
+            policy=policy,
+            instructions=budgets[benchmark],
+            setpoint=setpoint,
+            tag=(setpoint, policy),
+        )
+        for setpoint in setpoints
+        for policy in policies
+        for benchmark in benchmarks
+    ]
+    results = run_specs(specs)
+    baselines = dict(zip(benchmarks, results))
+    managed = dict(zip((s.tag + (s.benchmark,) for s in specs[len(benchmarks):]),
+                       results[len(benchmarks):]))
     rows = []
     for setpoint in setpoints:
         row: dict = {"setpoint": setpoint}
@@ -35,11 +64,8 @@ def run(
             worst_emergency = 0.0
             mean_relative = 0.0
             for benchmark in benchmarks:
-                budget = benchmark_budget(benchmark, quick)
-                baseline = run_one(benchmark, "none", instructions=budget)
-                result = run_one(
-                    benchmark, policy, instructions=budget, setpoint=setpoint
-                )
+                baseline = baselines[benchmark]
+                result = managed[(setpoint, policy, benchmark)]
                 worst_emergency = max(worst_emergency, result.emergency_fraction)
                 mean_relative += result.relative_ipc(baseline) / len(benchmarks)
             row[f"ipc_{policy}"] = percent(mean_relative)

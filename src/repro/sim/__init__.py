@@ -12,27 +12,51 @@ Two engines share the power, thermal, controller, and DTM code:
   (experiment C1).
 """
 
+from repro.sim.checkpoint import (
+    SWEEP_SCHEMA,
+    CheckpointJournal,
+    load_checkpoint,
+    spec_fingerprint,
+)
 from repro.sim.fast import FastEngine
 from repro.sim.parallel import (
+    RetryPolicy,
+    SpecFailure,
+    SpecOutcome,
+    SweepOptions,
     WorkSpec,
     get_default_jobs,
+    get_default_sweep_options,
     matrix_specs,
+    run_outcomes,
     run_specs,
     set_default_jobs,
+    set_default_sweep_options,
 )
 from repro.sim.results import History, RunResult
 from repro.sim.simulator import DetailedSimulator
 from repro.sim.sweep import run_suite
 
 __all__ = [
+    "CheckpointJournal",
     "DetailedSimulator",
     "FastEngine",
     "History",
+    "RetryPolicy",
     "RunResult",
+    "SWEEP_SCHEMA",
+    "SpecFailure",
+    "SpecOutcome",
+    "SweepOptions",
     "WorkSpec",
     "get_default_jobs",
+    "get_default_sweep_options",
+    "load_checkpoint",
     "matrix_specs",
+    "run_outcomes",
     "run_specs",
     "run_suite",
     "set_default_jobs",
+    "set_default_sweep_options",
+    "spec_fingerprint",
 ]

@@ -1,0 +1,392 @@
+"""Crash-safe sweep checkpointing: the ``repro.sweep/v1`` journal.
+
+A fault-tolerant sweep (:func:`repro.sim.parallel.run_outcomes`) can be
+killed at any instant -- a worker ``os._exit``, an OOM kill, a Ctrl-C,
+a machine reboot.  This module persists every *completed* spec so a
+restarted sweep re-runs only the incomplete ones:
+
+* :class:`CheckpointJournal` -- an append-only JSONL file.  Line 1 is a
+  schema header (``repro.sweep/v1``); every further line is one
+  completed spec: its order-independent fingerprint, attempt count, the
+  full :class:`~repro.sim.results.RunResult` (history included), and
+  the run's worker-local telemetry (retained records, events, metrics,
+  meta).  Each line is flushed and ``fsync``'d before the outcome is
+  reported upward, so the journal never claims work the disk has not
+  seen.  A crash mid-write leaves at most one truncated final line,
+  which both the loader and the append path tolerate (the partial line
+  is discarded; that spec simply re-runs).
+* :func:`spec_fingerprint` -- a canonical content hash of a
+  :class:`~repro.sim.parallel.WorkSpec` (names, frozen configs, fault
+  schedules...), stable across processes and sessions.  Resume matches
+  saved outcomes by fingerprint *multiset*, so reordering the spec list
+  or interleaving several sweeps through one journal still resumes
+  correctly, and duplicate specs each consume one saved outcome.
+* :func:`fold_saved_telemetry` -- re-emits a saved run's telemetry onto
+  a live sink exactly like
+  :func:`~repro.telemetry.core.merge_telemetry` does for a live
+  worker's, which is what makes a resumed sweep's retained traces
+  bit-identical to an uninterrupted one (telemetry is folded in spec
+  order either way; floats survive the JSON round trip exactly because
+  ``repr``-based float serialization is lossless).
+
+The journal is a cache keyed by content: two sweeps that share a spec
+(same fingerprint) share its saved outcome, because every run is a pure
+function of its spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.sim.results import History, RunResult
+from repro.telemetry.core import ensure_telemetry
+from repro.telemetry.export import event_from_dict, record_from_dict
+
+#: Version tag written into every journal header; bumped on any change
+#: to the line format.  Loading a journal with a different schema is a
+#: :class:`CheckpointError`, never a silent misread.
+SWEEP_SCHEMA = "repro.sweep/v1"
+
+
+# -- spec fingerprints --------------------------------------------------------
+def _canonical(value):
+    """A deterministic, hashable view of one spec field.
+
+    Dataclasses (frozen configs, floorplans) flatten to (type, field)
+    tuples; plain objects such as :class:`~repro.faults.FaultSchedule`
+    flatten to their public attributes (underscore-prefixed attributes
+    are excluded -- lazily-built caches must not perturb the hash);
+    enums to their value; arrays to nested lists.  ``repr`` of the
+    result contains no memory addresses, so equal-valued specs
+    fingerprint identically across processes and sessions.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _canonical(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, _canonical(value.value))
+    if isinstance(value, np.ndarray):
+        return (value.dtype.str, tuple(value.shape), tuple(value.ravel().tolist()))
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, (dict,)):
+        return tuple(
+            sorted((str(key), _canonical(item)) for key, item in value.items())
+        )
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        return (
+            type(value).__name__,
+            tuple(
+                sorted(
+                    (name, _canonical(item))
+                    for name, item in attrs.items()
+                    if not name.startswith("_")
+                )
+            ),
+        )
+    return repr(value)
+
+
+def spec_fingerprint(spec) -> str:
+    """Content hash of one :class:`~repro.sim.parallel.WorkSpec`."""
+    text = repr(_canonical(spec))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
+
+
+# -- result (de)serialization -------------------------------------------------
+def _jsonable(value):
+    """Map numpy scalars to Python scalars so ``json.dumps`` accepts them."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def history_to_dict(history: History) -> dict:
+    """JSON view of a :class:`History` (arrays as nested lists + dtype)."""
+    arrays = {}
+    for name in (
+        "max_temp",
+        "duty",
+        "chip_power",
+        "block_temps",
+        "block_powers",
+        "block_emergency",
+        "block_stress",
+    ):
+        array = getattr(history, name)
+        arrays[name] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "data": array.ravel().tolist(),
+        }
+    return {
+        "sample_cycles": history.sample_cycles,
+        "names": list(history.names),
+        "arrays": arrays,
+    }
+
+
+def history_from_dict(data: dict) -> History:
+    """Rebuild a :class:`History` saved by :func:`history_to_dict`."""
+    arrays = {
+        name: np.array(spec["data"], dtype=np.dtype(spec["dtype"])).reshape(
+            spec["shape"]
+        )
+        for name, spec in data["arrays"].items()
+    }
+    return History(
+        sample_cycles=data["sample_cycles"],
+        names=tuple(data["names"]),
+        **arrays,
+    )
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """JSON view of a :class:`RunResult` (history included)."""
+    return {
+        "benchmark": result.benchmark,
+        "policy": result.policy,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "emergency_fraction": result.emergency_fraction,
+        "stress_fraction": result.stress_fraction,
+        "block_emergency_fraction": dict(result.block_emergency_fraction),
+        "block_stress_fraction": dict(result.block_stress_fraction),
+        "mean_block_temperature": dict(result.mean_block_temperature),
+        "max_block_temperature": dict(result.max_block_temperature),
+        "mean_chip_power": result.mean_chip_power,
+        "max_chip_power": result.max_chip_power,
+        "energy_joules": result.energy_joules,
+        "engaged_fraction": result.engaged_fraction,
+        "interrupt_events": result.interrupt_events,
+        "interrupt_stall_cycles": result.interrupt_stall_cycles,
+        "history": (
+            history_to_dict(result.history)
+            if result.history is not None
+            else None
+        ),
+        "extra": dict(result.extra),
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` saved by :func:`result_to_dict`."""
+    history = data.get("history")
+    return RunResult(
+        benchmark=data["benchmark"],
+        policy=data["policy"],
+        cycles=data["cycles"],
+        instructions=data["instructions"],
+        emergency_fraction=data["emergency_fraction"],
+        stress_fraction=data["stress_fraction"],
+        block_emergency_fraction=dict(data["block_emergency_fraction"]),
+        block_stress_fraction=dict(data["block_stress_fraction"]),
+        mean_block_temperature=dict(data["mean_block_temperature"]),
+        max_block_temperature=dict(data["max_block_temperature"]),
+        mean_chip_power=data["mean_chip_power"],
+        max_chip_power=data["max_chip_power"],
+        energy_joules=data.get("energy_joules", 0.0),
+        engaged_fraction=data.get("engaged_fraction", 0.0),
+        interrupt_events=data.get("interrupt_events", 0),
+        interrupt_stall_cycles=data.get("interrupt_stall_cycles", 0),
+        history=history_from_dict(history) if history is not None else None,
+        extra=dict(data.get("extra", {})),
+    )
+
+
+# -- telemetry (de)serialization ----------------------------------------------
+def telemetry_to_dict(local) -> dict | None:
+    """JSON view of one run's worker-local retain-everything telemetry."""
+    if local is None:
+        return None
+    return {
+        "records": [record.to_dict() for record in local.trace.records()],
+        "events": [event.to_dict() for event in local.trace.events],
+        "metrics": local.metrics.snapshot(),
+        "meta": dict(local.meta),
+    }
+
+
+def fold_saved_telemetry(sink, payload: dict | None) -> None:
+    """Re-emit one saved run's telemetry onto a live sink.
+
+    Mirrors :func:`~repro.telemetry.core.merge_telemetry` exactly:
+    records and events re-emit through the sink's own retention policy,
+    metrics fold under the registry's associative merge, meta updates.
+    No-op when the sink is disabled or the journal entry carries no
+    telemetry (it was written by a telemetry-less sweep).
+    """
+    sink = ensure_telemetry(sink)
+    if not sink.enabled or payload is None:
+        return
+    for data in payload.get("records", ()):
+        sink.trace.record(record_from_dict(data))
+    for data in payload.get("events", ()):
+        sink.trace.events.append(event_from_dict(data))
+    sink.metrics.merge_snapshot(payload.get("metrics", {}))
+    if payload.get("meta"):
+        sink.meta.update(payload["meta"])
+
+
+# -- the journal --------------------------------------------------------------
+class CheckpointJournal:
+    """Append-only, fsync'd JSONL journal of completed sweep specs.
+
+    Use :meth:`open` (fresh or resuming) rather than the constructor.
+    """
+
+    def __init__(self, path: str | Path, handle: IO[str]) -> None:
+        self.path = Path(path)
+        self._handle = handle
+
+    # -- writing -------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: str | Path, resume: bool = False
+    ) -> "CheckpointJournal":
+        """Open a journal for appending.
+
+        ``resume=False`` starts fresh (an existing file is replaced);
+        ``resume=True`` keeps existing outcomes, first truncating any
+        partial final line a crash may have left.  Either way the
+        header is guaranteed to be present afterwards.
+        """
+        path = Path(path)
+        if resume and path.exists():
+            _truncate_partial_tail(path)
+            handle = path.open("a", encoding="utf-8")
+            journal = cls(path, handle)
+            if path.stat().st_size == 0:
+                journal._write_line({"type": "header", "schema": SWEEP_SCHEMA})
+            return journal
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = path.open("w", encoding="utf-8")
+        journal = cls(path, handle)
+        journal._write_line({"type": "header", "schema": SWEEP_SCHEMA})
+        return journal
+
+    def _write_line(self, data: dict) -> None:
+        try:
+            line = json.dumps(_jsonable(data))
+        except (TypeError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint entry is not JSON-serializable: {error}"
+            ) from error
+        self._handle.write(line + "\n")
+        # Durability before acknowledgement: the orchestrator reports a
+        # spec complete only after its journal line is on disk.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append_outcome(
+        self,
+        fingerprint: str,
+        spec,
+        attempts: int,
+        result: RunResult,
+        local_telemetry=None,
+    ) -> None:
+        """Journal one successfully completed spec."""
+        self._write_line(
+            {
+                "type": "outcome",
+                "fingerprint": fingerprint,
+                "benchmark": spec.benchmark,
+                "policy": spec.policy,
+                "seed": spec.seed,
+                "attempts": attempts,
+                "result": result_to_dict(result),
+                "telemetry": telemetry_to_dict(local_telemetry),
+            }
+        )
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _truncate_partial_tail(path: Path) -> None:
+    """Drop a truncated final line left by a crash mid-append."""
+    raw = path.read_bytes()
+    if not raw or raw.endswith(b"\n"):
+        return
+    cut = raw.rfind(b"\n")
+    with path.open("r+b") as handle:
+        handle.truncate(cut + 1 if cut >= 0 else 0)
+
+
+def load_checkpoint(path: str | Path) -> dict[str, list[dict]]:
+    """Saved outcomes of a journal, keyed by fingerprint (a multiset).
+
+    Returns ``{fingerprint: [entry, ...]}`` in journal order; resume
+    pops one entry per matching spec.  A missing file is an empty
+    checkpoint.  A truncated final line (crash mid-write) is discarded;
+    corruption anywhere else, or a schema mismatch, raises
+    :class:`CheckpointError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    saved: dict[str, list[dict]] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    header_seen = False
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            data = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            if number == len(lines):
+                break  # crash-truncated tail: that spec just re-runs
+            raise CheckpointError(
+                f"{path}:{number}: corrupt journal line ({error})"
+            ) from error
+        kind = data.get("type")
+        if kind == "header":
+            schema = data.get("schema")
+            if schema != SWEEP_SCHEMA:
+                raise CheckpointError(
+                    f"{path}: schema {schema!r} is not {SWEEP_SCHEMA!r}"
+                )
+            header_seen = True
+        elif kind == "outcome":
+            if not header_seen:
+                raise CheckpointError(f"{path}: outcome before header")
+            saved.setdefault(data["fingerprint"], []).append(data)
+        else:
+            raise CheckpointError(
+                f"{path}:{number}: unknown journal line type {kind!r}"
+            )
+    if lines and not header_seen:
+        raise CheckpointError(f"{path}: missing {SWEEP_SCHEMA} header")
+    return saved

@@ -1,5 +1,5 @@
 """The parallel sweep executor: fan (benchmark x policy x seed) matrices
-out over worker processes.
+out over worker processes, tolerating worker crashes along the way.
 
 Every experiment driver funnels through :func:`repro.sim.sweep.run_suite`
 (or a hand-rolled loop over :func:`repro.sim.sweep.run_one`), and a full
@@ -16,12 +16,20 @@ guarantees survive the fan-out.  This module provides:
   the caller's telemetry sink, exactly like the classic loop) or on a
   :class:`~concurrent.futures.ProcessPoolExecutor`, folding each
   worker's local telemetry back into the sink **in spec order**;
+* :func:`run_outcomes` + :class:`SweepOptions` / :class:`RetryPolicy` --
+  the fault-tolerant orchestration layer: per-spec wall-clock timeouts,
+  bounded deterministic-backoff retries, ``BrokenProcessPool`` recovery
+  (rebuild the pool, re-run only the lost in-flight specs, degrade to
+  in-process serial execution after repeated pool deaths), failure
+  isolation as structured :class:`SpecOutcome` values, and a crash-safe
+  checkpoint journal (:mod:`repro.sim.checkpoint`) for ``--resume``;
 * :func:`matrix_specs` -- build the (benchmark x policy x seed) spec
   list in the canonical benchmark-major order used by ``run_suite``;
-* :func:`set_default_jobs` / :func:`get_default_jobs` -- a process-wide
-  default so ``--jobs`` on a driver's command line reaches every
-  ``run_suite`` call inside table modules without threading a parameter
-  through each one.
+* :func:`set_default_jobs` / :func:`get_default_jobs` and
+  :func:`set_default_sweep_options` / :func:`get_default_sweep_options`
+  -- process-wide defaults so ``--jobs`` / ``--retries`` / ``--resume``
+  on a driver's command line reach every ``run_suite`` call inside
+  table modules without threading parameters through each one.
 
 Determinism and telemetry parity
 --------------------------------
@@ -39,13 +47,35 @@ produced, and retains the exact same records, events, and metrics.  The
 one documented difference: profiler *span* timings are per-process
 wall-clock and are deliberately not merged, so a parallel sweep's sink
 carries the parent's spans only (no per-run ``engine.run`` spans).
+
+The fault-tolerant layer preserves the same guarantee: a failed attempt
+contributes *no* telemetry (only the final successful attempt of each
+spec is folded, in spec order), and a ``--resume`` sweep re-folds the
+journaled telemetry of already-completed specs in spec order, so its
+results and retained traces are bit-identical to an uninterrupted sweep
+(property-tested).  Orchestration diagnostics -- ``sweep.retry``,
+``sweep.timeout``, ``sweep.pool_crash``, ``sweep.degraded``,
+``sweep.spec_failed``, ``sweep.resume`` events on the ``repro.trace/v1``
+stream -- are the deliberate exception: they record the interruption
+history itself and are excluded from the parity guarantee (see
+docs/robustness.md).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback as traceback_module
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import (
+    TimeoutError as FuturesTimeoutError,
+)
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.config import (
@@ -56,8 +86,15 @@ from repro.config import (
     ThermalConfig,
 )
 from repro.control.pid import AntiWindup
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SweepError
 from repro.faults import FaultSchedule
+from repro.sim.checkpoint import (
+    CheckpointJournal,
+    fold_saved_telemetry,
+    load_checkpoint,
+    result_from_dict,
+    spec_fingerprint,
+)
 from repro.sim.results import RunResult
 from repro.sim.sweep import DEFAULT_INSTRUCTIONS, run_one
 from repro.telemetry.core import Telemetry, ensure_telemetry, merge_telemetry
@@ -72,6 +109,20 @@ _RETAIN_ALL = 1 << 30
 #: Process-wide default for ``jobs=None`` (1 = classic serial sweep).
 _DEFAULT_JOBS = 1
 
+#: Process-wide default for ``options=None`` (None = classic fail-fast
+#: sweep with no retries, timeouts, or checkpointing).
+_DEFAULT_OPTIONS: "SweepOptions | None" = None
+
+
+def _validate_jobs(jobs, *, allow_none: bool = False) -> None:
+    if jobs is None and allow_none:
+        return
+    # bool is an int subclass; set_default_jobs(True) used to slip
+    # through and silently mean "one worker".
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 0:
+        expected = "a non-negative int" + (" or None" if allow_none else "")
+        raise ConfigError(f"jobs must be {expected}, got {jobs!r}")
+
 
 def set_default_jobs(jobs: int) -> None:
     """Set the process-wide default worker count (``0`` = all cores).
@@ -80,8 +131,7 @@ def set_default_jobs(jobs: int) -> None:
     ``run_specs`` call that does not pass an explicit ``jobs`` fans out.
     """
     global _DEFAULT_JOBS
-    if not isinstance(jobs, int) or jobs < 0:
-        raise ConfigError(f"jobs must be a non-negative int, got {jobs!r}")
+    _validate_jobs(jobs)
     _DEFAULT_JOBS = jobs
 
 
@@ -97,13 +147,187 @@ def resolve_jobs(jobs: int | None, tasks: int) -> int:
     cores"; the result is clamped to ``[1, tasks]`` so a two-run sweep
     never spawns eight idle workers.
     """
+    _validate_jobs(jobs, allow_none=True)
     if jobs is None:
         jobs = _DEFAULT_JOBS
-    if not isinstance(jobs, int) or jobs < 0:
-        raise ConfigError(f"jobs must be a non-negative int or None, got {jobs!r}")
     if jobs == 0:
         jobs = os.cpu_count() or 1
     return max(1, min(jobs, max(1, tasks)))
+
+
+def set_default_sweep_options(options: "SweepOptions | None") -> None:
+    """Set the process-wide default :class:`SweepOptions`.
+
+    Drivers wire their ``--retries/--timeout/--checkpoint/--resume/
+    --strict`` flags here so every ``run_suite`` / ``run_specs`` call
+    that does not pass explicit ``options`` runs under the same
+    fault-tolerance policy.  ``None`` restores the classic fail-fast
+    behaviour.
+    """
+    global _DEFAULT_OPTIONS
+    if options is not None and not isinstance(options, SweepOptions):
+        raise ConfigError(
+            f"options must be a SweepOptions or None, got {options!r}"
+        )
+    _DEFAULT_OPTIONS = options
+
+
+def get_default_sweep_options() -> "SweepOptions | None":
+    """The process-wide default sweep options (``None`` = classic)."""
+    return _DEFAULT_OPTIONS
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic (jitter-free) backoff.
+
+    ``delay(k)`` for the k-th retry (1-based) is
+    ``backoff_seconds * backoff_multiplier**(k-1)``, capped at
+    ``max_backoff_seconds``.  No randomness: two identical sweeps retry
+    on an identical schedule, keeping fault-injection tests and resumed
+    sweeps reproducible.  The default (``max_retries=0``) never
+    retries; failures are still isolated per spec.
+    """
+
+    max_retries: int = 0
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if (
+            isinstance(self.max_retries, bool)
+            or not isinstance(self.max_retries, int)
+            or self.max_retries < 0
+        ):
+            raise ConfigError(
+                f"max_retries must be a non-negative int, "
+                f"got {self.max_retries!r}"
+            )
+        if self.backoff_seconds < 0:
+            raise ConfigError("backoff_seconds must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if self.max_backoff_seconds < 0:
+            raise ConfigError("max_backoff_seconds must be >= 0")
+
+    def delay(self, retry_number: int) -> float:
+        """Backoff before the given retry (1-based), in seconds."""
+        if retry_number < 1:
+            raise ConfigError("retry_number is 1-based")
+        if self.backoff_seconds <= 0:
+            return 0.0
+        return min(
+            self.max_backoff_seconds,
+            self.backoff_seconds
+            * self.backoff_multiplier ** (retry_number - 1),
+        )
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """Fault-tolerance configuration for one sweep.
+
+    * ``retry`` -- per-spec retry budget and backoff schedule.
+    * ``timeout_seconds`` -- per-spec wall clock, measured from the
+      moment the spec starts on a worker.  Enforced only when running
+      on a process pool (a hung worker is terminated and the pool
+      rebuilt); in-process serial execution cannot preempt a hung
+      spec, so ``jobs=1`` with a timeout runs on a one-worker pool.
+    * ``checkpoint_path`` / ``resume`` -- the crash-safe journal (see
+      :mod:`repro.sim.checkpoint`).  ``resume=True`` skips specs whose
+      outcomes the journal already holds; without it an existing
+      journal is replaced.
+    * ``strict`` -- raise one aggregated
+      :class:`~repro.errors.SweepError` after the sweep if any spec
+      failed permanently.  The default isolates failures as
+      ``SpecOutcome.error`` and keeps the completed results.
+    * ``max_pool_rebuilds`` -- pool deaths (worker crash or timeout
+      kill) tolerated before degrading to in-process serial execution
+      for the remainder of the sweep -- the sweep-level analogue of
+      the failsafe guard's open-loop fallback: keep producing results
+      even when the fancy machinery is on fire.  Note the degraded
+      mode cannot enforce timeouts and a worker crash becomes fatal.
+    * ``window_factor`` -- bound on in-flight submissions
+      (``window_factor * jobs``), so multi-thousand-spec matrices do
+      not hold every pickled spec and pending result in memory.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout_seconds: float | None = None
+    checkpoint_path: str | Path | None = None
+    resume: bool = False
+    strict: bool = False
+    max_pool_rebuilds: int = 3
+    window_factor: int = 4
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and not (
+            self.timeout_seconds > 0
+        ):
+            raise ConfigError(
+                f"timeout_seconds must be positive or None, "
+                f"got {self.timeout_seconds!r}"
+            )
+        if self.resume and self.checkpoint_path is None:
+            raise ConfigError("resume=True requires a checkpoint_path")
+        if (
+            isinstance(self.max_pool_rebuilds, bool)
+            or not isinstance(self.max_pool_rebuilds, int)
+            or self.max_pool_rebuilds < 0
+        ):
+            raise ConfigError(
+                f"max_pool_rebuilds must be a non-negative int, "
+                f"got {self.max_pool_rebuilds!r}"
+            )
+        if (
+            isinstance(self.window_factor, bool)
+            or not isinstance(self.window_factor, int)
+            or self.window_factor < 1
+        ):
+            raise ConfigError(
+                f"window_factor must be a positive int, "
+                f"got {self.window_factor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """The captured cause of one spec's permanent failure.
+
+    ``kind`` is the failure channel: ``"error"`` (the spec raised),
+    ``"timeout"`` (exceeded the per-spec wall clock), or ``"crash"``
+    (the worker process died, e.g. ``BrokenProcessPool``).
+    """
+
+    kind: str
+    exc_type: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.exc_type}: {self.message}"
+
+
+@dataclass
+class SpecOutcome:
+    """One spec's structured sweep outcome: a result or a captured error."""
+
+    spec: WorkSpec
+    index: int
+    result: RunResult | None = None
+    error: SpecFailure | None = None
+    #: Attempts actually executed (1 = first try succeeded).  Resumed
+    #: outcomes report the journaled count.
+    attempts: int = 1
+    #: True when the outcome was loaded from the checkpoint journal
+    #: instead of being re-run.
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the spec produced a result."""
+        return self.error is None
 
 
 @dataclass(frozen=True)
@@ -222,22 +446,68 @@ def _run_spec(
     return result, local
 
 
+def _submission_window(jobs: int, window_factor: int = 4) -> int:
+    """In-flight submission bound: keep workers fed, memory bounded.
+
+    Submitting all N futures up front holds every pickled spec and
+    every pending pickled result in memory at once; a window of
+    ``window_factor * jobs`` keeps the pool saturated (workers never
+    wait on the collector) while bounding both.
+    """
+    return max(1, window_factor) * max(1, jobs)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly tear down a pool whose workers may be hung.
+
+    ``shutdown`` alone waits for running work -- useless against a hung
+    or wedged worker -- so terminate the worker processes first.  Uses
+    the executor's private process table; guarded so a stdlib layout
+    change degrades to a plain (blocking-free) shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - platform-specific
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_specs(
     specs: Sequence[WorkSpec],
     jobs: int | None = None,
     telemetry=None,
+    options: "SweepOptions | None" = None,
 ) -> list[RunResult]:
     """Execute specs, serially or on a process pool; results in spec order.
 
     ``jobs <= 1`` runs the classic serial loop sharing ``telemetry``
     directly (identical in every observable way to the pre-executor
     sweeps, including profiler span counts).  ``jobs > 1`` fans out
-    over worker processes and folds each worker's retain-everything
-    local telemetry back into the sink in spec order, so retained
-    traces, events, and merged metrics match the serial run exactly
-    (spans excepted; see the module docstring).
+    over worker processes (submissions bounded by a sliding window) and
+    folds each worker's retain-everything local telemetry back into the
+    sink in spec order, so retained traces, events, and merged metrics
+    match the serial run exactly (spans excepted; see the module
+    docstring).
+
+    ``options`` (or a process-wide default installed via
+    :func:`set_default_sweep_options`) routes execution through the
+    fault-tolerant orchestrator :func:`run_outcomes`: failing specs
+    yield ``None`` entries in the returned list (or, with
+    ``options.strict``, one aggregated
+    :class:`~repro.errors.SweepError` at the end).  With no options
+    anywhere, behaviour is the classic fail-fast sweep, bit-identical
+    to the pre-orchestrator code.
     """
     specs = list(specs)
+    if options is None:
+        options = _DEFAULT_OPTIONS
+    if options is not None:
+        outcomes = run_outcomes(
+            specs, jobs=jobs, telemetry=telemetry, options=options
+        )
+        return [outcome.result for outcome in outcomes]
     sink = ensure_telemetry(telemetry)
     jobs = resolve_jobs(jobs, len(specs))
     if jobs <= 1:
@@ -249,18 +519,548 @@ def run_specs(
         else None
     )
     results: list[RunResult] = []
+    window = _submission_window(jobs)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_run_spec, spec, config) for spec in specs]
-        # Collect in SUBMISSION order, not completion order: result
-        # ordering and telemetry fold order must match the serial loop.
-        for future in futures:
-            result, local = future.result()
-            results.append(result)
-            if local is not None:
-                merge_telemetry(sink, local)
+        try:
+            pending: deque = deque()
+            submitted = 0
+            # Submit in a sliding window and collect in SUBMISSION
+            # order, not completion order: result ordering and
+            # telemetry fold order must match the serial loop, and the
+            # window bounds pickled-spec/result memory on huge
+            # matrices.
+            while len(results) < len(specs):
+                while submitted < len(specs) and len(pending) < window:
+                    pending.append(
+                        pool.submit(_run_spec, specs[submitted], config)
+                    )
+                    submitted += 1
+                result, local = pending.popleft().result()
+                results.append(result)
+                if local is not None:
+                    merge_telemetry(sink, local)
+        except KeyboardInterrupt:
+            # Telemetry for collected results is already folded (the
+            # loop folds as it collects); drop queued specs so Ctrl-C
+            # does not hang waiting on them.  Workers already running
+            # finish their current spec during context exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
     if sink.enabled and specs:
         # A serial sweep leaves the sink contextualized on its last
         # run; match that so downstream snapshot headers agree.
         last = specs[-1]
         sink.set_context(last.benchmark, last.policy)
     return results
+
+
+def run_outcomes(
+    specs: Sequence[WorkSpec],
+    jobs: int | None = None,
+    telemetry=None,
+    options: "SweepOptions | None" = None,
+) -> list[SpecOutcome]:
+    """Fault-tolerantly execute specs; structured outcomes in spec order.
+
+    The resilient counterpart of :func:`run_specs`: every spec yields a
+    :class:`SpecOutcome` -- a result, or a :class:`SpecFailure`
+    capturing the exception/traceback, timeout, or worker crash that
+    exhausted its retry budget -- and one spec's failure never aborts
+    the rest of the sweep.  See :class:`SweepOptions` for the retry,
+    timeout, checkpoint/resume, and strict-mode knobs, and the module
+    docstring for the determinism guarantees.
+    """
+    specs = list(specs)
+    if options is None:
+        options = _DEFAULT_OPTIONS if _DEFAULT_OPTIONS is not None else SweepOptions()
+    sink = ensure_telemetry(telemetry)
+    jobs = resolve_jobs(jobs, len(specs))
+    runner = _OutcomeRunner(specs, jobs, sink, options)
+    try:
+        outcomes = runner.run()
+    except KeyboardInterrupt:
+        # Keep what we have: fold completed runs' telemetry (in spec
+        # order) so the sink -- and the journal, already fsync'd per
+        # outcome -- reflect every finished spec before propagating.
+        runner.fold_telemetry()
+        raise
+    finally:
+        runner.close()
+    runner.fold_telemetry()
+    failures = [o for o in outcomes if o.error is not None]
+    if failures and options.strict:
+        detail = "; ".join(
+            f"{o.spec.benchmark}/{o.spec.policy}[seed={o.spec.seed}] "
+            f"{o.error}"
+            for o in failures[:5]
+        )
+        if len(failures) > 5:
+            detail += f"; ... {len(failures) - 5} more"
+        raise SweepError(
+            f"{len(failures)} of {len(specs)} specs failed permanently: "
+            f"{detail}",
+            failures,
+        )
+    return outcomes
+
+
+class _OutcomeRunner:
+    """One fault-tolerant sweep execution: state + the retry/rebuild loop."""
+
+    def __init__(
+        self,
+        specs: list[WorkSpec],
+        jobs: int,
+        sink,
+        options: SweepOptions,
+    ) -> None:
+        self.specs = specs
+        self.jobs = jobs
+        self.sink = sink
+        self.options = options
+        self.config = (
+            _worker_telemetry_config(getattr(sink, "config", None))
+            if sink.enabled
+            else None
+        )
+        n = len(specs)
+        self.outcomes: list[SpecOutcome | None] = [None] * n
+        #: Worker-local telemetry of live successful runs, by index.
+        self._locals: list[Telemetry | None] = [None] * n
+        #: Journaled telemetry payloads of resumed outcomes, by index.
+        self._saved_payloads: list[dict | None] = [None] * n
+        self._journal: CheckpointJournal | None = None
+        self._fingerprints: list[str | None] = [None] * n
+        self._folded = False
+
+    # -- checkpoint plumbing -------------------------------------------------
+    def _open_journal(self) -> deque:
+        """Resolve resumed specs; return the queue of (index, attempt)."""
+        options = self.options
+        queue: deque = deque()
+        saved: dict[str, list[dict]] = {}
+        if options.checkpoint_path is not None:
+            self._fingerprints = [
+                spec_fingerprint(spec) for spec in self.specs
+            ]
+            if options.resume:
+                saved = load_checkpoint(options.checkpoint_path)
+            self._journal = CheckpointJournal.open(
+                options.checkpoint_path, resume=options.resume
+            )
+        resumed = 0
+        for index, spec in enumerate(self.specs):
+            entries = saved.get(self._fingerprints[index] or "")
+            if entries:
+                entry = entries.pop(0)
+                self.outcomes[index] = SpecOutcome(
+                    spec=spec,
+                    index=index,
+                    result=result_from_dict(entry["result"]),
+                    attempts=entry.get("attempts", 1),
+                    from_checkpoint=True,
+                )
+                self._saved_payloads[index] = entry.get("telemetry")
+                resumed += 1
+            else:
+                queue.append((index, 0))
+        if resumed and self.sink.enabled:
+            self.sink.event(
+                "sweep.resume",
+                -1,
+                f"resumed {resumed} of {len(self.specs)} specs "
+                f"from checkpoint",
+                resumed=resumed,
+                total=len(self.specs),
+                path=str(options.checkpoint_path),
+            )
+        return queue
+
+    def close(self) -> None:
+        """Close the journal (idempotent)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    # -- outcome bookkeeping -------------------------------------------------
+    def _finish_success(
+        self, index: int, attempt: int, result: RunResult, local
+    ) -> None:
+        self.outcomes[index] = SpecOutcome(
+            spec=self.specs[index],
+            index=index,
+            result=result,
+            attempts=attempt + 1,
+        )
+        self._locals[index] = local
+        if self._journal is not None:
+            self._journal.append_outcome(
+                self._fingerprints[index],
+                self.specs[index],
+                attempt + 1,
+                result,
+                local,
+            )
+
+    def _register_failure(
+        self,
+        index: int,
+        attempt: int,
+        kind: str,
+        exc_type: str,
+        message: str,
+        traceback: str = "",
+    ) -> bool:
+        """Handle one failed attempt; True if the spec should retry."""
+        spec = self.specs[index]
+        retry = self.options.retry
+        if attempt < retry.max_retries:
+            if self.sink.enabled:
+                self.sink.event(
+                    "sweep.retry",
+                    index,
+                    f"{spec.benchmark}/{spec.policy} attempt "
+                    f"{attempt + 1} failed ({kind}); retrying",
+                    failure_kind=kind,
+                    attempt=attempt + 1,
+                    exc_type=exc_type,
+                )
+            delay = retry.delay(attempt + 1)
+            if delay > 0:
+                time.sleep(delay)
+            return True
+        self.outcomes[index] = SpecOutcome(
+            spec=spec,
+            index=index,
+            error=SpecFailure(
+                kind=kind,
+                exc_type=exc_type,
+                message=message,
+                traceback=traceback,
+            ),
+            attempts=attempt + 1,
+        )
+        if self.sink.enabled:
+            self.sink.event(
+                "sweep.spec_failed",
+                index,
+                f"{spec.benchmark}/{spec.policy} failed permanently "
+                f"after {attempt + 1} attempt(s) ({kind})",
+                failure_kind=kind,
+                attempts=attempt + 1,
+                exc_type=exc_type,
+            )
+        return False
+
+    # -- execution -----------------------------------------------------------
+    def run(self) -> list[SpecOutcome]:
+        queue = self._open_journal()
+        if queue:
+            # Timeouts are only enforceable on a pool (a hung in-process
+            # spec cannot be preempted), so jobs=1 with a timeout runs
+            # on a one-worker pool; plain jobs=1 stays in-process.
+            if self.jobs <= 1 and self.options.timeout_seconds is None:
+                self._run_serial(queue)
+            else:
+                self._run_pool(queue)
+        return [outcome for outcome in self.outcomes]  # all filled now
+
+    def _run_serial(self, queue: deque) -> None:
+        """In-process execution: isolation + retries, no preemption."""
+        while queue:
+            index, attempt = queue.popleft()
+            try:
+                result, local = _run_spec(self.specs[index], self.config)
+            except Exception as error:
+                if self._register_failure(
+                    index,
+                    attempt,
+                    "error",
+                    type(error).__name__,
+                    str(error),
+                    traceback_module.format_exc(),
+                ):
+                    queue.append((index, attempt + 1))
+            else:
+                self._finish_success(index, attempt, result, local)
+
+    def _harvest_in_flight(self, in_flight: deque) -> list[tuple[int, int]]:
+        """After a pool death: settle finished futures, list the lost.
+
+        Futures that completed before the pool died still hold their
+        results (or their spec's own exception, handled normally);
+        everything else -- running or queued -- was lost with the
+        workers and must re-run.
+        """
+        survivors: list[tuple[int, int]] = []
+        while in_flight:
+            index, attempt, future, _deadline, _is_solo = (
+                in_flight.popleft()
+            )
+            if not future.done() or future.cancelled():
+                survivors.append((index, attempt))
+                continue
+            error = future.exception()
+            if error is None:
+                result, local = future.result()
+                self._finish_success(index, attempt, result, local)
+            elif isinstance(error, BrokenExecutor):
+                survivors.append((index, attempt))
+            else:
+                # The spec raised normally just before the pool died:
+                # attributable, so charge it like any worker error.
+                if self._register_failure(
+                    index,
+                    attempt,
+                    "error",
+                    type(error).__name__,
+                    str(error),
+                    "".join(traceback_module.format_exception(error)),
+                ):
+                    survivors.append((index, attempt + 1))
+        return survivors
+
+    def _handle_timeout(self, index: int, attempt: int) -> bool:
+        """Record one timed-out attempt; True if the spec retries."""
+        spec = self.specs[index]
+        timeout = self.options.timeout_seconds
+        if self.sink.enabled:
+            self.sink.event(
+                "sweep.timeout",
+                index,
+                f"{spec.benchmark}/{spec.policy} exceeded {timeout}s; "
+                f"terminating its worker",
+                timeout_seconds=timeout,
+                attempt=attempt + 1,
+            )
+        return self._register_failure(
+            index,
+            attempt,
+            "timeout",
+            "TimeoutError",
+            f"spec exceeded the {timeout}s wall-clock timeout",
+        )
+
+    def _run_pool(self, queue: deque) -> None:
+        """Pool execution: timeouts, crash recovery, sliding window.
+
+        Two failure channels need pool surgery, with different blame
+        semantics:
+
+        * **Timeout** -- exactly attributable (each future has its own
+          deadline), so the hung spec is charged, its worker is
+          terminated, innocents requeue uncharged, and the pool is
+          rebuilt.
+        * **Worker crash** (``BrokenProcessPool``) -- *not*
+          attributable: a dying worker fails every in-flight future,
+          innocent or not.  All lost specs become *suspects* and re-run
+          one at a time on the fresh pool; a spec that kills its own
+          solo pool is definitively the crasher and is charged, while
+          innocents simply complete and keep their full retry budget.
+          Only these unattributed crashes count toward
+          ``max_pool_rebuilds`` -- attributed deaths are bounded by the
+          guilty spec's retry budget instead, so one deterministic
+          crasher cannot push the whole sweep into degraded mode.
+        """
+        options = self.options
+        jobs = max(1, self.jobs)
+        window = _submission_window(jobs, options.window_factor)
+        timeout = options.timeout_seconds
+        unattributed_deaths = 0
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        #: Suspects of an unattributed pool crash, re-run one at a time.
+        solo: deque = deque()
+        # (index, attempt, future, deadline, is_solo)
+        in_flight: deque = deque()
+
+        def submit(index: int, attempt: int, is_solo: bool) -> None:
+            future = pool.submit(_run_spec, self.specs[index], self.config)
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            in_flight.append((index, attempt, future, deadline, is_solo))
+
+        def rebuild() -> None:
+            nonlocal pool
+            _kill_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=jobs)
+
+        try:
+            while queue or solo or in_flight:
+                pending: tuple[int, int] | None = None
+                try:
+                    if solo:
+                        if not in_flight:
+                            pending = solo.popleft()
+                            submit(*pending, True)
+                    else:
+                        while queue and len(in_flight) < window:
+                            pending = queue.popleft()
+                            submit(*pending, False)
+                    pending = None
+                except BrokenExecutor:
+                    # The pool broke between collections (discovered at
+                    # submit): unattributed.  The spec we were
+                    # submitting never ran; put it back uncharged.
+                    solo.appendleft(pending)
+                    solo.extendleft(
+                        reversed(self._harvest_in_flight(in_flight))
+                    )
+                    unattributed_deaths += 1
+                    if self.sink.enabled:
+                        self.sink.event(
+                            "sweep.pool_crash",
+                            pending[0],
+                            "worker pool died before accepting work; "
+                            "rebuilding",
+                            deaths=unattributed_deaths,
+                        )
+                    rebuild()
+                    if unattributed_deaths > options.max_pool_rebuilds:
+                        self._degrade(queue, solo, unattributed_deaths)
+                        return
+                    continue
+                index, attempt, future, deadline, is_solo = (
+                    in_flight.popleft()
+                )
+                spec = self.specs[index]
+                try:
+                    remaining = (
+                        None
+                        if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    result, local = future.result(timeout=remaining)
+                except FuturesTimeoutError:
+                    if future.cancel():
+                        # Never started running: it aged out in the
+                        # submission queue behind slow specs.  Not the
+                        # spec's fault -- resubmit without charge.
+                        (solo if is_solo else queue).appendleft(
+                            (index, attempt)
+                        )
+                        continue
+                    # Attributable: this future's own deadline passed
+                    # while it was running.  Terminate its worker,
+                    # requeue innocents uncharged, rebuild.
+                    if self._handle_timeout(index, attempt):
+                        queue.append((index, attempt + 1))
+                    queue.extendleft(
+                        reversed(self._harvest_in_flight(in_flight))
+                    )
+                    rebuild()
+                except BrokenExecutor:
+                    if is_solo:
+                        # An isolated re-run killed its own pool:
+                        # definitively the crasher -- charge it.
+                        if self.sink.enabled:
+                            self.sink.event(
+                                "sweep.pool_crash",
+                                index,
+                                f"{spec.benchmark}/{spec.policy} killed "
+                                f"its worker (isolated re-run); charged",
+                                attempt=attempt + 1,
+                            )
+                        if self._register_failure(
+                            index,
+                            attempt,
+                            "crash",
+                            "BrokenProcessPool",
+                            "worker process died (exit/OOM/segfault) "
+                            "running this spec in isolation",
+                        ):
+                            solo.append((index, attempt + 1))
+                        rebuild()
+                    else:
+                        # Windowed crash: any in-flight spec may be the
+                        # crasher.  Everyone lost becomes a suspect and
+                        # re-runs in isolation, uncharged.
+                        unattributed_deaths += 1
+                        if self.sink.enabled:
+                            self.sink.event(
+                                "sweep.pool_crash",
+                                index,
+                                f"worker process died with "
+                                f"{len(in_flight) + 1} specs in flight; "
+                                f"isolating suspects",
+                                deaths=unattributed_deaths,
+                                suspects=len(in_flight) + 1,
+                            )
+                        solo.append((index, attempt))
+                        solo.extend(self._harvest_in_flight(in_flight))
+                        rebuild()
+                        if unattributed_deaths > options.max_pool_rebuilds:
+                            self._degrade(queue, solo, unattributed_deaths)
+                            return
+                except KeyboardInterrupt:
+                    _kill_pool(pool)
+                    raise
+                except Exception as error:
+                    # The spec raised inside the worker; the pool is
+                    # fine.  The remote traceback rides along as the
+                    # exception's __cause__.
+                    if self._register_failure(
+                        index,
+                        attempt,
+                        "error",
+                        type(error).__name__,
+                        str(error),
+                        "".join(
+                            traceback_module.format_exception(error)
+                        ),
+                    ):
+                        queue.append((index, attempt + 1))
+                else:
+                    self._finish_success(index, attempt, result, local)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _degrade(
+        self, queue: deque, solo: deque, rebuilds: int
+    ) -> None:
+        """Too many pool deaths: finish the sweep in-process, serially.
+
+        The sweep-level open-loop fallback.  Timeouts are no longer
+        enforceable and a crashing spec becomes fatal, but a flaky
+        *environment* (OOM killer, broken pickling of one config, a
+        container on fire) stops costing the whole matrix.
+        """
+        remaining = deque(solo)
+        remaining.extend(queue)
+        if self.sink.enabled:
+            self.sink.event(
+                "sweep.degraded",
+                -1,
+                f"{rebuilds} pool deaths exceeded "
+                f"max_pool_rebuilds={self.options.max_pool_rebuilds}; "
+                f"finishing {len(remaining)} specs serially in-process",
+                rebuilds=rebuilds,
+                remaining=len(remaining),
+            )
+        self._run_serial(remaining)
+
+    # -- telemetry folding ---------------------------------------------------
+    def fold_telemetry(self) -> None:
+        """Fold completed runs' telemetry into the sink, in spec order.
+
+        Deferred to the end of the sweep (idempotent; also called on
+        KeyboardInterrupt): retries and crash re-runs complete out of
+        spec order, and only a strict in-spec-order fold reproduces the
+        serial emit sequence the decimation/parity guarantees rest on.
+        Failed specs contribute nothing -- a half-run's telemetry would
+        poison determinism.
+        """
+        if self._folded or not self.sink.enabled:
+            return
+        self._folded = True
+        for index in range(len(self.specs)):
+            outcome = self.outcomes[index]
+            if outcome is None or outcome.error is not None:
+                continue
+            if outcome.from_checkpoint:
+                fold_saved_telemetry(self.sink, self._saved_payloads[index])
+            elif self._locals[index] is not None:
+                merge_telemetry(self.sink, self._locals[index])
+        if self.specs:
+            last = self.specs[-1]
+            self.sink.set_context(last.benchmark, last.policy)

@@ -144,6 +144,7 @@ def run_suite(
     include_baseline: bool = True,
     telemetry=None,
     jobs: int | None = None,
+    options=None,
 ) -> Mapping[tuple[str, str], RunResult]:
     """Run the full (benchmark x policy) matrix.
 
@@ -161,9 +162,24 @@ def run_suite(
     cores).  Results and folded-back telemetry are bit-identical to the
     serial sweep (property-tested); only profiler spans differ, as the
     per-run ``engine.run`` spans happen in worker processes.
+
+    ``options`` (a :class:`~repro.sim.parallel.SweepOptions`, or the
+    process-wide default installed via
+    :func:`~repro.sim.parallel.set_default_sweep_options`) enables the
+    fault-tolerant orchestrator: retries, per-spec timeouts,
+    checkpoint/resume, and failure isolation.  A spec that fails
+    permanently under a non-strict policy is *omitted* from the
+    returned mapping (its ``sweep.spec_failed`` event carries the
+    details); with ``options.strict`` the sweep raises one aggregated
+    :class:`~repro.errors.SweepError` instead.
     """
     # Imported here: parallel builds on this module's run_one/defaults.
-    from repro.sim.parallel import matrix_specs, resolve_jobs, run_specs
+    from repro.sim.parallel import (
+        get_default_sweep_options,
+        matrix_specs,
+        resolve_jobs,
+        run_specs,
+    )
 
     instructions = _validate_instructions(instructions)
     telemetry = ensure_telemetry(telemetry)
@@ -175,7 +191,9 @@ def run_suite(
         chosen_policies.insert(0, "none")
     results: dict[tuple[str, str], RunResult] = {}
     jobs = resolve_jobs(jobs, len(chosen_benchmarks) * len(chosen_policies))
-    if jobs > 1:
+    if options is None:
+        options = get_default_sweep_options()
+    if jobs > 1 or options is not None:
         specs = matrix_specs(
             chosen_benchmarks,
             chosen_policies,
@@ -187,9 +205,12 @@ def run_suite(
             dtm_config=dtm_config,
         )
         with telemetry.span("sweep.run_suite"):
-            run_results = run_specs(specs, jobs=jobs, telemetry=telemetry)
+            run_results = run_specs(
+                specs, jobs=jobs, telemetry=telemetry, options=options
+            )
         for spec, result in zip(specs, run_results):
-            results[(spec.benchmark, spec.policy)] = result
+            if result is not None:
+                results[(spec.benchmark, spec.policy)] = result
         return results
     with telemetry.span("sweep.run_suite"):
         for benchmark in chosen_benchmarks:

@@ -39,7 +39,9 @@ from repro.telemetry.core import (
 from repro.telemetry.export import (
     TRACE_SCHEMA,
     TraceFile,
+    event_from_dict,
     read_trace_jsonl,
+    record_from_dict,
     write_metrics_json,
     write_trace_csv,
     write_trace_jsonl,
@@ -99,6 +101,8 @@ __all__ = [
     "TraceRecorder",
     "emergency_episodes",
     "ensure_telemetry",
+    "event_from_dict",
+    "record_from_dict",
     "hottest_samples",
     "merge_snapshots",
     "merge_telemetry",

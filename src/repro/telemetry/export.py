@@ -67,6 +67,52 @@ def _sample_line(record: TraceRecord) -> str:
     return json.dumps(data, allow_nan=False)
 
 
+def record_from_dict(data: dict) -> TraceRecord:
+    """Rebuild a :class:`TraceRecord` from its ``to_dict`` form.
+
+    Accepts both strict-JSON dicts (NaN written as ``null``, as in the
+    JSONL trace files) and Python-JSON dicts (NaN preserved, as in the
+    sweep checkpoint journal): ``None`` maps back to ``nan`` either
+    way.  Shared by :func:`read_trace_jsonl` and
+    :mod:`repro.sim.checkpoint`.
+    """
+    return TraceRecord(
+        index=data["index"],
+        cycle=data["cycle"],
+        benchmark=data.get("benchmark", ""),
+        policy=data.get("policy", ""),
+        sensed=_none_to_nan(data.get("sensed")),
+        max_temp=_none_to_nan(data.get("max_temp")),
+        block_temps=tuple(
+            _none_to_nan(t) for t in data.get("block_temps", ())
+        ),
+        chip_power=_none_to_nan(data.get("chip_power")),
+        ipc=_none_to_nan(data.get("ipc")),
+        measurement=_none_to_nan(data.get("measurement")),
+        error=_none_to_nan(data.get("error")),
+        p_term=_none_to_nan(data.get("p_term")),
+        i_term=_none_to_nan(data.get("i_term")),
+        d_term=_none_to_nan(data.get("d_term")),
+        pre_saturation=_none_to_nan(data.get("pre_saturation")),
+        post_saturation=_none_to_nan(data.get("post_saturation")),
+        duty=_none_to_nan(data.get("duty")),
+        stall_cycles=data.get("stall_cycles", 0),
+        failsafe_state=data.get("failsafe_state", ""),
+        emergency_fraction=data.get("emergency_fraction", 0.0),
+        stress_fraction=data.get("stress_fraction", 0.0),
+    )
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its ``to_dict`` form."""
+    return TraceEvent(
+        kind=data["kind"],
+        sample_index=data["sample_index"],
+        reason=data.get("reason", ""),
+        data=data.get("data", {}),
+    )
+
+
 def write_trace_jsonl(
     recorder: TraceRecorder,
     path: str | Path,
@@ -195,44 +241,9 @@ def read_trace_jsonl(path: str | Path) -> TraceFile:
             if kind == "meta":
                 meta = data
             elif kind == "sample":
-                records.append(
-                    TraceRecord(
-                        index=data["index"],
-                        cycle=data["cycle"],
-                        benchmark=data.get("benchmark", ""),
-                        policy=data.get("policy", ""),
-                        sensed=_none_to_nan(data.get("sensed")),
-                        max_temp=_none_to_nan(data.get("max_temp")),
-                        block_temps=tuple(
-                            _none_to_nan(t) for t in data.get("block_temps", ())
-                        ),
-                        chip_power=_none_to_nan(data.get("chip_power")),
-                        ipc=_none_to_nan(data.get("ipc")),
-                        measurement=_none_to_nan(data.get("measurement")),
-                        error=_none_to_nan(data.get("error")),
-                        p_term=_none_to_nan(data.get("p_term")),
-                        i_term=_none_to_nan(data.get("i_term")),
-                        d_term=_none_to_nan(data.get("d_term")),
-                        pre_saturation=_none_to_nan(data.get("pre_saturation")),
-                        post_saturation=_none_to_nan(
-                            data.get("post_saturation")
-                        ),
-                        duty=_none_to_nan(data.get("duty")),
-                        stall_cycles=data.get("stall_cycles", 0),
-                        failsafe_state=data.get("failsafe_state", ""),
-                        emergency_fraction=data.get("emergency_fraction", 0.0),
-                        stress_fraction=data.get("stress_fraction", 0.0),
-                    )
-                )
+                records.append(record_from_dict(data))
             elif kind == "event":
-                events.append(
-                    TraceEvent(
-                        kind=data["kind"],
-                        sample_index=data["sample_index"],
-                        reason=data.get("reason", ""),
-                        data=data.get("data", {}),
-                    )
-                )
+                events.append(event_from_dict(data))
             else:
                 raise TelemetryError(
                     f"{path}:{line_number}: unknown line type {kind!r}"

@@ -106,3 +106,84 @@ class TestExperimentsCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             experiments_main(["table99"])
+
+
+class TestCompareResilienceCLI:
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        journal = tmp_path / "compare.ckpt.jsonl"
+        argv = [
+            "compare", "gzip", "--policies", "pid",
+            "--instructions", "200000", "--checkpoint", str(journal),
+        ]
+        assert repro_main(argv) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        # Resuming re-runs nothing and prints the identical table.
+        assert repro_main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_failed_policy_prints_failed_row(self, capsys, monkeypatch):
+        import repro.sim.parallel as parallel_module
+
+        real = parallel_module._execute
+
+        def failing(spec, telemetry):
+            if spec.policy == "pid":
+                raise RuntimeError("injected")
+            return real(spec, telemetry)
+
+        monkeypatch.setattr(parallel_module, "_execute", failing)
+        code = repro_main(
+            [
+                "compare", "gzip", "--policies", "pid", "toggle1",
+                "--instructions", "200000", "--retries", "0", "--strict",
+            ]
+        )
+        assert code == 1  # strict: aggregated error on stderr
+        assert "failed permanently" in capsys.readouterr().err
+        code = repro_main(
+            [
+                "compare", "gzip", "--policies", "pid", "toggle1",
+                "--instructions", "200000", "--timeout", "300",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2  # non-strict: FAILED row, distinct exit code
+        assert "FAILED (error: RuntimeError)" in out
+        assert "toggle1" in out
+
+    def test_resume_without_checkpoint_rejected(self, capsys):
+        # argparse-level rejection: a clean usage error, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(
+                [
+                    "compare", "gzip", "--policies", "pid",
+                    "--instructions", "200000", "--resume",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+
+class TestExperimentsResilienceCLI:
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["--resume", "table1_duality"])
+
+    def test_checkpoint_flag_installs_default_options(self, tmp_path):
+        from repro.sim.parallel import (
+            get_default_sweep_options,
+            set_default_sweep_options,
+        )
+
+        journal = tmp_path / "exp.ckpt.jsonl"
+        try:
+            assert experiments_main(
+                ["--checkpoint", str(journal), "--list"]
+            ) == 0
+            options = get_default_sweep_options()
+            assert options is not None
+            assert options.resume  # shared journals need append mode
+            assert str(options.checkpoint_path) == str(journal)
+        finally:
+            set_default_sweep_options(None)

@@ -154,6 +154,27 @@ class TestResolveJobs:
         with pytest.raises(ConfigError):
             resolve_jobs(1.5, 4)  # type: ignore[arg-type]
 
+    def test_rejects_bool(self):
+        # bool is an int subclass: set_default_jobs(True) used to pass
+        # the isinstance check and silently mean "one worker".
+        with pytest.raises(ConfigError):
+            set_default_jobs(True)
+        with pytest.raises(ConfigError):
+            set_default_jobs(False)
+        with pytest.raises(ConfigError):
+            resolve_jobs(True, 4)  # type: ignore[arg-type]
+
+
+class TestSubmissionWindow:
+    def test_window_bounds_in_flight_submissions(self):
+        from repro.sim.parallel import _submission_window
+
+        assert _submission_window(4) == 16
+        assert _submission_window(4, window_factor=2) == 8
+        # Degenerate inputs clamp to at least one in-flight spec.
+        assert _submission_window(0) == 4
+        assert _submission_window(1, window_factor=0) == 1
+
 
 class TestParallelBitIdentity:
     def test_run_specs_parallel_matches_serial(self):
