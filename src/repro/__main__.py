@@ -295,13 +295,13 @@ def cmd_compare(args) -> int:
     options = _sweep_options(args)
     failures: dict[int, object] = {}
     if options is None:
-        results = run_specs(specs, jobs=args.jobs)
+        results = run_specs(specs, jobs=args.jobs, batch=args.batch)
     else:
         from repro.errors import SweepError
 
         try:
             outcomes = run_outcomes(
-                specs, jobs=args.jobs, options=options
+                specs, jobs=args.jobs, options=options, batch=args.batch
             )
         except SweepError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -462,6 +462,12 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for the policy matrix (0 = all cores; "
         "results are bit-identical to --jobs 1)",
+    )
+    compare_parser.add_argument(
+        "--batch", type=int, default=1, metavar="B",
+        help="lane-batch width: advance up to B compatible runs through "
+        "one vectorized kernel (composes with --jobs; results are "
+        "bit-identical to --batch 1)",
     )
     resilience = compare_parser.add_argument_group(
         "fault tolerance (see docs/robustness.md)"

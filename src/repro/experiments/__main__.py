@@ -12,7 +12,12 @@ Usage::
 ``--jobs N`` sets the process-wide default worker count
 (:func:`repro.sim.parallel.set_default_jobs`), so every ``run_suite`` /
 ``run_specs`` call inside the experiment modules fans out over worker
-processes; results are bit-identical to the serial run.
+processes; results are bit-identical to the serial run.  ``--batch B``
+likewise sets the default lane-batch width
+(:func:`repro.sim.parallel.set_default_batch`): groups of up to B
+compatible runs advance through one vectorized
+:class:`~repro.sim.batch.BatchEngine` kernel, inside each worker when
+combined with ``--jobs``.
 
 ``--trace-out`` / ``--metrics-out`` build one shared
 :class:`~repro.telemetry.core.Telemetry` sink, hand it to every
@@ -66,6 +71,12 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = all cores; results are bit-identical to --jobs 1, see "
         "docs/performance.md)",
     )
+    parser.add_argument(
+        "--batch", type=int, default=1, metavar="B",
+        help="lane-batch width for every sweep: up to B compatible runs "
+        "advance through one vectorized kernel (composes with --jobs; "
+        "results are bit-identical to --batch 1)",
+    )
     resilience = parser.add_argument_group(
         "fault tolerance (see docs/robustness.md)"
     )
@@ -107,6 +118,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sim.parallel import set_default_jobs
 
         set_default_jobs(args.jobs)
+
+    if args.batch != 1:
+        from repro.sim.parallel import set_default_batch
+
+        set_default_batch(args.batch)
 
     if (
         args.retries

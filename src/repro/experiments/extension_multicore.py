@@ -26,9 +26,10 @@ package power limit would.
 
 from __future__ import annotations
 
+from repro.errors import SimulationError
 from repro.experiments.common import benchmark_budget
 from repro.experiments.reporting import ExperimentResult, format_table, percent
-from repro.multicore.engine import MulticoreEngine
+from repro.sim.parallel import WorkSpec, run_specs
 
 #: Chip sizes swept, as in the acceptance criteria.
 DEFAULT_CORE_COUNTS: tuple[int, ...] = (2, 4, 8, 16)
@@ -37,10 +38,53 @@ DEFAULT_CORE_COUNTS: tuple[int, ...] = (2, 4, 8, 16)
 #: art) and cool (gzip, mesa) programs so every chip size mixes both.
 DEFAULT_MIX: tuple[str, ...] = ("gcc", "gzip", "art", "mesa")
 
+#: The three management regimes swept per chip size, in report order.
+_REGIMES: tuple[str, ...] = ("unmanaged", "percore", "coordinated")
+
 
 def _mix_for(n_cores: int, mix: tuple[str, ...]) -> tuple[str, ...]:
     """Assign benchmarks to cores round-robin from ``mix``."""
     return tuple(mix[i % len(mix)] for i in range(n_cores))
+
+
+def build_specs(
+    core_counts: tuple[int, ...] = DEFAULT_CORE_COUNTS,
+    policy: str = "pid",
+    coordinator: str = "proportional",
+    mix: tuple[str, ...] = DEFAULT_MIX,
+    quick: bool = False,
+    seed: int = 0,
+) -> list[WorkSpec]:
+    """The experiment's runs as multicore :class:`WorkSpec`\\ s.
+
+    Three specs per chip size (unmanaged / per-core / coordinated),
+    each tagged ``(n_cores, regime)`` so :func:`run` can rebuild its
+    table rows from executor results in any grouping.
+    """
+    specs = []
+    for n_cores in core_counts:
+        benchmarks = _mix_for(n_cores, mix)
+        budget = max(benchmark_budget(name, quick) for name in benchmarks)
+        if quick:
+            # Multicore cost scales with N; keep quick mode quick.
+            budget = min(budget, 400_000)
+        for regime, run_policy, run_coordinator in (
+            ("unmanaged", "none", None),
+            ("percore", policy, None),
+            ("coordinated", policy, coordinator),
+        ):
+            specs.append(
+                WorkSpec(
+                    benchmark=benchmarks[0],
+                    policy=run_policy,
+                    instructions=budget,
+                    seed=seed,
+                    core_benchmarks=benchmarks,
+                    coordinator=run_coordinator,
+                    tag=(n_cores, regime),
+                )
+            )
+    return specs
 
 
 def run(
@@ -51,29 +95,39 @@ def run(
     quick: bool = False,
     seed: int = 0,
     telemetry=None,
+    jobs: int | None = None,
 ) -> ExperimentResult:
-    """Sweep chip sizes; compare unmanaged / per-core / coordinated."""
+    """Sweep chip sizes; compare unmanaged / per-core / coordinated.
+
+    The N x regime matrix runs through the orchestrated executor
+    (:func:`~repro.sim.parallel.run_specs`), so ``jobs`` fans chip
+    sizes out over worker processes and the process-wide sweep options
+    (retries, timeouts, checkpointing) apply.  Multicore specs never
+    lane-batch -- each is a singleton group -- but they share the same
+    journal format as single-core sweeps.
+    """
+    specs = build_specs(
+        core_counts,
+        policy=policy,
+        coordinator=coordinator,
+        mix=mix,
+        quick=quick,
+        seed=seed,
+    )
+    results = run_specs(specs, jobs=jobs, telemetry=telemetry)
+    by_tag = {}
+    for spec, result in zip(specs, results):
+        if result is None:
+            raise SimulationError(
+                f"multicore spec {spec.tag!r} failed permanently; "
+                "see the sweep.spec_failed telemetry event for details"
+            )
+        by_tag[spec.tag] = result
     rows = []
     for n_cores in core_counts:
-        benchmarks = _mix_for(n_cores, mix)
-        budget = max(benchmark_budget(name, quick) for name in benchmarks)
-        if quick:
-            # Multicore cost scales with N; keep quick mode quick.
-            budget = min(budget, 400_000)
-
-        def simulate(run_policy: str, run_coordinator: str | None):
-            engine = MulticoreEngine(
-                benchmarks,
-                policy=run_policy,
-                coordinator=run_coordinator,
-                seed=seed,
-                telemetry=telemetry,
-            )
-            return engine.run(instructions=budget)
-
-        baseline = simulate("none", None)
-        percore = simulate(policy, None)
-        coordinated = simulate(policy, coordinator)
+        baseline = by_tag[(n_cores, "unmanaged")]
+        percore = by_tag[(n_cores, "percore")]
+        coordinated = by_tag[(n_cores, "coordinated")]
         rows.append(
             {
                 "cores": n_cores,

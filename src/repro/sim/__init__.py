@@ -10,8 +10,21 @@ Two engines share the power, thermal, controller, and DTM code:
   thermal updates; used for the paper-scale sweeps.  Its
   duty-to-throughput response is calibrated against the detailed core
   (experiment C1).
+
+:class:`~repro.sim.batch.BatchEngine` stacks B independent fast-engine
+runs (lanes) through one structure-of-arrays kernel, bit-identical to
+running each lane serially; ``run_specs(..., batch=B)`` composes it
+with the process-level executor.
 """
 
+from repro.sim.batch import (
+    BatchEngine,
+    LaneOutcome,
+    batch_compatibility_key,
+    plan_batches,
+    run_spec_lanes,
+    validate_batch,
+)
 from repro.sim.checkpoint import (
     SWEEP_SCHEMA,
     CheckpointJournal,
@@ -25,11 +38,14 @@ from repro.sim.parallel import (
     SpecOutcome,
     SweepOptions,
     WorkSpec,
+    get_default_batch,
     get_default_jobs,
     get_default_sweep_options,
     matrix_specs,
+    resolve_batch,
     run_outcomes,
     run_specs,
+    set_default_batch,
     set_default_jobs,
     set_default_sweep_options,
 )
@@ -38,10 +54,12 @@ from repro.sim.simulator import DetailedSimulator
 from repro.sim.sweep import run_suite
 
 __all__ = [
+    "BatchEngine",
     "CheckpointJournal",
     "DetailedSimulator",
     "FastEngine",
     "History",
+    "LaneOutcome",
     "RetryPolicy",
     "RunResult",
     "SWEEP_SCHEMA",
@@ -49,14 +67,21 @@ __all__ = [
     "SpecOutcome",
     "SweepOptions",
     "WorkSpec",
+    "batch_compatibility_key",
+    "get_default_batch",
     "get_default_jobs",
     "get_default_sweep_options",
     "load_checkpoint",
     "matrix_specs",
+    "plan_batches",
+    "resolve_batch",
     "run_outcomes",
+    "run_spec_lanes",
     "run_specs",
     "run_suite",
+    "set_default_batch",
     "set_default_jobs",
     "set_default_sweep_options",
     "spec_fingerprint",
+    "validate_batch",
 ]

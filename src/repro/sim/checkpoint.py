@@ -163,7 +163,30 @@ def history_from_dict(data: dict) -> History:
 
 
 def result_to_dict(result: RunResult) -> dict:
-    """JSON view of a :class:`RunResult` (history included)."""
+    """JSON view of a :class:`RunResult` (history included).
+
+    Multicore results (from :class:`~repro.sim.parallel.WorkSpec`\\ s
+    with ``core_benchmarks``) serialize under ``"kind": "multicore"``
+    so journals can hold both result types side by side.
+    """
+    # Imported lazily: checkpoint is core sweep machinery; multicore is
+    # an optional extension layered on top of it.
+    from repro.multicore.results import MulticoreRunResult
+
+    if isinstance(result, MulticoreRunResult):
+        return {
+            "kind": "multicore",
+            "policy": result.policy,
+            "coordinator": result.coordinator,
+            "cycles": result.cycles,
+            "cores": [dataclasses.asdict(core) for core in result.cores],
+            "emergency_fraction": result.emergency_fraction,
+            "stress_fraction": result.stress_fraction,
+            "mean_chip_power": result.mean_chip_power,
+            "max_chip_power": result.max_chip_power,
+            "energy_joules": result.energy_joules,
+            "extra": dict(result.extra),
+        }
     return {
         "benchmark": result.benchmark,
         "policy": result.policy,
@@ -191,7 +214,30 @@ def result_to_dict(result: RunResult) -> dict:
 
 
 def result_from_dict(data: dict) -> RunResult:
-    """Rebuild a :class:`RunResult` saved by :func:`result_to_dict`."""
+    """Rebuild a result saved by :func:`result_to_dict`.
+
+    Returns a :class:`RunResult`, or a
+    :class:`~repro.multicore.results.MulticoreRunResult` for entries
+    tagged ``"kind": "multicore"``.
+    """
+    if data.get("kind") == "multicore":
+        from repro.multicore.results import CoreResult, MulticoreRunResult
+
+        return MulticoreRunResult(
+            policy=data["policy"],
+            coordinator=data["coordinator"],
+            cycles=data["cycles"],
+            cores=tuple(
+                CoreResult(**{**core, "extra": dict(core.get("extra", {}))})
+                for core in data["cores"]
+            ),
+            emergency_fraction=data["emergency_fraction"],
+            stress_fraction=data["stress_fraction"],
+            mean_chip_power=data["mean_chip_power"],
+            max_chip_power=data["max_chip_power"],
+            energy_joules=data.get("energy_joules", 0.0),
+            extra=dict(data.get("extra", {})),
+        )
     history = data.get("history")
     return RunResult(
         benchmark=data["benchmark"],

@@ -59,6 +59,35 @@ def _grow(buffer: np.ndarray, capacity: int) -> np.ndarray:
     return grown
 
 
+def build_phase_tables(
+    profile: BenchmarkProfile, names: tuple[str, ...]
+) -> tuple[list[int], list[np.ndarray], list[float], list[float]]:
+    """Prebuilt per-phase lookup tables for the fused sample kernel.
+
+    Returns ``(phase_ends, phase_activity, phase_jitter, phase_ipc)``:
+    cumulative instruction boundaries (so the phase at a
+    committed-instruction position is one ``bisect``), read-only
+    activity arrays, and scalar jitter/IPC per phase.  Shared by the
+    single-lane kernel (:meth:`FastEngine._run`) and the lane-batched
+    kernel (:class:`repro.sim.batch.BatchEngine`) so both look up the
+    exact same prebuilt arrays -- part of the bit-identity argument.
+    """
+    phase_ends: list[int] = []
+    running = 0
+    phase_activity: list[np.ndarray] = []
+    phase_jitter: list[float] = []
+    phase_ipc: list[float] = []
+    for phase in profile.phases:
+        running += phase.instructions
+        phase_ends.append(running)
+        base = np.array(phase.activity_vector(names), dtype=float)
+        base.flags.writeable = False
+        phase_activity.append(base)
+        phase_jitter.append(phase.jitter)
+        phase_ipc.append(phase.ipc)
+    return phase_ends, phase_activity, phase_jitter, phase_ipc
+
+
 class FastEngine:
     """Sample-granularity workload/power/thermal/DTM simulation."""
 
@@ -228,22 +257,11 @@ class FastEngine:
         # committed-instruction position is one bisect; the prebuilt
         # activity arrays are marked read-only because the non-jittered
         # path hands them straight to the power computation.
-        phases = self.profile.phases
         phase_total = self.profile.total_instructions
-        phase_ends: list[int] = []
-        running = 0
-        phase_activity: list[np.ndarray] = []
-        phase_jitter: list[float] = []
-        phase_ipc: list[float] = []
-        for phase in phases:
-            running += phase.instructions
-            phase_ends.append(running)
-            base = np.array(phase.activity_vector(names), dtype=float)
-            base.flags.writeable = False
-            phase_activity.append(base)
-            phase_jitter.append(phase.jitter)
-            phase_ipc.append(phase.ipc)
-        single_phase = len(phases) == 1
+        phase_ends, phase_activity, phase_jitter, phase_ipc = (
+            build_phase_tables(self.profile, names)
+        )
+        single_phase = len(phase_ends) == 1
 
         # -- hoisted hot-path handles (no per-sample attribute chains).
         thermal = self.thermal

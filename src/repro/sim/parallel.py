@@ -88,6 +88,12 @@ from repro.config import (
 from repro.control.pid import AntiWindup
 from repro.errors import ConfigError, SweepError
 from repro.faults import FaultSchedule
+from repro.sim.batch import (
+    batch_compatibility_key,
+    plan_batches,
+    run_spec_lanes,
+    validate_batch,
+)
 from repro.sim.checkpoint import (
     CheckpointJournal,
     fold_saved_telemetry,
@@ -108,6 +114,9 @@ _RETAIN_ALL = 1 << 30
 
 #: Process-wide default for ``jobs=None`` (1 = classic serial sweep).
 _DEFAULT_JOBS = 1
+
+#: Process-wide default for ``batch=None`` (1 = no lane batching).
+_DEFAULT_BATCH = 1
 
 #: Process-wide default for ``options=None`` (None = classic fail-fast
 #: sweep with no retries, timeouts, or checkpointing).
@@ -148,11 +157,40 @@ def resolve_jobs(jobs: int | None, tasks: int) -> int:
     never spawns eight idle workers.
     """
     _validate_jobs(jobs, allow_none=True)
+    # Same bool-is-an-int edge as jobs: resolve_jobs(2, True) used to
+    # silently clamp every sweep to one worker.
+    if isinstance(tasks, bool) or not isinstance(tasks, int):
+        raise ConfigError(f"tasks must be an int, got {tasks!r}")
     if jobs is None:
         jobs = _DEFAULT_JOBS
     if jobs == 0:
         jobs = os.cpu_count() or 1
     return max(1, min(jobs, max(1, tasks)))
+
+
+def set_default_batch(batch: int) -> None:
+    """Set the process-wide default lane-batch width (1 = no batching).
+
+    Drivers wire their ``--batch`` flag here so every ``run_specs`` /
+    ``run_outcomes`` call that does not pass an explicit ``batch``
+    groups compatible specs into one vectorized
+    :class:`~repro.sim.batch.BatchEngine` kernel (composing with
+    process-level ``jobs`` inside each worker).
+    """
+    global _DEFAULT_BATCH
+    validate_batch(batch)
+    _DEFAULT_BATCH = batch
+
+
+def get_default_batch() -> int:
+    """The process-wide default batch width (see :func:`set_default_batch`)."""
+    return _DEFAULT_BATCH
+
+
+def resolve_batch(batch: int | None) -> int:
+    """Effective lane-batch width (``None`` defers to the default)."""
+    validate_batch(batch, allow_none=True)
+    return _DEFAULT_BATCH if batch is None else batch
 
 
 def set_default_sweep_options(options: "SweepOptions | None") -> None:
@@ -251,6 +289,14 @@ class SweepOptions:
     * ``window_factor`` -- bound on in-flight submissions
       (``window_factor * jobs``), so multi-thousand-spec matrices do
       not hold every pickled spec and pending result in memory.
+    * ``batch`` -- lane-batch width (see :mod:`repro.sim.batch`):
+      consecutive compatible specs run through one vectorized
+      :class:`~repro.sim.batch.BatchEngine` kernel, inside each pool
+      worker when ``jobs > 1``.  ``None`` defers to
+      :func:`get_default_batch`.  A batched group's wall-clock timeout
+      allowance is ``timeout_seconds`` *per lane*; a group that
+      exceeds it is unattributable to one lane, so its lanes requeue
+      uncharged as batching-exempt singletons.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -260,8 +306,10 @@ class SweepOptions:
     strict: bool = False
     max_pool_rebuilds: int = 3
     window_factor: int = 4
+    batch: int | None = None
 
     def __post_init__(self) -> None:
+        validate_batch(self.batch, allow_none=True)
         if self.timeout_seconds is not None and not (
             self.timeout_seconds > 0
         ):
@@ -354,6 +402,14 @@ class WorkSpec:
     setpoint: float | None = None
     fault_schedule: FaultSchedule | None = None
     failsafe: FailsafeConfig | None = None
+    #: Non-empty marks a *multicore* spec: per-core benchmark names run
+    #: on a :class:`~repro.multicore.engine.MulticoreEngine` (tiled
+    #: floorplan, ``policy`` shared by every core, optional
+    #: ``coordinator``).  Multicore specs never lane-batch but ride the
+    #: same orchestrated executor (jobs, retries, checkpointing).
+    core_benchmarks: tuple[str, ...] = ()
+    #: Coordinator name for multicore specs (e.g. ``"proportional"``).
+    coordinator: str | None = None
     #: Extra identifying payload carried through to the caller (e.g. a
     #: per-driver label); not consumed by the executor itself.
     tag: tuple = field(default_factory=tuple)
@@ -410,8 +466,40 @@ def _worker_telemetry_config(
     )
 
 
+def _execute_multicore(spec: WorkSpec, telemetry):
+    """Run one multicore spec on a :class:`MulticoreEngine`."""
+    # Function-level import: repro.multicore builds on repro.sim.
+    from repro.multicore.engine import MulticoreEngine
+
+    for name, value, default in (
+        ("floorplan", spec.floorplan, None),
+        ("fault_schedule", spec.fault_schedule, None),
+        ("setpoint", spec.setpoint, None),
+        ("record_history", spec.record_history, False),
+        ("anti_windup", spec.anti_windup, AntiWindup.CONDITIONAL),
+    ):
+        if value != default:
+            raise ConfigError(
+                f"multicore specs do not support {name}={value!r}"
+            )
+    engine = MulticoreEngine(
+        list(spec.core_benchmarks),
+        policy=spec.policy,
+        coordinator=spec.coordinator,
+        machine=spec.machine,
+        thermal_config=spec.thermal_config,
+        dtm_config=spec.dtm_config,
+        seed=spec.seed,
+        failsafe=spec.failsafe,
+        telemetry=telemetry,
+    )
+    return engine.run(instructions=spec.instructions)
+
+
 def _execute(spec: WorkSpec, telemetry) -> RunResult:
     """Run one spec in-process against the given telemetry sink."""
+    if spec.core_benchmarks:
+        return _execute_multicore(spec, telemetry)
     return run_one(
         spec.benchmark,
         spec.policy,
@@ -444,6 +532,65 @@ def _run_spec(
     )
     result = _execute(spec, local)
     return result, local
+
+
+def _group_locals(
+    count: int, telemetry_config: TelemetryConfig | None
+) -> list[Telemetry | None]:
+    """Per-lane retain-everything sinks for one batched group."""
+    return [
+        Telemetry(telemetry_config) if telemetry_config is not None else None
+        for _ in range(count)
+    ]
+
+
+def _run_group_payloads(
+    specs: Sequence[WorkSpec], telemetry_config: TelemetryConfig | None
+) -> list[tuple]:
+    """Worker entry point: run compatible specs as one batched kernel.
+
+    Returns one payload per lane, in lane order: ``("ok", result,
+    local_telemetry)`` or ``("error", exc_type, message, traceback)``.
+    Lane failures are settled *here* (strings, not exception objects)
+    so one lane's unpicklable exception cannot poison the whole
+    group's result transfer.
+    """
+    locals_ = _group_locals(len(specs), telemetry_config)
+    payloads: list[tuple] = []
+    for outcome, local in zip(run_spec_lanes(specs, locals_), locals_):
+        if outcome.error is None:
+            payloads.append(("ok", outcome.result, local))
+        else:
+            error = outcome.error
+            payloads.append((
+                "error",
+                type(error).__name__,
+                str(error),
+                "".join(traceback_module.format_exception(error)),
+            ))
+    return payloads
+
+
+def _run_spec_group(
+    specs: Sequence[WorkSpec], telemetry_config: TelemetryConfig | None
+) -> list[tuple[RunResult, Telemetry | None]]:
+    """Fail-fast group worker: all lane results, or the earliest error.
+
+    The batched analogue of :func:`_run_spec` for the classic
+    (orchestrator-less) pool path: raising the earliest lane's error
+    reproduces the serial loop's observable fail-fast behaviour (later
+    lanes did execute, but their results are discarded with the
+    raise).
+    """
+    locals_ = _group_locals(len(specs), telemetry_config)
+    outcomes = run_spec_lanes(specs, locals_)
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+    return [
+        (outcome.result, local)
+        for outcome, local in zip(outcomes, locals_)
+    ]
 
 
 def _submission_window(jobs: int, window_factor: int = 4) -> int:
@@ -479,6 +626,7 @@ def run_specs(
     jobs: int | None = None,
     telemetry=None,
     options: "SweepOptions | None" = None,
+    batch: int | None = None,
 ) -> list[RunResult]:
     """Execute specs, serially or on a process pool; results in spec order.
 
@@ -499,17 +647,30 @@ def run_specs(
     :class:`~repro.errors.SweepError` at the end).  With no options
     anywhere, behaviour is the classic fail-fast sweep, bit-identical
     to the pre-orchestrator code.
+
+    ``batch`` (``None`` defers to :func:`get_default_batch`) groups
+    consecutive compatible specs into one vectorized
+    :class:`~repro.sim.batch.BatchEngine` kernel per group -- inside
+    each pool worker when ``jobs > 1``, so process- and lane-level
+    parallelism compose.  Results stay bit-identical to the unbatched
+    sweep; telemetry follows the parallel parity model (per-lane local
+    sinks folded in spec order) even at ``jobs=1``, because lanes run
+    interleaved.
     """
     specs = list(specs)
     if options is None:
         options = _DEFAULT_OPTIONS
     if options is not None:
         outcomes = run_outcomes(
-            specs, jobs=jobs, telemetry=telemetry, options=options
+            specs, jobs=jobs, telemetry=telemetry, options=options,
+            batch=batch,
         )
         return [outcome.result for outcome in outcomes]
     sink = ensure_telemetry(telemetry)
     jobs = resolve_jobs(jobs, len(specs))
+    batch = resolve_batch(batch)
+    if batch > 1:
+        return _run_specs_batched(specs, jobs, sink, batch)
     if jobs <= 1:
         shared = sink if sink.enabled else None
         return [_execute(spec, shared) for spec in specs]
@@ -554,11 +715,86 @@ def run_specs(
     return results
 
 
+def _run_specs_batched(
+    specs: list[WorkSpec], jobs: int, sink, batch: int
+) -> list[RunResult]:
+    """Classic fail-fast execution with lane batching.
+
+    Groups are planned once (:func:`~repro.sim.batch.plan_batches`)
+    and run in spec order -- in-process for ``jobs <= 1``, else one
+    group per pool task with the usual sliding window.  Singleton
+    groups (incompatible neighbours, multicore specs) run through the
+    ordinary :func:`_execute` path.  Telemetry uses per-lane local
+    sinks folded in spec order even in-process: lanes of one group run
+    interleaved, so sharing the sink directly would scramble the emit
+    sequence.
+    """
+    groups = plan_batches(specs, batch)
+    config = (
+        _worker_telemetry_config(getattr(sink, "config", None))
+        if sink.enabled
+        else None
+    )
+    results: list[RunResult] = [None] * len(specs)  # type: ignore[list-item]
+
+    def settle(group, pairs) -> None:
+        for index, (result, local) in zip(group, pairs):
+            results[index] = result
+            if local is not None:
+                merge_telemetry(sink, local)
+
+    if jobs <= 1:
+        for group in groups:
+            group_specs = [specs[i] for i in group]
+            if len(group) == 1:
+                local = Telemetry(config) if config is not None else None
+                settle(group, [(_execute(group_specs[0], local), local)])
+            else:
+                settle(group, _run_spec_group(group_specs, config))
+    else:
+        window = _submission_window(jobs)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            try:
+                pending: deque = deque()
+                submitted = 0
+                settled = 0
+                while settled < len(groups):
+                    while (
+                        submitted < len(groups) and len(pending) < window
+                    ):
+                        group = groups[submitted]
+                        group_specs = [specs[i] for i in group]
+                        if len(group) == 1:
+                            future = pool.submit(
+                                _run_spec, group_specs[0], config
+                            )
+                        else:
+                            future = pool.submit(
+                                _run_spec_group, group_specs, config
+                            )
+                        pending.append((group, future))
+                        submitted += 1
+                    group, future = pending.popleft()
+                    payload = future.result()
+                    if len(group) == 1:
+                        payload = [payload]
+                    settle(group, payload)
+                    settled += 1
+            except KeyboardInterrupt:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+    if sink.enabled and specs:
+        last = specs[-1]
+        sink.set_context(last.benchmark, last.policy)
+    return results
+
+
 def run_outcomes(
     specs: Sequence[WorkSpec],
     jobs: int | None = None,
     telemetry=None,
     options: "SweepOptions | None" = None,
+    batch: int | None = None,
 ) -> list[SpecOutcome]:
     """Fault-tolerantly execute specs; structured outcomes in spec order.
 
@@ -575,7 +811,11 @@ def run_outcomes(
         options = _DEFAULT_OPTIONS if _DEFAULT_OPTIONS is not None else SweepOptions()
     sink = ensure_telemetry(telemetry)
     jobs = resolve_jobs(jobs, len(specs))
-    runner = _OutcomeRunner(specs, jobs, sink, options)
+    # Explicit argument > options.batch > process-wide default.
+    if batch is None:
+        batch = options.batch
+    batch = resolve_batch(batch)
+    runner = _OutcomeRunner(specs, jobs, sink, options, batch)
     try:
         outcomes = runner.run()
     except KeyboardInterrupt:
@@ -613,11 +853,23 @@ class _OutcomeRunner:
         jobs: int,
         sink,
         options: SweepOptions,
+        batch: int = 1,
     ) -> None:
         self.specs = specs
         self.jobs = jobs
         self.sink = sink
         self.options = options
+        self.batch = batch
+        #: Per-spec lane-compatibility keys (None = never batch).
+        self._batch_keys = (
+            [batch_compatibility_key(spec) for spec in specs]
+            if batch > 1
+            else None
+        )
+        #: Specs banned from batching: after an unattributable group
+        #: failure (timeout, group-level error) its lanes re-run as
+        #: singletons so blame is attributable on the next attempt.
+        self._no_batch: set[int] = set()
         self.config = (
             _worker_telemetry_config(getattr(sink, "config", None))
             if sink.enabled
@@ -765,10 +1017,75 @@ class _OutcomeRunner:
                 self._run_pool(queue)
         return [outcome for outcome in self.outcomes]  # all filled now
 
+    def _next_group(self, queue: deque) -> list[tuple[int, int]]:
+        """Pop the leading lane group: compatible consecutive specs.
+
+        Mirrors :func:`~repro.sim.batch.plan_batches` but operates on
+        the live retry queue, so requeued attempts regroup with
+        whatever compatible work is adjacent *now*.  Specs in
+        ``_no_batch`` (or with a ``None`` key: multicore) stay
+        singletons.
+        """
+        index, attempt = queue.popleft()
+        lanes = [(index, attempt)]
+        if self.batch <= 1 or index in self._no_batch:
+            return lanes
+        key = self._batch_keys[index]
+        if key is None:
+            return lanes
+        while queue and len(lanes) < self.batch:
+            next_index, _ = queue[0]
+            if (
+                next_index in self._no_batch
+                or self._batch_keys[next_index] != key
+            ):
+                break
+            lanes.append(queue.popleft())
+        return lanes
+
+    def _settle_lane_payload(
+        self, index: int, attempt: int, payload: tuple, queue: deque
+    ) -> None:
+        """Apply one lane's worker payload (success or captured error)."""
+        if payload[0] == "ok":
+            _, result, local = payload
+            self._finish_success(index, attempt, result, local)
+        else:
+            _, exc_type, message, tb = payload
+            if self._register_failure(
+                index, attempt, "error", exc_type, message, tb
+            ):
+                queue.append((index, attempt + 1))
+
     def _run_serial(self, queue: deque) -> None:
         """In-process execution: isolation + retries, no preemption."""
         while queue:
-            index, attempt = queue.popleft()
+            lanes = self._next_group(queue)
+            if len(lanes) > 1:
+                locals_ = _group_locals(len(lanes), self.config)
+                outcomes = run_spec_lanes(
+                    [self.specs[i] for i, _ in lanes], locals_
+                )
+                for (index, attempt), outcome, local in zip(
+                    lanes, outcomes, locals_
+                ):
+                    if outcome.error is None:
+                        self._finish_success(
+                            index, attempt, outcome.result, local
+                        )
+                    elif self._register_failure(
+                        index,
+                        attempt,
+                        "error",
+                        type(outcome.error).__name__,
+                        str(outcome.error),
+                        "".join(
+                            traceback_module.format_exception(outcome.error)
+                        ),
+                    ):
+                        queue.append((index, attempt + 1))
+                continue
+            index, attempt = lanes[0]
             try:
                 result, local = _run_spec(self.specs[index], self.config)
             except Exception as error:
@@ -794,21 +1111,30 @@ class _OutcomeRunner:
         """
         survivors: list[tuple[int, int]] = []
         while in_flight:
-            index, attempt, future, _deadline, _is_solo = (
-                in_flight.popleft()
-            )
+            lanes, future, _deadline, _is_solo = in_flight.popleft()
             if not future.done() or future.cancelled():
-                survivors.append((index, attempt))
+                survivors.extend(lanes)
                 continue
             error = future.exception()
             if error is None:
-                result, local = future.result()
-                self._finish_success(index, attempt, result, local)
+                payload = future.result()
+                if len(lanes) == 1:
+                    index, attempt = lanes[0]
+                    result, local = payload
+                    self._finish_success(index, attempt, result, local)
+                else:
+                    retries: deque = deque()
+                    for (index, attempt), item in zip(lanes, payload):
+                        self._settle_lane_payload(
+                            index, attempt, item, retries
+                        )
+                    survivors.extend(retries)
             elif isinstance(error, BrokenExecutor):
-                survivors.append((index, attempt))
-            else:
+                survivors.extend(lanes)
+            elif len(lanes) == 1:
                 # The spec raised normally just before the pool died:
                 # attributable, so charge it like any worker error.
+                index, attempt = lanes[0]
                 if self._register_failure(
                     index,
                     attempt,
@@ -818,6 +1144,13 @@ class _OutcomeRunner:
                     "".join(traceback_module.format_exception(error)),
                 ):
                     survivors.append((index, attempt + 1))
+            else:
+                # A batched group raised at group level (not one
+                # lane's captured failure): unattributable, so the
+                # lanes requeue uncharged as batching-exempt
+                # singletons and blame lands on the next attempt.
+                self._no_batch.update(i for i, _ in lanes)
+                survivors.extend(lanes)
         return survivors
 
     def _handle_timeout(self, index: int, attempt: int) -> bool:
@@ -870,15 +1203,31 @@ class _OutcomeRunner:
         pool = ProcessPoolExecutor(max_workers=jobs)
         #: Suspects of an unattributed pool crash, re-run one at a time.
         solo: deque = deque()
-        # (index, attempt, future, deadline, is_solo)
+        # (lanes, future, deadline, is_solo); lanes = [(index, attempt)]
         in_flight: deque = deque()
 
-        def submit(index: int, attempt: int, is_solo: bool) -> None:
-            future = pool.submit(_run_spec, self.specs[index], self.config)
+        def lanes_in_flight() -> int:
+            return sum(len(entry[0]) for entry in in_flight)
+
+        def submit(lanes: list, is_solo: bool) -> None:
+            if len(lanes) == 1:
+                future = pool.submit(
+                    _run_spec, self.specs[lanes[0][0]], self.config
+                )
+            else:
+                future = pool.submit(
+                    _run_group_payloads,
+                    [self.specs[i] for i, _ in lanes],
+                    self.config,
+                )
+            # The wall clock is per *lane*: a B-lane group legitimately
+            # takes ~B times one spec's time on its single worker.
             deadline = (
-                None if timeout is None else time.monotonic() + timeout
+                None
+                if timeout is None
+                else time.monotonic() + timeout * len(lanes)
             )
-            in_flight.append((index, attempt, future, deadline, is_solo))
+            in_flight.append((lanes, future, deadline, is_solo))
 
         def rebuild() -> None:
             nonlocal pool
@@ -887,22 +1236,22 @@ class _OutcomeRunner:
 
         try:
             while queue or solo or in_flight:
-                pending: tuple[int, int] | None = None
+                pending: list | None = None
                 try:
                     if solo:
                         if not in_flight:
-                            pending = solo.popleft()
-                            submit(*pending, True)
+                            pending = [solo.popleft()]
+                            submit(pending, True)
                     else:
-                        while queue and len(in_flight) < window:
-                            pending = queue.popleft()
-                            submit(*pending, False)
+                        while queue and lanes_in_flight() < window:
+                            pending = self._next_group(queue)
+                            submit(pending, False)
                     pending = None
                 except BrokenExecutor:
                     # The pool broke between collections (discovered at
-                    # submit): unattributed.  The spec we were
-                    # submitting never ran; put it back uncharged.
-                    solo.appendleft(pending)
+                    # submit): unattributed.  The specs we were
+                    # submitting never ran; put them back uncharged.
+                    solo.extendleft(reversed(pending))
                     solo.extendleft(
                         reversed(self._harvest_in_flight(in_flight))
                     )
@@ -910,7 +1259,7 @@ class _OutcomeRunner:
                     if self.sink.enabled:
                         self.sink.event(
                             "sweep.pool_crash",
-                            pending[0],
+                            pending[0][0],
                             "worker pool died before accepting work; "
                             "rebuilding",
                             deaths=unattributed_deaths,
@@ -920,9 +1269,8 @@ class _OutcomeRunner:
                         self._degrade(queue, solo, unattributed_deaths)
                         return
                     continue
-                index, attempt, future, deadline, is_solo = (
-                    in_flight.popleft()
-                )
+                lanes, future, deadline, is_solo = in_flight.popleft()
+                index, attempt = lanes[0]
                 spec = self.specs[index]
                 try:
                     remaining = (
@@ -930,21 +1278,41 @@ class _OutcomeRunner:
                         if deadline is None
                         else max(0.0, deadline - time.monotonic())
                     )
-                    result, local = future.result(timeout=remaining)
+                    payload = future.result(timeout=remaining)
                 except FuturesTimeoutError:
                     if future.cancel():
                         # Never started running: it aged out in the
                         # submission queue behind slow specs.  Not the
-                        # spec's fault -- resubmit without charge.
-                        (solo if is_solo else queue).appendleft(
-                            (index, attempt)
-                        )
+                        # specs' fault -- resubmit without charge.
+                        if is_solo:
+                            solo.extendleft(reversed(lanes))
+                        else:
+                            queue.extendleft(reversed(lanes))
                         continue
-                    # Attributable: this future's own deadline passed
-                    # while it was running.  Terminate its worker,
-                    # requeue innocents uncharged, rebuild.
-                    if self._handle_timeout(index, attempt):
-                        queue.append((index, attempt + 1))
+                    if len(lanes) == 1:
+                        # Attributable: this future's own deadline
+                        # passed while it was running.  Terminate its
+                        # worker, requeue innocents uncharged, rebuild.
+                        if self._handle_timeout(index, attempt):
+                            queue.append((index, attempt + 1))
+                    else:
+                        # A group deadline (timeout x lanes) passed:
+                        # unattributable to one lane.  All lanes
+                        # requeue uncharged as batching-exempt
+                        # singletons, so a genuinely hung lane is
+                        # charged on its next, solo, attempt.
+                        self._no_batch.update(i for i, _ in lanes)
+                        if self.sink.enabled:
+                            self.sink.event(
+                                "sweep.timeout",
+                                index,
+                                f"batched group of {len(lanes)} lanes "
+                                f"exceeded {timeout}s per lane; "
+                                f"re-running its lanes unbatched",
+                                timeout_seconds=timeout,
+                                lanes=len(lanes),
+                            )
+                        queue.extendleft(reversed(lanes))
                     queue.extendleft(
                         reversed(self._harvest_in_flight(in_flight))
                     )
@@ -976,17 +1344,18 @@ class _OutcomeRunner:
                         # crasher.  Everyone lost becomes a suspect and
                         # re-runs in isolation, uncharged.
                         unattributed_deaths += 1
+                        suspects = lanes_in_flight() + len(lanes)
                         if self.sink.enabled:
                             self.sink.event(
                                 "sweep.pool_crash",
                                 index,
                                 f"worker process died with "
-                                f"{len(in_flight) + 1} specs in flight; "
+                                f"{suspects} specs in flight; "
                                 f"isolating suspects",
                                 deaths=unattributed_deaths,
-                                suspects=len(in_flight) + 1,
+                                suspects=suspects,
                             )
-                        solo.append((index, attempt))
+                        solo.extend(lanes)
                         solo.extend(self._harvest_in_flight(in_flight))
                         rebuild()
                         if unattributed_deaths > options.max_pool_rebuilds:
@@ -999,7 +1368,15 @@ class _OutcomeRunner:
                     # The spec raised inside the worker; the pool is
                     # fine.  The remote traceback rides along as the
                     # exception's __cause__.
-                    if self._register_failure(
+                    if len(lanes) > 1:
+                        # Group workers settle per-lane failures into
+                        # payloads, so a group-level raise is
+                        # infrastructure (pickling, lane compat), not
+                        # one lane's fault: requeue uncharged as
+                        # batching-exempt singletons.
+                        self._no_batch.update(i for i, _ in lanes)
+                        queue.extendleft(reversed(lanes))
+                    elif self._register_failure(
                         index,
                         attempt,
                         "error",
@@ -1011,7 +1388,16 @@ class _OutcomeRunner:
                     ):
                         queue.append((index, attempt + 1))
                 else:
-                    self._finish_success(index, attempt, result, local)
+                    if len(lanes) == 1:
+                        result, local = payload
+                        self._finish_success(index, attempt, result, local)
+                    else:
+                        for (lane_index, lane_attempt), item in zip(
+                            lanes, payload
+                        ):
+                            self._settle_lane_payload(
+                                lane_index, lane_attempt, item, queue
+                            )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
 

@@ -55,10 +55,9 @@ def _validate_instructions(instructions: float) -> float:
     return instructions
 
 
-def run_one(
+def build_engine(
     benchmark: str,
     policy_name: str,
-    instructions: float = DEFAULT_INSTRUCTIONS,
     floorplan: Floorplan | None = None,
     machine: MachineConfig | None = None,
     thermal_config: ThermalConfig | None = None,
@@ -72,23 +71,15 @@ def run_one(
     fault_schedule: FaultSchedule | None = None,
     failsafe=None,
     telemetry=None,
-) -> RunResult:
-    """Run one benchmark under one named policy.
+) -> FastEngine:
+    """Build (but do not run) the engine :func:`run_one` would run.
 
-    Pass a prebuilt ``policy`` object to bypass the name-based factory
-    (used for custom policies such as the hierarchical extension).
-
-    ``fault_schedule`` wraps the sensor (default: an ideal one) in a
-    :class:`~repro.faults.sensor.FaultySensor` and, when the schedule
-    carries actuator windows, the actuator in a
-    :class:`~repro.faults.actuator.FaultyActuator`.  ``failsafe`` is a
-    :class:`~repro.config.FailsafeConfig` (or prebuilt guard) enabling
-    the failsafe DTM layer.  ``telemetry`` is a
-    :class:`~repro.telemetry.core.Telemetry` observing the run
-    (metrics, per-sample trace, span profile); fault injectors and the
-    failsafe guard report their events onto its trace stream.
+    The single factory path behind both the serial sweep and the
+    lane-batched engine (:mod:`repro.sim.batch`): policy construction,
+    fault-injection wrapping, and engine assembly happen here once, so
+    a batched lane starts from an engine bit-identical to its serial
+    counterpart.
     """
-    instructions = _validate_instructions(instructions)
     floorplan = floorplan if floorplan is not None else Floorplan.default()
     if policy is None:
         policy = make_policy(
@@ -129,6 +120,60 @@ def run_one(
         actuator=actuator,
         telemetry=telemetry,
     )
+    return engine
+
+
+def run_one(
+    benchmark: str,
+    policy_name: str,
+    instructions: float = DEFAULT_INSTRUCTIONS,
+    floorplan: Floorplan | None = None,
+    machine: MachineConfig | None = None,
+    thermal_config: ThermalConfig | None = None,
+    dtm_config: DTMConfig | None = None,
+    seed: int = 0,
+    record_history: bool = False,
+    anti_windup: AntiWindup = AntiWindup.CONDITIONAL,
+    setpoint: float | None = None,
+    sensor=None,
+    policy=None,
+    fault_schedule: FaultSchedule | None = None,
+    failsafe=None,
+    telemetry=None,
+) -> RunResult:
+    """Run one benchmark under one named policy.
+
+    Pass a prebuilt ``policy`` object to bypass the name-based factory
+    (used for custom policies such as the hierarchical extension).
+
+    ``fault_schedule`` wraps the sensor (default: an ideal one) in a
+    :class:`~repro.faults.sensor.FaultySensor` and, when the schedule
+    carries actuator windows, the actuator in a
+    :class:`~repro.faults.actuator.FaultyActuator`.  ``failsafe`` is a
+    :class:`~repro.config.FailsafeConfig` (or prebuilt guard) enabling
+    the failsafe DTM layer.  ``telemetry`` is a
+    :class:`~repro.telemetry.core.Telemetry` observing the run
+    (metrics, per-sample trace, span profile); fault injectors and the
+    failsafe guard report their events onto its trace stream.
+    """
+    instructions = _validate_instructions(instructions)
+    engine = build_engine(
+        benchmark,
+        policy_name,
+        floorplan=floorplan,
+        machine=machine,
+        thermal_config=thermal_config,
+        dtm_config=dtm_config,
+        seed=seed,
+        record_history=record_history,
+        anti_windup=anti_windup,
+        setpoint=setpoint,
+        sensor=sensor,
+        policy=policy,
+        fault_schedule=fault_schedule,
+        failsafe=failsafe,
+        telemetry=telemetry,
+    )
     return engine.run(instructions=instructions)
 
 
@@ -145,6 +190,7 @@ def run_suite(
     telemetry=None,
     jobs: int | None = None,
     options=None,
+    batch: int | None = None,
 ) -> Mapping[tuple[str, str], RunResult]:
     """Run the full (benchmark x policy) matrix.
 
@@ -172,11 +218,19 @@ def run_suite(
     returned mapping (its ``sweep.spec_failed`` event carries the
     details); with ``options.strict`` the sweep raises one aggregated
     :class:`~repro.errors.SweepError` instead.
+
+    ``batch`` is the lane-batch width (see :mod:`repro.sim.batch`):
+    groups of up to ``batch`` compatible runs advance through one
+    vectorized :class:`~repro.sim.batch.BatchEngine` kernel, inside
+    each worker process when ``jobs > 1``.  ``None`` defers to
+    :func:`~repro.sim.parallel.get_default_batch`.  Batched results
+    and telemetry are bit-identical to the serial sweep.
     """
     # Imported here: parallel builds on this module's run_one/defaults.
     from repro.sim.parallel import (
         get_default_sweep_options,
         matrix_specs,
+        resolve_batch,
         resolve_jobs,
         run_specs,
     )
@@ -191,9 +245,10 @@ def run_suite(
         chosen_policies.insert(0, "none")
     results: dict[tuple[str, str], RunResult] = {}
     jobs = resolve_jobs(jobs, len(chosen_benchmarks) * len(chosen_policies))
+    batch = resolve_batch(batch)
     if options is None:
         options = get_default_sweep_options()
-    if jobs > 1 or options is not None:
+    if jobs > 1 or options is not None or batch > 1:
         specs = matrix_specs(
             chosen_benchmarks,
             chosen_policies,
@@ -206,7 +261,11 @@ def run_suite(
         )
         with telemetry.span("sweep.run_suite"):
             run_results = run_specs(
-                specs, jobs=jobs, telemetry=telemetry, options=options
+                specs,
+                jobs=jobs,
+                telemetry=telemetry,
+                options=options,
+                batch=batch,
             )
         for spec, result in zip(specs, run_results):
             if result is not None:

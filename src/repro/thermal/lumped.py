@@ -246,6 +246,36 @@ class LumpedThermalModel:
         self._temps = steady + (start - steady) * self._decay(cycles)
         return self._temps, steady
 
+    def advance_batch(
+        self, start: np.ndarray, powers: np.ndarray, cycles: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked exact update for B independent lanes: ``(end, steady)``.
+
+        ``start`` and ``powers`` have shape ``(B, n_blocks)``; each row
+        is one independent simulation lane over this model's R/C
+        parameters.  Every operation is the same elementwise expression
+        :meth:`advance_from` evaluates (``T_sink + P * R`` and the
+        cached exponential decay), merely broadcast over the leading
+        lane axis, so row ``b`` of the result is bit-identical to a
+        single-lane ``advance_from(start[b], powers[b], cycles)``.
+
+        Pure: unlike :meth:`advance_from`, the model's own temperature
+        state is **not** touched -- the caller (the lane-batched engine
+        of :mod:`repro.sim.batch`) owns the stacked state.
+        """
+        if cycles <= 0:
+            raise ThermalModelError("cycles must be positive")
+        start = np.asarray(start, dtype=float)
+        powers = np.asarray(powers, dtype=float)
+        if powers.shape[-1] != self._temps.shape[0]:
+            raise ThermalModelError(
+                f"expected {self._temps.shape[0]} block powers per lane, "
+                f"got {powers.shape}"
+            )
+        steady = self.heatsink_temperature + powers * self._resistance
+        end = steady + (start - steady) * self._decay(cycles)
+        return end, steady
+
     # -- analysis helpers ------------------------------------------------------
     def steady_state(self, powers: np.ndarray) -> np.ndarray:
         """Steady-state block temperatures under constant power [degC]."""
@@ -302,10 +332,20 @@ class LumpedThermalModel:
         bit-identical to ``fraction_above(..., thresholds[k])`` --
         every operation is the same elementwise expression, merely
         broadcast over the threshold axis.
+
+        ``start``/``steady`` may also carry leading *lane* axes (e.g.
+        the ``(B, n_blocks)`` stacked state of
+        :class:`repro.sim.batch.BatchEngine`); the thresholds then
+        broadcast to shape ``(len(thresholds), B, n_blocks)`` and each
+        lane's slice is bit-identical to its own single-lane pass, for
+        the same reason as the threshold axis: pure elementwise
+        broadcasting.
         """
         start = np.asarray(start, dtype=float)
         steady = np.asarray(steady, dtype=float)
-        thr = np.asarray(thresholds, dtype=float)[:, np.newaxis]
+        thr = np.asarray(thresholds, dtype=float).reshape(
+            (-1,) + (1,) * start.ndim
+        )
         if duration_seconds <= 0:
             # Zero-duration limit: the fraction degenerates to the
             # instantaneous indicator "strictly above threshold now".
