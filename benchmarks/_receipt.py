@@ -1,0 +1,90 @@
+"""Shared, crash-safe writer for the ``BENCH_sweep.json`` receipt.
+
+Every benchmark module appends its measurements to one JSON receipt so
+CI can upload a single perf-trajectory artifact.  Before this module
+each bench file carried its own read-modify-write copy, which had two
+failure modes:
+
+* a crash (or ``kill -9``) between ``open(..., "w")`` truncating the
+  file and ``json.dump`` finishing left a torn, unparseable receipt;
+* two bench processes sharing one receipt path could interleave their
+  read-modify-write cycles and silently drop each other's sections.
+
+:func:`update_receipt` fixes both: the merged document is written to a
+sibling tempfile and atomically renamed over the target with
+:func:`os.replace` (readers always see a complete JSON document), and
+an ``fcntl`` advisory lock around the read-merge-replace cycle
+serialises concurrent writers.  Unknown keys already present in the
+receipt are preserved -- the merge only touches ``generated``,
+``cpu_count``, and the section being reported.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+
+try:  # pragma: no cover - always present on the POSIX CI runners
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback: best effort
+    fcntl = None
+
+
+def receipt_path() -> str:
+    """The receipt location (``BENCH_SWEEP_OUT`` overrides the default)."""
+    return os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json")
+
+
+def _load(path: str) -> dict:
+    """Current receipt contents, or ``{}`` when absent or torn."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def update_receipt(section: str, payload: dict, path: str | None = None) -> None:
+    """Atomically merge one benchmark's measurements into the receipt.
+
+    Reads the existing document (tolerating a missing or torn file),
+    replaces only ``data[section]`` plus the ``generated`` /
+    ``cpu_count`` stamps, and publishes the merge with a tempfile +
+    :func:`os.replace` so a reader never observes a partial write.
+    Keys written by other bench modules -- including ones this code
+    has never heard of -- survive the merge untouched.
+    """
+    path = receipt_path() if path is None else path
+    directory = os.path.dirname(os.path.abspath(path))
+    lock_path = path + ".lock"
+    lock = open(lock_path, "a+", encoding="utf-8")
+    try:
+        if fcntl is not None:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+        data = _load(path)
+        data["generated"] = datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        )
+        data["cpu_count"] = os.cpu_count()
+        data[section] = payload
+        fd, temp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+    finally:
+        lock.close()

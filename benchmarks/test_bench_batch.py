@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.test_bench_parallel import _update_receipt
+from benchmarks._receipt import update_receipt as _update_receipt
 from repro.sim.batch import BatchEngine
 from repro.sim.sweep import build_engine
 

@@ -1,0 +1,122 @@
+"""Performance guard for distributed sweep sharding (Level 4).
+
+The guarded claim: sharding an 8-spec compare matrix over **two**
+worker processes (each a real ``python -m repro work`` subprocess
+talking to a real TCP coordinator) must beat the same sweep served to
+**one** worker by at least ``DISTRIBUTED_FLOOR`` (1.5x) wall clock.
+The coordinator is in-process; the workers are genuine subprocesses,
+so the measurement includes every distribution overhead the production
+path pays: spec encoding, socket round trips, journal-free settlement,
+and per-spec telemetry payloads.
+
+Skipped on machines with fewer than 4 cores (two workers cannot beat
+one without cores to spread over); the CI sweep-performance runner
+provides them.  The measurement lands in the ``distributed`` section
+of ``BENCH_sweep.json`` via :mod:`benchmarks._receipt`.
+
+Needs no pytest plugins:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_distributed.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from benchmarks._receipt import update_receipt
+from repro.sim.distributed import ClusterConfig, ShardCoordinator
+from repro.sim.parallel import matrix_specs
+
+#: Required two-worker wall-clock multiple over one worker.
+DISTRIBUTED_FLOOR = 1.5
+#: Aspirational target (recorded in the receipt, not asserted).
+DISTRIBUTED_TARGET = 1.8
+
+#: The sharded matrix: 4 benchmarks x 2 policies = 8 specs.
+BENCHMARKS = ("gcc", "gzip", "art", "mesa")
+POLICIES = ("none", "pid")
+
+#: Per-run budget: long enough that worker startup and the TCP
+#: protocol overhead amortize into the compute.
+INSTRUCTIONS = 1_500_000
+
+
+def _specs():
+    return matrix_specs(BENCHMARKS, POLICIES, instructions=INSTRUCTIONS)
+
+
+def _spawn_worker(port: int) -> subprocess.Popen:
+    environment = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    environment["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, environment.get("PYTHONPATH")) if p
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "work",
+            "--connect", f"127.0.0.1:{port}",
+            "--token", "bench",
+            "--once", "--idle-timeout", "120",
+        ],
+        env=environment,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _time_sharded_sweep(workers: int) -> float:
+    coordinator = ShardCoordinator(
+        _specs(),
+        ClusterConfig(
+            host="127.0.0.1",
+            port=0,
+            token="bench",
+            lease_seconds=60.0,
+            heartbeat_seconds=2.0,
+            poll_seconds=0.02,
+        ),
+    )
+    coordinator.start()
+    start = time.perf_counter()
+    processes = [_spawn_worker(coordinator.port) for _ in range(workers)]
+    try:
+        outcomes = coordinator.wait()
+    finally:
+        for process in processes:
+            process.wait(timeout=120)
+    assert all(o.error is None for o in outcomes)
+    return time.perf_counter() - start
+
+
+def test_two_workers_beat_one_worker():
+    """2-worker sharded sweep >= 1.5x the 1-worker sharded sweep."""
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"distributed speedup needs >= 4 cores (have {cores})")
+    single_seconds = _time_sharded_sweep(1)
+    double_seconds = _time_sharded_sweep(2)
+    speedup = single_seconds / double_seconds
+    update_receipt(
+        "distributed",
+        {
+            "matrix": (
+                f"{len(BENCHMARKS)} benchmarks x {len(POLICIES)} policies"
+            ),
+            "instructions_per_run": INSTRUCTIONS,
+            "one_worker_seconds": round(single_seconds, 3),
+            "two_worker_seconds": round(double_seconds, 3),
+            "speedup": round(speedup, 3),
+            "floor": DISTRIBUTED_FLOOR,
+            "target": DISTRIBUTED_TARGET,
+        },
+    )
+    assert speedup >= DISTRIBUTED_FLOOR, (
+        f"two workers only {speedup:.2f}x one worker "
+        f"({single_seconds:.2f}s -> {double_seconds:.2f}s); "
+        f"floor is {DISTRIBUTED_FLOOR}x"
+    )

@@ -16,7 +16,8 @@ Two guarded claims (see docs/performance.md):
    8-way full-suite sweep.
 
 Every test appends its measurements to ``BENCH_sweep.json`` (override
-the path with the ``BENCH_SWEEP_OUT`` environment variable) so CI can
+the path with the ``BENCH_SWEEP_OUT`` environment variable) via the
+atomic merge-by-section writer in :mod:`benchmarks._receipt`, so CI can
 upload the receipt as the perf-trajectory baseline artifact.  Timing is
 best-of-repeats ``perf_counter``; engines are rebuilt per repeat so no
 thermal state leaks between timings.
@@ -28,13 +29,12 @@ Needs no pytest plugins:
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from datetime import datetime, timezone
 
 import pytest
 
+from benchmarks._receipt import update_receipt as _update_receipt
 from repro.dtm.policies import make_policy
 from repro.sim.fast import FastEngine
 from repro.sim.parallel import matrix_specs, run_specs
@@ -62,28 +62,6 @@ INSTRUCTIONS = 1_500_000
 #: Kernel benchmark budget and repeats.
 KERNEL_INSTRUCTIONS = 2_000_000
 REPEATS = 3
-
-
-def _receipt_path() -> str:
-    return os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json")
-
-
-def _update_receipt(section: str, payload: dict) -> None:
-    """Merge one benchmark's measurements into ``BENCH_sweep.json``."""
-    path = _receipt_path()
-    data: dict = {}
-    if os.path.exists(path):
-        try:
-            with open(path, encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
-            data = {}
-    data["generated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
 
 def _time_kernel(engine_cls) -> tuple[float, int]:

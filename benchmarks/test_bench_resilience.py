@@ -19,11 +19,9 @@ Appends measurements to ``BENCH_sweep.json`` like the other benchmarks
 
 from __future__ import annotations
 
-import json
-import os
 import time
-from datetime import datetime, timezone
 
+from benchmarks._receipt import update_receipt as _update_receipt
 from repro.sim.parallel import SweepOptions, matrix_specs, run_outcomes, run_specs
 
 #: Maximum orchestrated / legacy wall-clock ratio on a fault-free sweep.
@@ -35,27 +33,6 @@ BENCHMARKS = ("gcc", "gzip")
 POLICIES = ("none", "pid")
 INSTRUCTIONS = 400_000
 REPEATS = 3
-
-
-def _receipt_path() -> str:
-    return os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json")
-
-
-def _update_receipt(section: str, payload: dict) -> None:
-    path = _receipt_path()
-    data: dict = {}
-    if os.path.exists(path):
-        try:
-            with open(path, encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
-            data = {}
-    data["generated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
-    data["cpu_count"] = os.cpu_count()
-    data[section] = payload
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
 
 
 def _specs():

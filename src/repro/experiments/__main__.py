@@ -17,7 +17,11 @@ likewise sets the default lane-batch width
 (:func:`repro.sim.parallel.set_default_batch`): groups of up to B
 compatible runs advance through one vectorized
 :class:`~repro.sim.batch.BatchEngine` kernel, inside each worker when
-combined with ``--jobs``.
+combined with ``--jobs``.  ``--cluster HOST:PORT --token SECRET``
+installs a process-wide :class:`~repro.sim.distributed.ClusterConfig`
+(:func:`repro.sim.parallel.set_default_cluster`), so every sweep is
+coordinated for distributed ``python -m repro work`` workers instead
+of executing locally -- still bit-identical.
 
 ``--trace-out`` / ``--metrics-out`` build one shared
 :class:`~repro.telemetry.core.Telemetry` sink, hand it to every
@@ -109,10 +113,25 @@ def main(argv: list[str] | None = None) -> int:
         help="abort with an aggregated error if any spec fails "
         "permanently",
     )
+    distributed = parser.add_argument_group(
+        "distributed sharding (see docs/performance.md, Level 4)"
+    )
+    distributed.add_argument(
+        "--cluster", default=None, metavar="HOST:PORT",
+        help="coordinate every sweep for distributed workers bound to "
+        "this endpoint instead of executing locally (results are "
+        "bit-identical; requires --token)",
+    )
+    distributed.add_argument(
+        "--token", default=None, metavar="SECRET",
+        help="shared worker-authentication token for --cluster",
+    )
     args = parser.parse_args(argv)
 
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
+    if args.cluster and not args.token:
+        parser.error("--cluster requires --token")
 
     if args.jobs != 1:
         from repro.sim.parallel import set_default_jobs
@@ -151,6 +170,22 @@ def main(argv: list[str] | None = None) -> int:
                 strict=args.strict,
             )
         )
+
+    if args.cluster:
+        from repro.errors import ConfigError
+        from repro.sim.distributed.protocol import (
+            ClusterConfig,
+            parse_endpoint,
+        )
+        from repro.sim.parallel import set_default_cluster
+
+        try:
+            host, port = parse_endpoint(args.cluster)
+            set_default_cluster(
+                ClusterConfig(host=host, port=port, token=args.token)
+            )
+        except ConfigError as error:
+            parser.error(str(error))
 
     if args.list:
         for name in ALL_EXPERIMENTS:

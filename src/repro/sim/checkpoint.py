@@ -47,9 +47,16 @@ from typing import IO
 import numpy as np
 
 from repro.errors import CheckpointError
-from repro.sim.results import History, RunResult
-from repro.telemetry.core import ensure_telemetry
-from repro.telemetry.export import event_from_dict, record_from_dict
+from repro.sim.codec import (
+    _jsonable,
+    fold_saved_telemetry,
+    history_from_dict,
+    history_to_dict,
+    result_from_dict,
+    result_to_dict,
+    telemetry_to_dict,
+)
+from repro.sim.results import RunResult
 
 #: Version tag written into every journal header; bumped on any change
 #: to the line format.  Loading a journal with a different schema is a
@@ -110,189 +117,22 @@ def spec_fingerprint(spec) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:24]
 
 
-# -- result (de)serialization -------------------------------------------------
-def _jsonable(value):
-    """Map numpy scalars to Python scalars so ``json.dumps`` accepts them."""
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, np.generic):
-        return value.item()
-    return value
-
-
-def history_to_dict(history: History) -> dict:
-    """JSON view of a :class:`History` (arrays as nested lists + dtype)."""
-    arrays = {}
-    for name in (
-        "max_temp",
-        "duty",
-        "chip_power",
-        "block_temps",
-        "block_powers",
-        "block_emergency",
-        "block_stress",
-    ):
-        array = getattr(history, name)
-        arrays[name] = {
-            "dtype": array.dtype.str,
-            "shape": list(array.shape),
-            "data": array.ravel().tolist(),
-        }
-    return {
-        "sample_cycles": history.sample_cycles,
-        "names": list(history.names),
-        "arrays": arrays,
-    }
-
-
-def history_from_dict(data: dict) -> History:
-    """Rebuild a :class:`History` saved by :func:`history_to_dict`."""
-    arrays = {
-        name: np.array(spec["data"], dtype=np.dtype(spec["dtype"])).reshape(
-            spec["shape"]
-        )
-        for name, spec in data["arrays"].items()
-    }
-    return History(
-        sample_cycles=data["sample_cycles"],
-        names=tuple(data["names"]),
-        **arrays,
-    )
-
-
-def result_to_dict(result: RunResult) -> dict:
-    """JSON view of a :class:`RunResult` (history included).
-
-    Multicore results (from :class:`~repro.sim.parallel.WorkSpec`\\ s
-    with ``core_benchmarks``) serialize under ``"kind": "multicore"``
-    so journals can hold both result types side by side.
-    """
-    # Imported lazily: checkpoint is core sweep machinery; multicore is
-    # an optional extension layered on top of it.
-    from repro.multicore.results import MulticoreRunResult
-
-    if isinstance(result, MulticoreRunResult):
-        return {
-            "kind": "multicore",
-            "policy": result.policy,
-            "coordinator": result.coordinator,
-            "cycles": result.cycles,
-            "cores": [dataclasses.asdict(core) for core in result.cores],
-            "emergency_fraction": result.emergency_fraction,
-            "stress_fraction": result.stress_fraction,
-            "mean_chip_power": result.mean_chip_power,
-            "max_chip_power": result.max_chip_power,
-            "energy_joules": result.energy_joules,
-            "extra": dict(result.extra),
-        }
-    return {
-        "benchmark": result.benchmark,
-        "policy": result.policy,
-        "cycles": result.cycles,
-        "instructions": result.instructions,
-        "emergency_fraction": result.emergency_fraction,
-        "stress_fraction": result.stress_fraction,
-        "block_emergency_fraction": dict(result.block_emergency_fraction),
-        "block_stress_fraction": dict(result.block_stress_fraction),
-        "mean_block_temperature": dict(result.mean_block_temperature),
-        "max_block_temperature": dict(result.max_block_temperature),
-        "mean_chip_power": result.mean_chip_power,
-        "max_chip_power": result.max_chip_power,
-        "energy_joules": result.energy_joules,
-        "engaged_fraction": result.engaged_fraction,
-        "interrupt_events": result.interrupt_events,
-        "interrupt_stall_cycles": result.interrupt_stall_cycles,
-        "history": (
-            history_to_dict(result.history)
-            if result.history is not None
-            else None
-        ),
-        "extra": dict(result.extra),
-    }
-
-
-def result_from_dict(data: dict) -> RunResult:
-    """Rebuild a result saved by :func:`result_to_dict`.
-
-    Returns a :class:`RunResult`, or a
-    :class:`~repro.multicore.results.MulticoreRunResult` for entries
-    tagged ``"kind": "multicore"``.
-    """
-    if data.get("kind") == "multicore":
-        from repro.multicore.results import CoreResult, MulticoreRunResult
-
-        return MulticoreRunResult(
-            policy=data["policy"],
-            coordinator=data["coordinator"],
-            cycles=data["cycles"],
-            cores=tuple(
-                CoreResult(**{**core, "extra": dict(core.get("extra", {}))})
-                for core in data["cores"]
-            ),
-            emergency_fraction=data["emergency_fraction"],
-            stress_fraction=data["stress_fraction"],
-            mean_chip_power=data["mean_chip_power"],
-            max_chip_power=data["max_chip_power"],
-            energy_joules=data.get("energy_joules", 0.0),
-            extra=dict(data.get("extra", {})),
-        )
-    history = data.get("history")
-    return RunResult(
-        benchmark=data["benchmark"],
-        policy=data["policy"],
-        cycles=data["cycles"],
-        instructions=data["instructions"],
-        emergency_fraction=data["emergency_fraction"],
-        stress_fraction=data["stress_fraction"],
-        block_emergency_fraction=dict(data["block_emergency_fraction"]),
-        block_stress_fraction=dict(data["block_stress_fraction"]),
-        mean_block_temperature=dict(data["mean_block_temperature"]),
-        max_block_temperature=dict(data["max_block_temperature"]),
-        mean_chip_power=data["mean_chip_power"],
-        max_chip_power=data["max_chip_power"],
-        energy_joules=data.get("energy_joules", 0.0),
-        engaged_fraction=data.get("engaged_fraction", 0.0),
-        interrupt_events=data.get("interrupt_events", 0),
-        interrupt_stall_cycles=data.get("interrupt_stall_cycles", 0),
-        history=history_from_dict(history) if history is not None else None,
-        extra=dict(data.get("extra", {})),
-    )
-
-
-# -- telemetry (de)serialization ----------------------------------------------
-def telemetry_to_dict(local) -> dict | None:
-    """JSON view of one run's worker-local retain-everything telemetry."""
-    if local is None:
-        return None
-    return {
-        "records": [record.to_dict() for record in local.trace.records()],
-        "events": [event.to_dict() for event in local.trace.events],
-        "metrics": local.metrics.snapshot(),
-        "meta": dict(local.meta),
-    }
-
-
-def fold_saved_telemetry(sink, payload: dict | None) -> None:
-    """Re-emit one saved run's telemetry onto a live sink.
-
-    Mirrors :func:`~repro.telemetry.core.merge_telemetry` exactly:
-    records and events re-emit through the sink's own retention policy,
-    metrics fold under the registry's associative merge, meta updates.
-    No-op when the sink is disabled or the journal entry carries no
-    telemetry (it was written by a telemetry-less sweep).
-    """
-    sink = ensure_telemetry(sink)
-    if not sink.enabled or payload is None:
-        return
-    for data in payload.get("records", ()):
-        sink.trace.record(record_from_dict(data))
-    for data in payload.get("events", ()):
-        sink.trace.events.append(event_from_dict(data))
-    sink.metrics.merge_snapshot(payload.get("metrics", {}))
-    if payload.get("meta"):
-        sink.meta.update(payload["meta"])
+# -- shared codec re-exports --------------------------------------------------
+# The result/telemetry codec lives in :mod:`repro.sim.codec` (the shard
+# protocol shares it verbatim); these names stay importable here because
+# the journal format is defined in their terms.
+__all__ = [
+    "SWEEP_SCHEMA",
+    "CheckpointJournal",
+    "fold_saved_telemetry",
+    "history_from_dict",
+    "history_to_dict",
+    "load_checkpoint",
+    "result_from_dict",
+    "result_to_dict",
+    "spec_fingerprint",
+    "telemetry_to_dict",
+]
 
 
 # -- the journal --------------------------------------------------------------
@@ -354,6 +194,28 @@ class CheckpointJournal:
         local_telemetry=None,
     ) -> None:
         """Journal one successfully completed spec."""
+        self.append_payload(
+            fingerprint,
+            spec,
+            attempts,
+            result_to_dict(result),
+            telemetry_to_dict(local_telemetry),
+        )
+
+    def append_payload(
+        self,
+        fingerprint: str,
+        spec,
+        attempts: int,
+        result_payload: dict,
+        telemetry_payload: dict | None,
+    ) -> None:
+        """Journal one completed spec from already-encoded wire payloads.
+
+        The shard coordinator receives results as codec dicts over TCP
+        and journals them verbatim -- re-decoding and re-encoding would
+        only risk drift, since the worker already used the same codec.
+        """
         self._write_line(
             {
                 "type": "outcome",
@@ -362,8 +224,8 @@ class CheckpointJournal:
                 "policy": spec.policy,
                 "seed": spec.seed,
                 "attempts": attempts,
-                "result": result_to_dict(result),
-                "telemetry": telemetry_to_dict(local_telemetry),
+                "result": result_payload,
+                "telemetry": telemetry_payload,
             }
         )
 

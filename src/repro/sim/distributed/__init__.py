@@ -1,0 +1,36 @@
+"""Distributed sweep sharding: coordinator/worker over TCP.
+
+Level 4 of the performance stack (see docs/performance.md): after
+process-level ``jobs`` and lane-level ``batch``, this package fans a
+sweep out across *machines*.  A :class:`ShardCoordinator` owns the
+canonical spec order, the lease table, and the crash-safe checkpoint
+journal; :func:`run_worker` turns any host that can import ``repro``
+into capacity.  Results, traces, and metrics are bit-identical to a
+single-machine :func:`repro.sim.parallel.run_outcomes` sweep -- the
+wire codec, journal, and telemetry fold are the same code paths.
+
+Most callers never touch this package directly: pass
+``cluster=ClusterConfig(...)`` to ``run_suite``/``run_outcomes`` (or
+``--cluster``/``serve-sweep``/``work`` on the CLIs) and the routing is
+automatic.
+"""
+
+from repro.sim.distributed.coordinator import (
+    ShardCoordinator,
+    run_cluster_outcomes,
+)
+from repro.sim.distributed.protocol import (
+    SHARD_SCHEMA,
+    ClusterConfig,
+    parse_endpoint,
+)
+from repro.sim.distributed.worker import run_worker
+
+__all__ = [
+    "SHARD_SCHEMA",
+    "ClusterConfig",
+    "ShardCoordinator",
+    "parse_endpoint",
+    "run_cluster_outcomes",
+    "run_worker",
+]

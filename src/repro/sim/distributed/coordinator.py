@@ -1,0 +1,649 @@
+"""The shard coordinator: lease specs out, journal results, fold in order.
+
+:class:`ShardCoordinator` is the distributed counterpart of
+:class:`repro.sim.parallel._OutcomeRunner`: it owns the canonical spec
+list, hands out leases over TCP (:mod:`.protocol`), and settles results
+into the same :class:`~repro.sim.parallel.SpecOutcome` structures under
+the same determinism contract --
+
+* **Results** in spec order, each decoded through the shared codec
+  (``repr``-lossless floats), so a distributed sweep's outcomes equal a
+  local ``run_outcomes`` bit-for-bit.
+* **Telemetry** folded at the end, in spec order, via
+  :func:`~repro.sim.codec.fold_saved_telemetry` -- the identical path a
+  checkpoint resume uses, so retained traces/events/metrics match the
+  serial emit sequence exactly.  Coordinator orchestration diagnostics
+  (``shard.*`` events) are, like ``sweep.*``, excluded from parity.
+* **Durability** before acknowledgement: a worker's ``result`` is
+  journaled (``repro.sweep/v1``, fsync'd) before the ``ack`` goes back,
+  so a coordinator killed at any instant resumes from its checkpoint
+  with nothing double-counted and at most one in-flight result re-run.
+
+Failure model.  Liveness failures are *uncharged*: a worker that
+disconnects or stops heartbeating forfeits its leases, which requeue at
+the same attempt number (events ``shard.worker_lost`` /
+``shard.lease_expired``).  Execution failures reported by a worker are
+*charged* against the spec's :class:`~repro.sim.parallel.RetryPolicy`
+budget, with the usual deterministic backoff (served as a
+``not_before`` on the requeued lease rather than a coordinator-side
+sleep) and ``shard.retry`` / ``shard.spec_failed`` events.  A stale
+result for an already-settled spec is ignored -- every run is a pure
+function of its spec, so the first settlement is as good as any.
+"""
+
+from __future__ import annotations
+
+import hmac
+import io
+import socketserver
+import threading
+import time
+
+from repro.errors import ShardError, SweepError
+from repro.sim.checkpoint import (
+    CheckpointJournal,
+    load_checkpoint,
+    spec_fingerprint,
+)
+from repro.sim.codec import fold_saved_telemetry, result_from_dict, spec_to_dict
+from repro.sim.distributed.protocol import (
+    SHARD_SCHEMA,
+    ClusterConfig,
+    read_message,
+    write_message,
+)
+from repro.sim.parallel import SpecFailure, SpecOutcome, SweepOptions
+from repro.telemetry.core import ensure_telemetry
+
+
+class _Lease:
+    """One outstanding lease: who holds it, which attempt, until when."""
+
+    __slots__ = ("worker", "attempt", "deadline")
+
+    def __init__(self, worker: str, attempt: int, deadline: float) -> None:
+        self.worker = worker
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+class ShardCoordinator:
+    """Serve one sweep's specs to TCP workers; collect ordered outcomes.
+
+    Lifecycle: :meth:`start` binds and begins accepting workers (it
+    returns immediately; ``port=0`` in the :class:`ClusterConfig` binds
+    an ephemeral port, readable afterwards as :attr:`port`);
+    :meth:`wait` blocks until every spec is settled and returns the
+    outcomes; :meth:`serve` is start-wait-shutdown in one call.
+    :meth:`request_stop` (thread- and signal-safe) aborts the sweep:
+    the journal keeps everything settled so far, and :meth:`wait`
+    raises :class:`~repro.errors.ShardError` to signal the partial
+    sweep -- a later coordinator resumes from the checkpoint.
+    """
+
+    def __init__(
+        self,
+        specs,
+        cluster: ClusterConfig,
+        options: SweepOptions | None = None,
+        telemetry=None,
+    ) -> None:
+        if not isinstance(cluster, ClusterConfig):
+            raise ShardError(
+                f"cluster must be a ClusterConfig, got {cluster!r}"
+            )
+        self.specs = list(specs)
+        self.cluster = cluster
+        self.options = options if options is not None else SweepOptions()
+        self.sink = ensure_telemetry(telemetry)
+        n = len(self.specs)
+        self.outcomes: list[SpecOutcome | None] = [None] * n
+        #: Wire telemetry payloads of settled specs, folded at the end.
+        self._telemetry_payloads: list[dict | None] = [None] * n
+        #: Leases expire on the *coordinator's* monotonic clock only.
+        self._fingerprints = [spec_fingerprint(spec) for spec in self.specs]
+        self._spec_payloads = [spec_to_dict(spec) for spec in self.specs]
+        self._lock = threading.Lock()
+        self._settled = threading.Condition(self._lock)
+        #: (index, attempt, not_before) triples awaiting a lease.
+        self._pending: list[tuple[int, int, float]] = []
+        self._leases: dict[int, _Lease] = {}
+        self._journal: CheckpointJournal | None = None
+        self._server: _ShardServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._stop_requested = False
+        self._connection_seq = 0
+        self._executed = 0
+        self._resumed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self.cluster.port
+        return self._server.server_address[1]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every spec has settled (result or permanent failure)."""
+        with self._lock:
+            return self._complete_locked()
+
+    def _complete_locked(self) -> bool:
+        return all(outcome is not None for outcome in self.outcomes)
+
+    def start(self) -> None:
+        """Open the journal, resolve resumed specs, begin accepting."""
+        if self._server is not None:
+            raise ShardError("coordinator already started")
+        self._open_journal()
+        self._server = _ShardServer(
+            (self.cluster.host, self.cluster.port), _ShardHandler, self
+        )
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="shard-coordinator",
+            daemon=True,
+        )
+        self._server_thread.start()
+
+    def _open_journal(self) -> None:
+        """Mirror ``_OutcomeRunner._open_journal``: resume by fingerprint."""
+        options = self.options
+        saved: dict[str, list[dict]] = {}
+        if options.checkpoint_path is not None:
+            if options.resume:
+                saved = load_checkpoint(options.checkpoint_path)
+            self._journal = CheckpointJournal.open(
+                options.checkpoint_path, resume=options.resume
+            )
+        now = time.monotonic()
+        for index, spec in enumerate(self.specs):
+            entries = saved.get(self._fingerprints[index])
+            if entries:
+                entry = entries.pop(0)
+                self.outcomes[index] = SpecOutcome(
+                    spec=spec,
+                    index=index,
+                    result=result_from_dict(entry["result"]),
+                    attempts=entry.get("attempts", 1),
+                    from_checkpoint=True,
+                )
+                self._telemetry_payloads[index] = entry.get("telemetry")
+                self._resumed += 1
+            else:
+                self._pending.append((index, 0, now))
+        if self._resumed and self.sink.enabled:
+            self.sink.event(
+                "shard.resume",
+                -1,
+                f"resumed {self._resumed} of {len(self.specs)} specs "
+                f"from checkpoint",
+                resumed=self._resumed,
+                total=len(self.specs),
+                path=str(options.checkpoint_path),
+            )
+
+    def wait(self) -> list[SpecOutcome]:
+        """Block until the sweep settles; fold telemetry; return outcomes.
+
+        Raises :class:`ShardError` if :meth:`request_stop` aborted the
+        sweep first, and :class:`~repro.errors.SweepError` under
+        ``options.strict`` when specs failed permanently.  Telemetry of
+        every settled spec is folded (in spec order) even on the abort
+        and KeyboardInterrupt paths, mirroring ``run_outcomes``.
+        """
+        if self._server is None:
+            raise ShardError("coordinator not started")
+        try:
+            with self._settled:
+                while not (
+                    self._complete_locked() or self._stop_requested
+                ):
+                    self._expire_leases_locked(time.monotonic())
+                    # Short waits double as the lease-expiry reaper tick.
+                    self._settled.wait(
+                        min(1.0, self.cluster.heartbeat_seconds)
+                    )
+        finally:
+            self._shutdown()
+            self._fold_telemetry()
+        if not self.complete:
+            raise ShardError(
+                "coordinator stopped before the sweep completed "
+                f"({sum(o is not None for o in self.outcomes)} of "
+                f"{len(self.specs)} specs settled; the checkpoint "
+                "journal, if any, holds them for resume)"
+            )
+        outcomes = list(self.outcomes)
+        failures = [o for o in outcomes if o.error is not None]
+        if failures and self.options.strict:
+            detail = "; ".join(
+                f"{o.spec.benchmark}/{o.spec.policy}[seed={o.spec.seed}] "
+                f"{o.error}"
+                for o in failures[:5]
+            )
+            if len(failures) > 5:
+                detail += f"; ... {len(failures) - 5} more"
+            raise SweepError(
+                f"{len(failures)} of {len(self.specs)} specs failed "
+                f"permanently: {detail}",
+                failures,
+            )
+        return outcomes
+
+    def serve(self) -> list[SpecOutcome]:
+        """Run the whole sweep: :meth:`start`, :meth:`wait`, shut down."""
+        self.start()
+        return self.wait()
+
+    def request_stop(self) -> None:
+        """Abort the sweep (idempotent; safe from signal handlers)."""
+        with self._settled:
+            self._stop_requested = True
+            self._settled.notify_all()
+
+    def _shutdown(self) -> None:
+        """Stop accepting, drop workers, close the journal (idempotent)."""
+        server, self._server_thread = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def _fold_telemetry(self) -> None:
+        """In-spec-order fold of settled specs' telemetry payloads."""
+        if not self.sink.enabled:
+            return
+        for index in range(len(self.specs)):
+            outcome = self.outcomes[index]
+            if outcome is None or outcome.error is not None:
+                continue
+            fold_saved_telemetry(
+                self.sink, self._telemetry_payloads[index]
+            )
+        if self.specs and self.complete:
+            last = self.specs[-1]
+            self.sink.set_context(last.benchmark, last.policy)
+
+    # -- handler-side operations (all under the lock) ------------------------
+    def _check_token(self, token) -> bool:
+        return isinstance(token, str) and hmac.compare_digest(
+            token, self.cluster.token
+        )
+
+    def _register_connection(self, name: str) -> str:
+        with self._lock:
+            self._connection_seq += 1
+            return f"{name}#{self._connection_seq}"
+
+    def _event(self, kind: str, index: int, message: str, **fields) -> None:
+        """Emit one ``shard.*`` diagnostic (caller holds the lock)."""
+        if self.sink.enabled:
+            self.sink.event(kind, index, message, **fields)
+
+    def _expire_leases_locked(self, now: float) -> None:
+        expired = [
+            index
+            for index, lease in self._leases.items()
+            if lease.deadline <= now
+        ]
+        for index in expired:
+            lease = self._leases.pop(index)
+            spec = self.specs[index]
+            self._event(
+                "shard.lease_expired",
+                index,
+                f"{spec.benchmark}/{spec.policy} lease expired on "
+                f"{lease.worker}; requeueing",
+                worker=lease.worker,
+                attempt=lease.attempt + 1,
+            )
+            self._pending.append((index, lease.attempt, now))
+
+    def grant(self, worker: str, max_leases: int) -> dict:
+        """Lease up to ``max_leases`` ready specs to ``worker``.
+
+        Returns the ``grant`` message: ``complete`` when every spec is
+        settled, ``wait`` (with a retry hint) when nothing is ready
+        right now, else ``ok`` with the leases.
+        """
+        max_leases = max(1, int(max_leases))
+        now = time.monotonic()
+        with self._lock:
+            self._expire_leases_locked(now)
+            if self._complete_locked() or self._stop_requested:
+                return {"type": "grant", "state": "complete", "leases": []}
+            ready: list[tuple[int, int]] = []
+            waiting: list[tuple[int, int, float]] = []
+            for index, attempt, not_before in self._pending:
+                if not_before <= now and len(ready) < max_leases:
+                    ready.append((index, attempt))
+                else:
+                    waiting.append((index, attempt, not_before))
+            if not ready:
+                delays = [
+                    not_before - now for _, _, not_before in waiting
+                ] or [self.cluster.poll_seconds]
+                return {
+                    "type": "grant",
+                    "state": "wait",
+                    "leases": [],
+                    "retry_seconds": max(
+                        min(min(delays), self.cluster.poll_seconds), 0.0
+                    ),
+                }
+            self._pending = waiting
+            deadline = now + self.cluster.lease_seconds
+            leases = []
+            for index, attempt in ready:
+                self._leases[index] = _Lease(worker, attempt, deadline)
+                leases.append(
+                    {
+                        "index": index,
+                        "attempt": attempt,
+                        "fingerprint": self._fingerprints[index],
+                        "spec": self._spec_payloads[index],
+                    }
+                )
+            return {"type": "grant", "state": "ok", "leases": leases}
+
+    def heartbeat(self, worker: str) -> None:
+        """Extend every lease the worker holds."""
+        deadline = time.monotonic() + self.cluster.lease_seconds
+        with self._lock:
+            for lease in self._leases.values():
+                if lease.worker == worker:
+                    lease.deadline = deadline
+
+    def drop_worker(self, worker: str) -> None:
+        """Requeue (uncharged) every lease of a departed worker."""
+        now = time.monotonic()
+        with self._settled:
+            lost = [
+                index
+                for index, lease in self._leases.items()
+                if lease.worker == worker
+            ]
+            for index in lost:
+                lease = self._leases.pop(index)
+                self._pending.append((index, lease.attempt, now))
+            if lost:
+                self._event(
+                    "shard.worker_lost",
+                    lost[0],
+                    f"worker {worker} disconnected with {len(lost)} "
+                    f"lease(s); requeueing them",
+                    worker=worker,
+                    leases=len(lost),
+                )
+                self._settled.notify_all()
+
+    def settle(self, worker: str, message: dict) -> None:
+        """Apply one worker ``result`` message (journal before return).
+
+        Raises :class:`ShardError` on malformed payloads -- the handler
+        turns that into an ``error`` reply and drops the connection,
+        and the lease requeues through :meth:`drop_worker`.
+        """
+        index = message.get("index")
+        if not isinstance(index, int) or not 0 <= index < len(self.specs):
+            raise ShardError(f"result has an invalid spec index {index!r}")
+        if message.get("fingerprint") != self._fingerprints[index]:
+            raise ShardError(
+                f"result fingerprint does not match spec {index}"
+            )
+        spec = self.specs[index]
+        ok = message.get("ok")
+        if ok:
+            # Decode (and thereby validate) before any state mutation.
+            result_payload = message.get("result")
+            try:
+                result = result_from_dict(result_payload)
+            except Exception as error:
+                raise ShardError(
+                    f"undecodable result for spec {index}: {error}"
+                ) from error
+        with self._settled:
+            lease = self._leases.get(index)
+            if lease is not None and lease.worker == worker:
+                del self._leases[index]
+            if self.outcomes[index] is not None:
+                # A stale duplicate (its lease expired and another
+                # worker finished first): results are pure functions
+                # of the spec, so the first settlement stands.
+                self._event(
+                    "shard.duplicate",
+                    index,
+                    f"{spec.benchmark}/{spec.policy} already settled; "
+                    f"ignoring duplicate from {worker}",
+                    worker=worker,
+                )
+                self._settled.notify_all()
+                return
+            attempt = int(message.get("attempt", 0))
+            # Drop any stray pending entry for this index first (a
+            # lease may have expired and requeued before this late
+            # result landed); a charged failure below re-queues its
+            # own retry entry, which must survive.
+            self._pending = [
+                entry for entry in self._pending if entry[0] != index
+            ]
+            if ok:
+                telemetry_payload = message.get("telemetry")
+                if self._journal is not None:
+                    self._journal.append_payload(
+                        self._fingerprints[index],
+                        spec,
+                        attempt + 1,
+                        result_payload,
+                        telemetry_payload,
+                    )
+                self.outcomes[index] = SpecOutcome(
+                    spec=spec,
+                    index=index,
+                    result=result,
+                    attempts=attempt + 1,
+                )
+                self._telemetry_payloads[index] = telemetry_payload
+                self._executed += 1
+            else:
+                self._settle_failure_locked(
+                    index, attempt, message.get("failure") or {}, worker
+                )
+            self._settled.notify_all()
+
+    def _settle_failure_locked(
+        self, index: int, attempt: int, failure: dict, worker: str
+    ) -> None:
+        """Charge one worker-reported failure against the retry budget."""
+        spec = self.specs[index]
+        retry = self.options.retry
+        kind = str(failure.get("kind", "error"))
+        exc_type = str(failure.get("exc_type", "Exception"))
+        if attempt < retry.max_retries:
+            self._event(
+                "shard.retry",
+                index,
+                f"{spec.benchmark}/{spec.policy} attempt {attempt + 1} "
+                f"failed ({kind}) on {worker}; retrying",
+                failure_kind=kind,
+                attempt=attempt + 1,
+                exc_type=exc_type,
+                worker=worker,
+            )
+            # Backoff without blocking the handler thread: the requeued
+            # lease simply is not grantable until its not_before.
+            not_before = time.monotonic() + retry.delay(attempt + 1)
+            self._pending.append((index, attempt + 1, not_before))
+            return
+        self.outcomes[index] = SpecOutcome(
+            spec=spec,
+            index=index,
+            error=SpecFailure(
+                kind=kind,
+                exc_type=exc_type,
+                message=str(failure.get("message", "")),
+                traceback=str(failure.get("traceback", "")),
+            ),
+            attempts=attempt + 1,
+        )
+        self._event(
+            "shard.spec_failed",
+            index,
+            f"{spec.benchmark}/{spec.policy} failed permanently after "
+            f"{attempt + 1} attempt(s) ({kind})",
+            failure_kind=kind,
+            attempts=attempt + 1,
+            exc_type=exc_type,
+        )
+
+    def stats(self) -> dict:
+        """Progress counters (settled/executed/resumed/leased/pending)."""
+        with self._lock:
+            return {
+                "total": len(self.specs),
+                "settled": sum(o is not None for o in self.outcomes),
+                "executed": self._executed,
+                "resumed": self._resumed,
+                "leased": len(self._leases),
+                "pending": len(self._pending),
+            }
+
+
+class _ShardServer(socketserver.ThreadingTCPServer):
+    """One thread per worker connection; daemonic so aborts never hang."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, coordinator: ShardCoordinator):
+        self.coordinator = coordinator
+        super().__init__(address, handler)
+
+
+class _ShardHandler(socketserver.StreamRequestHandler):
+    """One worker connection: authenticate, then serve its requests."""
+
+    def setup(self) -> None:
+        # socketserver hands out binary streams; the protocol is
+        # line-delimited UTF-8 text on both sides.
+        super().setup()
+        self.rfile = io.TextIOWrapper(self.rfile, encoding="utf-8")
+        self.wfile = io.TextIOWrapper(self.wfile, encoding="utf-8")
+
+    def finish(self) -> None:
+        try:
+            super().finish()
+        except (BrokenPipeError, ConnectionResetError, OSError, ValueError):
+            pass  # flushing to a vanished worker is not an error
+
+    def handle(self) -> None:
+        coordinator: ShardCoordinator = self.server.coordinator
+        try:
+            hello = read_message(self.rfile)
+        except ShardError:
+            return  # garbage before hello: drop silently
+        if hello is None or hello["type"] != "hello":
+            return
+        if hello.get("schema") != SHARD_SCHEMA:
+            write_message(
+                self.wfile,
+                {
+                    "type": "error",
+                    "reason": (
+                        f"schema {hello.get('schema')!r} is not "
+                        f"{SHARD_SCHEMA!r}"
+                    ),
+                },
+            )
+            return
+        if not coordinator._check_token(hello.get("token")):
+            write_message(
+                self.wfile,
+                {"type": "error", "reason": "authentication failed"},
+            )
+            return
+        worker = coordinator._register_connection(
+            str(hello.get("worker", "worker"))
+        )
+        sink = coordinator.sink
+        write_message(
+            self.wfile,
+            {
+                "type": "welcome",
+                "schema": SHARD_SCHEMA,
+                "lease_seconds": coordinator.cluster.lease_seconds,
+                "heartbeat_seconds": coordinator.cluster.heartbeat_seconds,
+                "telemetry": {
+                    "enabled": sink.enabled,
+                    "sample_latency": (
+                        sink.config.sample_latency
+                        if getattr(sink, "config", None) is not None
+                        else True
+                    ),
+                },
+            },
+        )
+        try:
+            while True:
+                try:
+                    message = read_message(self.rfile)
+                except ShardError:
+                    break  # stream corrupted: drop the worker
+                if message is None or message["type"] == "bye":
+                    break
+                kind = message["type"]
+                if kind == "heartbeat":
+                    coordinator.heartbeat(worker)
+                elif kind == "lease":
+                    write_message(
+                        self.wfile,
+                        coordinator.grant(
+                            worker, message.get("max", 1)
+                        ),
+                    )
+                elif kind == "result":
+                    try:
+                        coordinator.settle(worker, message)
+                    except ShardError as error:
+                        write_message(
+                            self.wfile,
+                            {"type": "error", "reason": str(error)},
+                        )
+                        break
+                    write_message(self.wfile, {"type": "ack"})
+                else:
+                    write_message(
+                        self.wfile,
+                        {
+                            "type": "error",
+                            "reason": f"unknown message type {kind!r}",
+                        },
+                    )
+                    break
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # worker vanished mid-reply; drop_worker requeues
+        finally:
+            coordinator.drop_worker(worker)
+
+
+def run_cluster_outcomes(
+    specs,
+    cluster: ClusterConfig,
+    options: SweepOptions | None = None,
+    telemetry=None,
+) -> list[SpecOutcome]:
+    """Serve ``specs`` to cluster workers; outcomes in spec order.
+
+    The distributed analogue of
+    :func:`repro.sim.parallel.run_outcomes`; see
+    :class:`ShardCoordinator` for the lifecycle and failure model.
+    """
+    coordinator = ShardCoordinator(
+        specs, cluster, options=options, telemetry=telemetry
+    )
+    return coordinator.serve()

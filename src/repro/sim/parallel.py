@@ -122,6 +122,9 @@ _DEFAULT_BATCH = 1
 #: sweep with no retries, timeouts, or checkpointing).
 _DEFAULT_OPTIONS: "SweepOptions | None" = None
 
+#: Process-wide default for ``cluster=None`` (None = run locally).
+_DEFAULT_CLUSTER = None
+
 
 def _validate_jobs(jobs, *, allow_none: bool = False) -> None:
     if jobs is None and allow_none:
@@ -213,6 +216,32 @@ def set_default_sweep_options(options: "SweepOptions | None") -> None:
 def get_default_sweep_options() -> "SweepOptions | None":
     """The process-wide default sweep options (``None`` = classic)."""
     return _DEFAULT_OPTIONS
+
+
+def set_default_cluster(cluster) -> None:
+    """Set the process-wide default shard cluster (``None`` = local).
+
+    Drivers wire their ``--cluster`` flag here so every ``run_suite`` /
+    ``run_outcomes`` call that does not pass an explicit ``cluster``
+    serves its specs to distributed workers (see
+    :mod:`repro.sim.distributed`) instead of executing locally.
+    """
+    global _DEFAULT_CLUSTER
+    if cluster is not None:
+        # Function-level import: repro.sim.distributed builds on this
+        # module, so a top-level import would be circular.
+        from repro.sim.distributed.protocol import ClusterConfig
+
+        if not isinstance(cluster, ClusterConfig):
+            raise ConfigError(
+                f"cluster must be a ClusterConfig or None, got {cluster!r}"
+            )
+    _DEFAULT_CLUSTER = cluster
+
+
+def get_default_cluster():
+    """The process-wide default shard cluster (``None`` = run locally)."""
+    return _DEFAULT_CLUSTER
 
 
 @dataclass(frozen=True)
@@ -593,6 +622,134 @@ def _run_spec_group(
     ]
 
 
+def execute_payloads(
+    specs: Sequence[WorkSpec],
+    jobs: int | None = None,
+    batch: int | None = None,
+    telemetry_config: TelemetryConfig | None = None,
+) -> list[tuple]:
+    """Run specs locally; one settled payload per spec, in spec order.
+
+    The shard worker's execution entry point
+    (:mod:`repro.sim.distributed.worker`), composing process-level
+    ``jobs`` and lane-level ``batch`` exactly like a local sweep, but
+    returning per-spec payload tuples instead of folding telemetry into
+    a sink: ``("ok", result, local_telemetry)`` for successes,
+    ``("error", exc_type, message, traceback)`` for failures -- the
+    same settled shape :func:`_run_group_payloads` produces, so one
+    lane's failure never poisons its neighbours.  Retry/backoff policy
+    stays with the coordinator; this function reports one attempt.
+
+    A local pool death (``BrokenExecutor``) degrades the unsettled
+    remainder to in-process serial execution -- results are pure
+    functions of their specs, so the fallback changes timing, never
+    bits.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    jobs = resolve_jobs(jobs, len(specs))
+    batch = resolve_batch(batch)
+    groups = (
+        plan_batches(specs, batch)
+        if batch > 1
+        else [[index] for index in range(len(specs))]
+    )
+    payloads: list[tuple | None] = [None] * len(specs)
+
+    def run_group_inline(group: list[int]) -> list[tuple]:
+        group_specs = [specs[i] for i in group]
+        if len(group) == 1:
+            try:
+                result, local = _run_spec(group_specs[0], telemetry_config)
+            except Exception as error:
+                return [(
+                    "error",
+                    type(error).__name__,
+                    str(error),
+                    traceback_module.format_exc(),
+                )]
+            return [("ok", result, local)]
+        return _run_group_payloads(group_specs, telemetry_config)
+
+    def settle(group: list[int], group_payloads: list[tuple]) -> None:
+        for index, payload in zip(group, group_payloads):
+            payloads[index] = payload
+
+    if jobs <= 1:
+        for group in groups:
+            settle(group, run_group_inline(group))
+        return payloads
+    window = _submission_window(jobs)
+    unsettled: list[list[int]] = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pending: deque = deque()
+        submitted = 0
+        settled = 0
+        try:
+            while settled < len(groups):
+                while submitted < len(groups) and len(pending) < window:
+                    group = groups[submitted]
+                    group_specs = [specs[i] for i in group]
+                    if len(group) == 1:
+                        future = pool.submit(
+                            _run_spec, group_specs[0], telemetry_config
+                        )
+                    else:
+                        future = pool.submit(
+                            _run_group_payloads,
+                            group_specs,
+                            telemetry_config,
+                        )
+                    pending.append((group, future))
+                    submitted += 1
+                group, future = pending.popleft()
+                settled += 1
+                try:
+                    payload = future.result()
+                except BrokenExecutor:
+                    # The pool died; blame is unattributable here (the
+                    # coordinator's concern is one attempt's outcome),
+                    # so finish everything unsettled in-process.
+                    unsettled.append(group)
+                    unsettled.extend(g for g, _ in pending)
+                    unsettled.extend(groups[submitted:])
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
+                except Exception as error:
+                    if len(group) == 1:
+                        settle(
+                            group,
+                            [(
+                                "error",
+                                type(error).__name__,
+                                str(error),
+                                "".join(
+                                    traceback_module.format_exception(error)
+                                ),
+                            )],
+                        )
+                    else:
+                        # Group workers settle per-lane failures into
+                        # payloads, so a group-level raise is
+                        # infrastructure, not one lane's fault: re-run
+                        # each lane in-process for exact attribution.
+                        for lane in group:
+                            settle([lane], run_group_inline([lane]))
+                else:
+                    if len(group) == 1:
+                        result, local = payload
+                        settle(group, [("ok", result, local)])
+                    else:
+                        settle(group, payload)
+        except KeyboardInterrupt:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    for group in unsettled:
+        settle(group, run_group_inline(group))
+    return payloads
+
+
 def _submission_window(jobs: int, window_factor: int = 4) -> int:
     """In-flight submission bound: keep workers fed, memory bounded.
 
@@ -627,6 +784,7 @@ def run_specs(
     telemetry=None,
     options: "SweepOptions | None" = None,
     batch: int | None = None,
+    cluster=None,
 ) -> list[RunResult]:
     """Execute specs, serially or on a process pool; results in spec order.
 
@@ -660,10 +818,12 @@ def run_specs(
     specs = list(specs)
     if options is None:
         options = _DEFAULT_OPTIONS
-    if options is not None:
+    if cluster is None:
+        cluster = _DEFAULT_CLUSTER
+    if options is not None or cluster is not None:
         outcomes = run_outcomes(
             specs, jobs=jobs, telemetry=telemetry, options=options,
-            batch=batch,
+            batch=batch, cluster=cluster,
         )
         return [outcome.result for outcome in outcomes]
     sink = ensure_telemetry(telemetry)
@@ -795,6 +955,7 @@ def run_outcomes(
     telemetry=None,
     options: "SweepOptions | None" = None,
     batch: int | None = None,
+    cluster=None,
 ) -> list[SpecOutcome]:
     """Fault-tolerantly execute specs; structured outcomes in spec order.
 
@@ -805,11 +966,29 @@ def run_outcomes(
     the rest of the sweep.  See :class:`SweepOptions` for the retry,
     timeout, checkpoint/resume, and strict-mode knobs, and the module
     docstring for the determinism guarantees.
+
+    ``cluster`` (or a default installed via
+    :func:`set_default_cluster`) serves the specs to distributed
+    workers through a :class:`~repro.sim.distributed.ShardCoordinator`
+    instead of executing locally; ``jobs`` and ``batch`` then apply on
+    each *worker's* command line, not here.  Outcomes, telemetry, and
+    checkpoint behaviour are bit-identical either way.
     """
     specs = list(specs)
     if options is None:
         options = _DEFAULT_OPTIONS if _DEFAULT_OPTIONS is not None else SweepOptions()
     sink = ensure_telemetry(telemetry)
+    if cluster is None:
+        cluster = _DEFAULT_CLUSTER
+    if cluster is not None:
+        # Function-level import: repro.sim.distributed builds on this
+        # module.  The coordinator applies the same strict-mode
+        # aggregation itself, so return its outcomes directly.
+        from repro.sim.distributed.coordinator import run_cluster_outcomes
+
+        return run_cluster_outcomes(
+            specs, cluster, options=options, telemetry=sink
+        )
     jobs = resolve_jobs(jobs, len(specs))
     # Explicit argument > options.batch > process-wide default.
     if batch is None:

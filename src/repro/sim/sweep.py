@@ -191,6 +191,7 @@ def run_suite(
     jobs: int | None = None,
     options=None,
     batch: int | None = None,
+    cluster=None,
 ) -> Mapping[tuple[str, str], RunResult]:
     """Run the full (benchmark x policy) matrix.
 
@@ -225,9 +226,19 @@ def run_suite(
     each worker process when ``jobs > 1``.  ``None`` defers to
     :func:`~repro.sim.parallel.get_default_batch`.  Batched results
     and telemetry are bit-identical to the serial sweep.
+
+    ``cluster`` (a :class:`~repro.sim.distributed.ClusterConfig`, or
+    the process-wide default installed via
+    :func:`~repro.sim.parallel.set_default_cluster`) shards the matrix
+    across distributed workers instead of executing locally: this
+    process becomes the coordinator, and ``jobs``/``batch`` apply on
+    each worker's own command line.  Results and telemetry stay
+    bit-identical to the local sweep (see docs/performance.md,
+    "Level 4").
     """
     # Imported here: parallel builds on this module's run_one/defaults.
     from repro.sim.parallel import (
+        get_default_cluster,
         get_default_sweep_options,
         matrix_specs,
         resolve_batch,
@@ -248,7 +259,9 @@ def run_suite(
     batch = resolve_batch(batch)
     if options is None:
         options = get_default_sweep_options()
-    if jobs > 1 or options is not None or batch > 1:
+    if cluster is None:
+        cluster = get_default_cluster()
+    if jobs > 1 or options is not None or batch > 1 or cluster is not None:
         specs = matrix_specs(
             chosen_benchmarks,
             chosen_policies,
@@ -266,6 +279,7 @@ def run_suite(
                 telemetry=telemetry,
                 options=options,
                 batch=batch,
+                cluster=cluster,
             )
         for spec, result in zip(specs, run_results):
             if result is not None:

@@ -128,6 +128,16 @@ def summarize(
         if isinstance(core, int) and not isinstance(core, bool):
             per_core = events_by_core.setdefault(core, {})
             per_core[event.kind] = per_core.get(event.kind, 0) + 1
+    # Sweep-orchestration breakdown: "sweep.*" events come from the
+    # fault-tolerant orchestrator (retries, timeouts, resume skips) and
+    # "shard.*" events from the distributed coordinator (leases lost,
+    # duplicates dropped).  Traces written before these layers existed
+    # carry no such events and produce an empty breakdown.
+    orchestration: dict[str, dict[str, int]] = {}
+    for kind, count in event_kinds.items():
+        prefix, _, suffix = kind.partition(".")
+        if prefix in ("sweep", "shard") and suffix:
+            orchestration.setdefault(prefix, {})[suffix] = count
     saturated = sum(
         1
         for r in records
@@ -157,6 +167,7 @@ def summarize(
         ),
         "events": event_kinds,
         "events_by_core": events_by_core,
+        "orchestration": orchestration,
     }
 
 
@@ -256,4 +267,19 @@ def render_report(
                     for kind, count in sorted(kinds.items())
                 )
                 lines.append(f"    core {core}: {detail}")
+    if summary["orchestration"]:
+        labels = {
+            "sweep": "orchestrator",
+            "shard": "distributed coordinator",
+        }
+        lines.append("")
+        lines.append("sweep orchestration:")
+        for prefix in sorted(summary["orchestration"]):
+            kinds = summary["orchestration"][prefix]
+            detail = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(kinds.items())
+            )
+            lines.append(
+                f"  {labels.get(prefix, prefix)}: {detail}"
+            )
     return "\n".join(lines)

@@ -155,3 +155,41 @@ class TestCoreFieldCompat:
         events = [TraceEvent("fault", 0, "spike", {"core": True})]
         summary = summarize([_record(0, 101.0)], events)
         assert summary["events_by_core"] == {}
+
+
+class TestOrchestrationBreakdown:
+    """``sweep.*`` / ``shard.*`` events get their own report section;
+    traces that predate those layers keep producing the old report."""
+
+    def test_sweep_and_shard_events_grouped(self):
+        events = [
+            TraceEvent("sweep.retry", 0, "flaky"),
+            TraceEvent("sweep.retry", 1, "flaky again"),
+            TraceEvent("sweep.timeout", 2, "hung"),
+            TraceEvent("shard.worker_lost", 3, "vanished"),
+            TraceEvent("fault", 4, "spike"),
+        ]
+        summary = summarize([_record(0, 101.0)], events)
+        assert summary["orchestration"] == {
+            "sweep": {"retry": 2, "timeout": 1},
+            "shard": {"worker_lost": 1},
+        }
+        text = render_report([_record(0, 101.0)], events)
+        assert "sweep orchestration:" in text
+        assert "orchestrator: retry=2, timeout=1" in text
+        assert "distributed coordinator: worker_lost=1" in text
+
+    def test_old_trace_without_orchestration_events_unchanged(self):
+        events = [TraceEvent("fault", 0, "spike")]
+        summary = summarize([_record(0, 101.0)], events)
+        assert summary["orchestration"] == {}
+        assert "orchestration" not in render_report(
+            [_record(0, 101.0)], events
+        )
+
+    def test_bare_prefix_kinds_are_not_grouped(self):
+        # A literal "sweep." (empty suffix) or plain "shard" kind must
+        # not fabricate a breakdown entry.
+        events = [TraceEvent("sweep.", 0, ""), TraceEvent("shard", 1, "")]
+        summary = summarize([], events)
+        assert summary["orchestration"] == {}
