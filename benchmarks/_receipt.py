@@ -15,14 +15,22 @@ sibling tempfile and atomically renamed over the target with
 :func:`os.replace` (readers always see a complete JSON document), and
 an ``fcntl`` advisory lock around the read-merge-replace cycle
 serialises concurrent writers.  Unknown keys already present in the
-receipt are preserved -- the merge only touches ``generated``,
-``cpu_count``, and the section being reported.
+receipt are preserved -- the merge only touches ``generated`` and the
+section being reported.
+
+Each section carries its own ``_meta`` stamp (measurement time, the
+machine's ``cpu_count``, the git revision at measurement time): the
+receipt accumulates sections across separate CI jobs and machines, so
+a single top-level stamp silently misattributed every earlier
+section's provenance to whichever bench ran last.
 """
 
 from __future__ import annotations
 
+import functools
 import json
 import os
+import subprocess
 import tempfile
 from datetime import datetime, timezone
 
@@ -35,6 +43,27 @@ except ImportError:  # pragma: no cover - Windows fallback: best effort
 def receipt_path() -> str:
     """The receipt location (``BENCH_SWEEP_OUT`` overrides the default)."""
     return os.environ.get("BENCH_SWEEP_OUT", "BENCH_sweep.json")
+
+
+@functools.lru_cache(maxsize=1)
+def _git_revision() -> str | None:
+    """The repository HEAD at measurement time (``None`` outside git).
+
+    Memoized: every section a bench process reports shares one
+    ``git rev-parse`` call, and the revision cannot change mid-process.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = proc.stdout.strip()
+    return revision if proc.returncode == 0 and revision else None
 
 
 def _load(path: str) -> dict:
@@ -51,11 +80,18 @@ def update_receipt(section: str, payload: dict, path: str | None = None) -> None
     """Atomically merge one benchmark's measurements into the receipt.
 
     Reads the existing document (tolerating a missing or torn file),
-    replaces only ``data[section]`` plus the ``generated`` /
-    ``cpu_count`` stamps, and publishes the merge with a tempfile +
-    :func:`os.replace` so a reader never observes a partial write.
-    Keys written by other bench modules -- including ones this code
-    has never heard of -- survive the merge untouched.
+    replaces only ``data[section]`` plus the top-level ``generated``
+    stamp, and publishes the merge with a tempfile + :func:`os.replace`
+    so a reader never observes a partial write.  Keys written by other
+    bench modules -- including ones this code has never heard of --
+    survive the merge untouched.
+
+    The reported section gains a ``_meta`` sub-dict recording *its own*
+    measurement time, ``cpu_count``, and git revision; earlier
+    sections' ``_meta`` stamps are untouched, so a receipt merged
+    across CI jobs attributes every number to the machine and revision
+    that actually produced it.  The legacy top-level ``cpu_count``
+    stamp (which could only describe the last writer) is dropped.
     """
     path = receipt_path() if path is None else path
     directory = os.path.dirname(os.path.abspath(path))
@@ -65,11 +101,16 @@ def update_receipt(section: str, payload: dict, path: str | None = None) -> None
         if fcntl is not None:
             fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
         data = _load(path)
+        data.pop("cpu_count", None)
         data["generated"] = datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         )
-        data["cpu_count"] = os.cpu_count()
-        data[section] = payload
+        data[section] = dict(payload)
+        data[section]["_meta"] = {
+            "measured": data["generated"],
+            "cpu_count": os.cpu_count(),
+            "git_revision": _git_revision(),
+        }
         fd, temp_path = tempfile.mkstemp(
             prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
         )

@@ -13,6 +13,8 @@ Examples::
         --coordinator proportional
     python -m repro trace trace.jsonl --top 5
     python -m repro compare gcc --policies toggle1 m pid
+    python -m repro compare gcc --policies pid --cache
+    python -m repro cache stats
     python -m repro list
 
 With ``--cores N`` (N > 1) the benchmark argument is a comma-separated
@@ -355,7 +357,7 @@ def _print_compare_table(args, results, failures) -> int:
 
 
 def cmd_compare(args) -> int:
-    from repro.errors import ConfigError, ShardError, SweepError
+    from repro.errors import CacheError, ConfigError, ShardError, SweepError
     from repro.sim.parallel import run_outcomes, run_specs
 
     cluster = None
@@ -366,11 +368,18 @@ def cmd_compare(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
         _install_signal_handlers()
+    try:
+        cache = _cache_store(args)
+    except CacheError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     specs = _compare_specs(args)
     options = _sweep_options(args)
     failures: dict[int, object] = {}
     if options is None and cluster is None:
-        results = run_specs(specs, jobs=args.jobs, batch=args.batch)
+        results = run_specs(
+            specs, jobs=args.jobs, batch=args.batch, cache=cache
+        )
     else:
         try:
             outcomes = run_outcomes(
@@ -379,6 +388,7 @@ def cmd_compare(args) -> int:
                 options=options,
                 batch=args.batch,
                 cluster=cluster,
+                cache=cache,
             )
         except (SweepError, ShardError) as error:
             print(f"error: {error}", file=sys.stderr)
@@ -394,7 +404,7 @@ def cmd_compare(args) -> int:
 
 def cmd_serve(args) -> int:
     """Coordinate a distributed compare sweep (``serve-sweep``)."""
-    from repro.errors import ConfigError, ShardError, SweepError
+    from repro.errors import CacheError, ConfigError, ShardError, SweepError
     from repro.sim.distributed import ShardCoordinator
 
     try:
@@ -404,10 +414,15 @@ def cmd_serve(args) -> int:
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    try:
+        cache = _cache_store(args)
+    except CacheError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     _install_signal_handlers()
     specs = _compare_specs(args)
     coordinator = ShardCoordinator(
-        specs, cluster, options=_sweep_options(args)
+        specs, cluster, options=_sweep_options(args), cache=cache
     )
     try:
         coordinator.start()
@@ -474,6 +489,84 @@ def cmd_work(args) -> int:
     print(
         f"worker done: {stats['executed']} spec(s) executed across "
         f"{stats['sweeps']} sweep(s), {stats['failures']} failure(s)"
+    )
+    return 0
+
+
+def _cache_store(args):
+    """The result-cache handle requested by ``--cache``/``--no-cache``.
+
+    Returns a :class:`~repro.sim.cache.ResultCache` for an explicit
+    ``--cache``, ``False`` for ``--no-cache`` (which also overrides the
+    process default and ``REPRO_CACHE``), or ``None`` to defer to
+    :func:`~repro.sim.parallel.resolve_cache` downstream.  Raises
+    :class:`~repro.errors.CacheError` for an unusable directory.
+    """
+    if getattr(args, "no_cache", False):
+        return False
+    if getattr(args, "cache", None) is None:
+        return None
+    from repro.sim.cache import ResultCache
+
+    return ResultCache(args.cache)
+
+
+def cmd_cache(args) -> int:
+    """Inspect or compact a result cache (``cache stats|verify|gc``)."""
+    import os
+
+    from repro.errors import CacheError
+    from repro.sim.cache import DEFAULT_CACHE_DIR, ResultCache, cache_metrics
+
+    directory = args.cache
+    if directory is None:
+        directory = os.environ.get("REPRO_CACHE") or DEFAULT_CACHE_DIR
+    try:
+        store = ResultCache(directory, max_bytes=args.max_bytes)
+    except CacheError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.action == "stats":
+        stats = store.stats()
+        registry = cache_metrics()
+        print(f"cache:            {stats['path']}")
+        print(f"entries:          {stats['entries']}")
+        print(
+            f"log bytes:        {stats['bytes']:,} "
+            f"(gc budget {stats['max_bytes']:,})"
+        )
+        print(f"corrupt lines:    {stats['corrupt_lines']}")
+        for name in ("hits", "misses", "evictions"):
+            live = int(registry.counter(f"cache.{name}").value)
+            print(f"{name + ':':<18}{stats[name]} lifetime, {live} live")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        print(f"cache:                {report['path']}")
+        print(f"schema ok:            {report['schema_ok']}")
+        print(f"entries:              {report['entries']}")
+        print(f"touch lines:          {report['touches']}")
+        print(f"counter lines:        {report['counter_lines']}")
+        print(f"corrupt lines:        {report['corrupt_lines']}")
+        print(f"undecodable entries:  {report['undecodable_entries']}")
+        print(f"torn tail:            {report['torn_tail']}")
+        print(f"log bytes:            {report['bytes']:,}")
+        for problem in report["errors"]:
+            print(f"  {problem}", file=sys.stderr)
+        healthy = (
+            report["schema_ok"]
+            and not report["corrupt_lines"]
+            and not report["undecodable_entries"]
+        )
+        return 0 if healthy else 1
+    try:
+        summary = store.gc()
+    except CacheError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"gc: kept {summary['kept']} entr(y/ies), evicted "
+        f"{summary['evicted']}, log now {summary['bytes']:,} bytes"
     )
     return 0
 
@@ -630,6 +723,26 @@ def main(argv: list[str] | None = None) -> int:
             "failed permanently (default: print FAILED rows, exit 2)",
         )
 
+    def add_cache_args(target) -> None:
+        from repro.sim.cache import DEFAULT_CACHE_DIR
+
+        caching = target.add_argument_group(
+            "result caching (see docs/performance.md, Level 5)"
+        )
+        caching.add_argument(
+            "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+            metavar="DIR",
+            help="replay previously completed specs from the persistent "
+            f"result cache in DIR (default {DEFAULT_CACHE_DIR}) and "
+            "store fresh ones; warm results and telemetry are "
+            "bit-identical to a cold sweep",
+        )
+        caching.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the result cache even when REPRO_CACHE or a "
+            "process-wide default is set",
+        )
+
     compare_parser = sub.add_parser(
         "compare", help="compare several policies on one benchmark"
     )
@@ -646,6 +759,7 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical to --batch 1)",
     )
     add_resilience_args(compare_parser)
+    add_cache_args(compare_parser)
     distributed = compare_parser.add_argument_group(
         "distributed sharding (see docs/performance.md, Level 4)"
     )
@@ -675,6 +789,28 @@ def main(argv: list[str] | None = None) -> int:
         help="shared token workers must present to authenticate",
     )
     add_resilience_args(serve_parser)
+    add_cache_args(serve_parser)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect or compact the persistent result cache",
+    )
+    cache_parser.add_argument(
+        "action", choices=("stats", "verify", "gc"),
+        help="stats: entry count, sizes, lifetime hit/miss/eviction "
+        "counters; verify: full structural + codec scan; gc: compact "
+        "the log, evicting least-recently-used entries past the budget",
+    )
+    cache_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="cache directory (default: REPRO_CACHE, else "
+        "~/.cache/repro)",
+    )
+    cache_parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="GC budget for entry payload bytes (default: "
+        "REPRO_CACHE_MAX_BYTES, else 256 MiB)",
+    )
 
     work_parser = sub.add_parser(
         "work", help="execute sweep specs leased from a coordinator"
@@ -711,6 +847,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("compare", "serve-sweep"):
         if args.resume and args.checkpoint is None:
             parser.error("--resume requires --checkpoint")
+        if args.cache is not None and args.no_cache:
+            parser.error("--cache conflicts with --no-cache")
     if args.command == "compare" and args.cluster and not args.token:
         parser.error("--cluster requires --token")
     commands = {
@@ -720,6 +858,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-sweep": cmd_serve,
         "trace": cmd_trace,
         "work": cmd_work,
+        "cache": cmd_cache,
     }
     return commands[args.command](args)
 

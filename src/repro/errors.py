@@ -100,6 +100,18 @@ class CheckpointError(ReproError):
     """A sweep checkpoint journal is unreadable or inconsistent."""
 
 
+class CacheError(ReproError):
+    """The cross-sweep result cache is unusable or misconfigured.
+
+    Covers an invalid cache directory (relative, uncreatable, or not
+    writable), a store whose schema header does not match
+    ``repro.cache/v1``, and entries that fail to decode during an
+    explicit ``verify``.  Ordinary lookups never raise: a corrupt or
+    torn entry is simply a miss, because a cache that can abort the
+    sweep it is meant to accelerate would be worse than no cache.
+    """
+
+
 class CodecError(ReproError):
     """A sweep payload cannot be encoded to, or decoded from, wire JSON.
 

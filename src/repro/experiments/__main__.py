@@ -21,7 +21,13 @@ combined with ``--jobs``.  ``--cluster HOST:PORT --token SECRET``
 installs a process-wide :class:`~repro.sim.distributed.ClusterConfig`
 (:func:`repro.sim.parallel.set_default_cluster`), so every sweep is
 coordinated for distributed ``python -m repro work`` workers instead
-of executing locally -- still bit-identical.
+of executing locally -- still bit-identical.  ``--cache [DIR]``
+installs a process-wide result-cache default
+(:func:`repro.sim.parallel.set_default_cache`), so every sweep replays
+previously completed specs from the persistent store instead of
+re-running them -- bit-identical results and telemetry, see
+docs/performance.md, "Level 5"; ``--no-cache`` disables caching even
+when ``REPRO_CACHE`` is set.
 
 ``--trace-out`` / ``--metrics-out`` build one shared
 :class:`~repro.telemetry.core.Telemetry` sink, hand it to every
@@ -113,6 +119,22 @@ def main(argv: list[str] | None = None) -> int:
         help="abort with an aggregated error if any spec fails "
         "permanently",
     )
+    from repro.sim.cache import DEFAULT_CACHE_DIR
+
+    caching = parser.add_argument_group(
+        "result caching (see docs/performance.md, Level 5)"
+    )
+    caching.add_argument(
+        "--cache", nargs="?", const=DEFAULT_CACHE_DIR, default=None,
+        metavar="DIR",
+        help="replay previously completed specs from the persistent "
+        f"result cache in DIR (default {DEFAULT_CACHE_DIR}) and store "
+        "fresh ones; warm results and telemetry are bit-identical",
+    )
+    caching.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even when REPRO_CACHE is set",
+    )
     distributed = parser.add_argument_group(
         "distributed sharding (see docs/performance.md, Level 4)"
     )
@@ -132,6 +154,17 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume requires --checkpoint")
     if args.cluster and not args.token:
         parser.error("--cluster requires --token")
+    if args.cache is not None and args.no_cache:
+        parser.error("--cache conflicts with --no-cache")
+
+    if args.no_cache or args.cache is not None:
+        from repro.errors import CacheError, ConfigError
+        from repro.sim.parallel import set_default_cache
+
+        try:
+            set_default_cache(False if args.no_cache else args.cache)
+        except (CacheError, ConfigError) as error:
+            parser.error(str(error))
 
     if args.jobs != 1:
         from repro.sim.parallel import set_default_jobs

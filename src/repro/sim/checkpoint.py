@@ -132,6 +132,7 @@ __all__ = [
     "result_to_dict",
     "spec_fingerprint",
     "telemetry_to_dict",
+    "truncate_partial_tail",
 ]
 
 
@@ -241,14 +242,26 @@ class CheckpointJournal:
         self.close()
 
 
-def _truncate_partial_tail(path: Path) -> None:
-    """Drop a truncated final line left by a crash mid-append."""
+def truncate_partial_tail(path: Path) -> None:
+    """Drop a truncated final line left by a crash mid-append.
+
+    Shared by the checkpoint journal and the cross-sweep result cache
+    (:mod:`repro.sim.cache`): both are append-only JSONL logs with the
+    same crash contract -- a kill mid-write leaves at most one partial
+    final line, which the next writer cuts before appending.  Complete
+    lines are never touched, so byte offsets held by concurrent readers
+    of the same file stay valid.
+    """
     raw = path.read_bytes()
     if not raw or raw.endswith(b"\n"):
         return
     cut = raw.rfind(b"\n")
     with path.open("r+b") as handle:
         handle.truncate(cut + 1 if cut >= 0 else 0)
+
+
+#: Backwards-compatible private alias (pre-cache internal name).
+_truncate_partial_tail = truncate_partial_tail
 
 
 def load_checkpoint(path: str | Path) -> dict[str, list[dict]]:

@@ -52,7 +52,12 @@ from repro.sim.distributed.protocol import (
     read_message,
     write_message,
 )
-from repro.sim.parallel import SpecFailure, SpecOutcome, SweepOptions
+from repro.sim.parallel import (
+    SpecFailure,
+    SpecOutcome,
+    SweepOptions,
+    resolve_cache,
+)
 from repro.telemetry.core import ensure_telemetry
 
 
@@ -87,6 +92,7 @@ class ShardCoordinator:
         cluster: ClusterConfig,
         options: SweepOptions | None = None,
         telemetry=None,
+        cache=None,
     ) -> None:
         if not isinstance(cluster, ClusterConfig):
             raise ShardError(
@@ -96,6 +102,12 @@ class ShardCoordinator:
         self.cluster = cluster
         self.options = options if options is not None else SweepOptions()
         self.sink = ensure_telemetry(telemetry)
+        #: Cross-sweep result cache (:mod:`repro.sim.cache`), or None.
+        #: Hits settle before the server starts -- never leased, never
+        #: shipped over the wire; fresh worker results write back
+        #: verbatim from their wire payloads.
+        self.cache = resolve_cache(cache)
+        self._cache_keys: list[str] | None = None
         n = len(self.specs)
         self.outcomes: list[SpecOutcome | None] = [None] * n
         #: Wire telemetry payloads of settled specs, folded at the end.
@@ -115,6 +127,7 @@ class ShardCoordinator:
         self._connection_seq = 0
         self._executed = 0
         self._resumed = 0
+        self._cached = 0
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -158,6 +171,10 @@ class ShardCoordinator:
             self._journal = CheckpointJournal.open(
                 options.checkpoint_path, resume=options.resume
             )
+        if self.cache is not None:
+            from repro.sim.cache import cache_key
+
+            self._cache_keys = [cache_key(spec) for spec in self.specs]
         now = time.monotonic()
         for index, spec in enumerate(self.specs):
             entries = saved.get(self._fingerprints[index])
@@ -172,8 +189,43 @@ class ShardCoordinator:
                 )
                 self._telemetry_payloads[index] = entry.get("telemetry")
                 self._resumed += 1
-            else:
-                self._pending.append((index, 0, now))
+                if self.cache is not None:
+                    self.cache.store_payload(
+                        self._cache_keys[index],
+                        spec,
+                        entry["result"],
+                        entry.get("telemetry"),
+                        attempts=entry.get("attempts", 1),
+                        fingerprint=self._fingerprints[index],
+                    )
+                continue
+            if self.cache is not None:
+                entry = self.cache.lookup(
+                    self._cache_keys[index],
+                    need_telemetry=self.sink.enabled,
+                )
+                if entry is not None:
+                    # Settled before the server even starts: a cache
+                    # hit is never leased to any worker.
+                    self.outcomes[index] = SpecOutcome(
+                        spec=spec,
+                        index=index,
+                        result=result_from_dict(entry["result"]),
+                        attempts=entry.get("attempts", 1),
+                        from_cache=True,
+                    )
+                    self._telemetry_payloads[index] = entry.get("telemetry")
+                    self._cached += 1
+                    if self._journal is not None:
+                        self._journal.append_payload(
+                            self._fingerprints[index],
+                            spec,
+                            entry.get("attempts", 1),
+                            entry["result"],
+                            entry.get("telemetry"),
+                        )
+                    continue
+            self._pending.append((index, 0, now))
         if self._resumed and self.sink.enabled:
             self.sink.event(
                 "shard.resume",
@@ -183,6 +235,16 @@ class ShardCoordinator:
                 resumed=self._resumed,
                 total=len(self.specs),
                 path=str(options.checkpoint_path),
+            )
+        if self._cached and self.sink.enabled:
+            self.sink.event(
+                "cache.hit",
+                -1,
+                f"result cache replayed {self._cached} of "
+                f"{len(self.specs)} specs",
+                hits=self._cached,
+                total=len(self.specs),
+                path=str(self.cache.directory),
             )
 
     def wait(self) -> list[SpecOutcome]:
@@ -253,6 +315,8 @@ class ShardCoordinator:
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self.cache is not None:
+            self.cache.flush()
 
     def _fold_telemetry(self) -> None:
         """In-spec-order fold of settled specs' telemetry payloads."""
@@ -450,6 +514,18 @@ class ShardCoordinator:
                 )
                 self._telemetry_payloads[index] = telemetry_payload
                 self._executed += 1
+                if self.cache is not None:
+                    # Write back verbatim from the wire payloads -- the
+                    # worker already used the shared codec, so
+                    # re-encoding would only risk drift.
+                    self.cache.store_payload(
+                        self._cache_keys[index],
+                        spec,
+                        result_payload,
+                        telemetry_payload,
+                        attempts=attempt + 1,
+                        fingerprint=self._fingerprints[index],
+                    )
             else:
                 self._settle_failure_locked(
                     index, attempt, message.get("failure") or {}, worker
@@ -502,13 +578,14 @@ class ShardCoordinator:
         )
 
     def stats(self) -> dict:
-        """Progress counters (settled/executed/resumed/leased/pending)."""
+        """Progress counters (settled/executed/resumed/cached/...)."""
         with self._lock:
             return {
                 "total": len(self.specs),
                 "settled": sum(o is not None for o in self.outcomes),
                 "executed": self._executed,
                 "resumed": self._resumed,
+                "cached": self._cached,
                 "leased": len(self._leases),
                 "pending": len(self._pending),
             }
@@ -636,14 +713,18 @@ def run_cluster_outcomes(
     cluster: ClusterConfig,
     options: SweepOptions | None = None,
     telemetry=None,
+    cache=None,
 ) -> list[SpecOutcome]:
     """Serve ``specs`` to cluster workers; outcomes in spec order.
 
     The distributed analogue of
     :func:`repro.sim.parallel.run_outcomes`; see
     :class:`ShardCoordinator` for the lifecycle and failure model.
+    ``cache`` is resolved exactly like the local orchestrator's
+    (:func:`repro.sim.parallel.resolve_cache`): hits settle on the
+    coordinator before any worker is granted a lease.
     """
     coordinator = ShardCoordinator(
-        specs, cluster, options=options, telemetry=telemetry
+        specs, cluster, options=options, telemetry=telemetry, cache=cache
     )
     return coordinator.serve()

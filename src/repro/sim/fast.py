@@ -51,6 +51,15 @@ from repro.workloads.profiles import BenchmarkProfile
 #: so the sustained supply is ~0.8 * duty * fetch_width.
 DEFAULT_SUPPLY_EFFICIENCY = 0.80
 
+#: Version tag of the sample kernel's numerics.  The cross-sweep result
+#: cache (:mod:`repro.sim.cache`) folds this tag into every cache key,
+#: so bumping it after any change that can alter computed results --
+#: the fused sample kernel, the thermal update, the power model, the
+#: workload phase draw -- cleanly invalidates every previously stored
+#: entry instead of replaying stale numbers.  Bump the suffix whenever
+#: a commit changes simulation output for an unchanged spec.
+KERNEL_VERSION = "fast-kernel/v1"
+
 
 def _grow(buffer: np.ndarray, capacity: int) -> np.ndarray:
     """Double a history buffer, preserving its leading rows."""

@@ -244,6 +244,71 @@ def get_default_cluster():
     return _DEFAULT_CLUSTER
 
 
+#: Process-wide default for ``cache=None``.  ``None`` defers to the
+#: ``REPRO_CACHE`` environment variable (unset = no caching); ``False``
+#: disables caching outright; a string is a validated directory path.
+_DEFAULT_CACHE: str | bool | None = None
+
+
+def set_default_cache(cache) -> None:
+    """Set the process-wide default result-cache directory.
+
+    Drivers wire their ``--cache`` / ``--no-cache`` flags here so every
+    ``run_suite`` / ``run_specs`` call consults the cross-sweep result
+    cache (:mod:`repro.sim.cache`).  Accepts a directory path
+    (validated immediately, so a bad ``--cache`` fails at the command
+    line rather than mid-sweep), ``False`` to disable caching even when
+    ``REPRO_CACHE`` is set (``--no-cache``), or ``None`` to restore the
+    environment-driven default.  A *path* is remembered, not an open
+    store: each sweep opens its own
+    :class:`~repro.sim.cache.ResultCache`, so no store file handle is
+    ever shared across a pool fork.
+    """
+    global _DEFAULT_CACHE
+    if cache is None or cache is False:
+        _DEFAULT_CACHE = cache
+        return
+    # Function-level import: repro.sim.cache builds on the checkpoint
+    # codec and is only needed when caching is actually requested.
+    from repro.sim.cache import ResultCache, resolve_cache_dir
+
+    if isinstance(cache, ResultCache):
+        raise ConfigError(
+            "set_default_cache takes a directory path, not an open "
+            "ResultCache (open handles must not cross pool forks); "
+            "pass cache=... per sweep for an explicit store"
+        )
+    _DEFAULT_CACHE = str(resolve_cache_dir(cache))
+
+
+def get_default_cache() -> str | bool | None:
+    """The process-wide default cache directory (see :func:`set_default_cache`)."""
+    return _DEFAULT_CACHE
+
+
+def resolve_cache(cache):
+    """The effective :class:`~repro.sim.cache.ResultCache`, or ``None``.
+
+    Precedence: explicit argument > process-wide default
+    (:func:`set_default_cache`) > the ``REPRO_CACHE`` environment
+    variable > no cache; ``False`` at any link stops the chain (that is
+    what makes ``--no-cache`` meaningful under ``REPRO_CACHE``).  An
+    already-open :class:`~repro.sim.cache.ResultCache` passes through
+    untouched; a path opens a fresh store for this sweep.
+    """
+    if cache is None:
+        cache = _DEFAULT_CACHE
+    if cache is None:
+        cache = os.environ.get("REPRO_CACHE") or None
+    if cache is None or cache is False:
+        return None
+    from repro.sim.cache import ResultCache
+
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Bounded retries with deterministic (jitter-free) backoff.
@@ -400,6 +465,9 @@ class SpecOutcome:
     #: True when the outcome was loaded from the checkpoint journal
     #: instead of being re-run.
     from_checkpoint: bool = False
+    #: True when the outcome was replayed from the cross-sweep result
+    #: cache (:mod:`repro.sim.cache`) instead of being executed.
+    from_cache: bool = False
 
     @property
     def ok(self) -> bool:
@@ -785,6 +853,7 @@ def run_specs(
     options: "SweepOptions | None" = None,
     batch: int | None = None,
     cluster=None,
+    cache=None,
 ) -> list[RunResult]:
     """Execute specs, serially or on a process pool; results in spec order.
 
@@ -814,6 +883,12 @@ def run_specs(
     sweep; telemetry follows the parallel parity model (per-lane local
     sinks folded in spec order) even at ``jobs=1``, because lanes run
     interleaved.
+
+    ``cache`` (``None`` defers to :func:`resolve_cache`) consults the
+    cross-sweep result cache before executing anything: hits replay
+    their stored result and telemetry bit-identically, only misses run
+    (and write their outcome back).  ``cache.*`` orchestration events
+    are excluded from the parity guarantee, like ``sweep.*``.
     """
     specs = list(specs)
     if options is None:
@@ -823,12 +898,15 @@ def run_specs(
     if options is not None or cluster is not None:
         outcomes = run_outcomes(
             specs, jobs=jobs, telemetry=telemetry, options=options,
-            batch=batch, cluster=cluster,
+            batch=batch, cluster=cluster, cache=cache,
         )
         return [outcome.result for outcome in outcomes]
     sink = ensure_telemetry(telemetry)
     jobs = resolve_jobs(jobs, len(specs))
     batch = resolve_batch(batch)
+    store = resolve_cache(cache)
+    if store is not None:
+        return _run_specs_cached(specs, jobs, sink, batch, store)
     if batch > 1:
         return _run_specs_batched(specs, jobs, sink, batch)
     if jobs <= 1:
@@ -949,6 +1027,147 @@ def _run_specs_batched(
     return results
 
 
+def _run_specs_cached(
+    specs: list[WorkSpec], jobs: int, sink, batch: int, store
+) -> list[RunResult]:
+    """Classic fail-fast execution through the cross-sweep result cache.
+
+    Hits replay their stored result without executing anything (and
+    without occupying a pool slot or a batch lane); only the misses
+    run -- through the usual jobs/batch machinery -- and write their
+    outcome back on completion.  Telemetry folds in spec order,
+    interleaving replayed payloads (:func:`fold_saved_telemetry`) with
+    fresh worker-local sinks (:func:`merge_telemetry`), which is what
+    makes a warm sweep's retained traces, events, and metrics
+    bit-identical to a cold one's.  Misses use worker-local telemetry
+    even at ``jobs=1`` -- the same documented deviation as lane
+    batching (no per-run profiler spans on the sink).  A ``cache.hit``
+    summary event reports the hit/miss split; ``cache.*`` events are
+    excluded from parity like ``sweep.*``.
+    """
+    from repro.sim.cache import cache_key
+
+    keys = [cache_key(spec) for spec in specs]
+    # An entry without telemetry cannot replay what this sink needs to
+    # fold, so it misses (and upgrades in place when the re-run stores).
+    need_telemetry = sink.enabled
+    entries = [
+        store.lookup(key, need_telemetry=need_telemetry) for key in keys
+    ]
+    hit_set = {i for i, entry in enumerate(entries) if entry is not None}
+    config = (
+        _worker_telemetry_config(getattr(sink, "config", None))
+        if sink.enabled
+        else None
+    )
+    try:
+        groups = (
+            plan_batches(specs, batch, skip=hit_set)
+            if batch > 1
+            else [[i] for i in range(len(specs)) if i not in hit_set]
+        )
+        pairs = _run_spec_pairs(specs, groups, jobs, config)
+        results: list[RunResult] = [None] * len(specs)  # type: ignore[list-item]
+        for index in sorted(pairs):
+            result, local = pairs[index]
+            store.store(
+                keys[index], specs[index], result, local
+            )
+        for index, spec in enumerate(specs):
+            entry = entries[index]
+            if entry is None:
+                result, local = pairs[index]
+                results[index] = result
+                if local is not None:
+                    merge_telemetry(sink, local)
+            else:
+                results[index] = result_from_dict(entry["result"])
+                if sink.enabled:
+                    fold_saved_telemetry(sink, entry.get("telemetry"))
+        if sink.enabled and specs:
+            sink.event(
+                "cache.hit",
+                -1,
+                f"result cache replayed {len(hit_set)} of {len(specs)} "
+                f"specs ({len(specs) - len(hit_set)} executed)",
+                hits=len(hit_set),
+                misses=len(specs) - len(hit_set),
+                total=len(specs),
+                path=str(store.directory),
+            )
+            last = specs[-1]
+            sink.set_context(last.benchmark, last.policy)
+    finally:
+        # Persist LRU touches and counters even when a miss fails
+        # fast -- the hits that happened before the raise are real.
+        store.flush()
+    return results
+
+
+def _run_spec_pairs(
+    specs: list[WorkSpec],
+    groups: list[list[int]],
+    jobs: int,
+    config: TelemetryConfig | None,
+) -> dict[int, tuple[RunResult, "Telemetry | None"]]:
+    """Fail-fast execution of planned groups; pairs keyed by spec index.
+
+    The cached sweep's miss runner: the same serial/pool/batched
+    machinery as :func:`run_specs`'s classic paths, but returning each
+    run's ``(result, worker-local telemetry)`` instead of folding into
+    a sink, so the caller can interleave fresh and replayed telemetry
+    in spec order.  ``groups`` is a batch plan over the *full* spec
+    list (cached lanes already dropped); indices key the result dict.
+    """
+    pairs: dict[int, tuple] = {}
+    if not groups:
+        return pairs
+    jobs = resolve_jobs(jobs, sum(len(group) for group in groups))
+
+    def settle(group: list[int], group_pairs) -> None:
+        for index, pair in zip(group, group_pairs):
+            pairs[index] = pair
+
+    if jobs <= 1:
+        for group in groups:
+            group_specs = [specs[i] for i in group]
+            if len(group) == 1:
+                settle(group, [_run_spec(group_specs[0], config)])
+            else:
+                settle(group, _run_spec_group(group_specs, config))
+        return pairs
+    window = _submission_window(jobs)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        try:
+            pending: deque = deque()
+            submitted = 0
+            settled = 0
+            while settled < len(groups):
+                while submitted < len(groups) and len(pending) < window:
+                    group = groups[submitted]
+                    group_specs = [specs[i] for i in group]
+                    if len(group) == 1:
+                        future = pool.submit(
+                            _run_spec, group_specs[0], config
+                        )
+                    else:
+                        future = pool.submit(
+                            _run_spec_group, group_specs, config
+                        )
+                    pending.append((group, future))
+                    submitted += 1
+                group, future = pending.popleft()
+                payload = future.result()
+                if len(group) == 1:
+                    payload = [payload]
+                settle(group, payload)
+                settled += 1
+        except KeyboardInterrupt:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+    return pairs
+
+
 def run_outcomes(
     specs: Sequence[WorkSpec],
     jobs: int | None = None,
@@ -956,6 +1175,7 @@ def run_outcomes(
     options: "SweepOptions | None" = None,
     batch: int | None = None,
     cluster=None,
+    cache=None,
 ) -> list[SpecOutcome]:
     """Fault-tolerantly execute specs; structured outcomes in spec order.
 
@@ -973,6 +1193,11 @@ def run_outcomes(
     instead of executing locally; ``jobs`` and ``batch`` then apply on
     each *worker's* command line, not here.  Outcomes, telemetry, and
     checkpoint behaviour are bit-identical either way.
+
+    ``cache`` (``None`` defers to :func:`resolve_cache`) replays
+    previously completed specs from the cross-sweep result cache
+    before any execution or leasing happens (``from_cache=True`` on
+    their outcomes); fresh successes write back.
     """
     specs = list(specs)
     if options is None:
@@ -987,14 +1212,14 @@ def run_outcomes(
         from repro.sim.distributed.coordinator import run_cluster_outcomes
 
         return run_cluster_outcomes(
-            specs, cluster, options=options, telemetry=sink
+            specs, cluster, options=options, telemetry=sink, cache=cache
         )
     jobs = resolve_jobs(jobs, len(specs))
     # Explicit argument > options.batch > process-wide default.
     if batch is None:
         batch = options.batch
     batch = resolve_batch(batch)
-    runner = _OutcomeRunner(specs, jobs, sink, options, batch)
+    runner = _OutcomeRunner(specs, jobs, sink, options, batch, cache=cache)
     try:
         outcomes = runner.run()
     except KeyboardInterrupt:
@@ -1033,12 +1258,17 @@ class _OutcomeRunner:
         sink,
         options: SweepOptions,
         batch: int = 1,
+        cache=None,
     ) -> None:
         self.specs = specs
         self.jobs = jobs
         self.sink = sink
         self.options = options
         self.batch = batch
+        #: The cross-sweep result cache, or None (see resolve_cache).
+        self.cache = resolve_cache(cache)
+        #: Per-spec cache keys, computed only when the cache is on.
+        self._cache_keys: list[str | None] = [None] * len(specs)
         #: Per-spec lane-compatibility keys (None = never batch).
         self._batch_keys = (
             [batch_compatibility_key(spec) for spec in specs]
@@ -1064,9 +1294,19 @@ class _OutcomeRunner:
         self._fingerprints: list[str | None] = [None] * n
         self._folded = False
 
-    # -- checkpoint plumbing -------------------------------------------------
+    # -- checkpoint and cache plumbing ---------------------------------------
     def _open_journal(self) -> deque:
-        """Resolve resumed specs; return the queue of (index, attempt)."""
+        """Resolve resumed and cached specs; queue of (index, attempt).
+
+        Checkpoint resume wins over the cache (both replay the same
+        codec payloads, but the journal is this sweep's own authority);
+        a resumed entry also warms the cache, so a later sweep without
+        the journal still hits.  Cache hits are pre-settled here
+        exactly like resumed outcomes -- and journaled, so a
+        ``--resume`` of an interrupted warm sweep works -- which is
+        what keeps them out of every execution path (no pool slot, no
+        batch lane, no shard lease).
+        """
         options = self.options
         queue: deque = deque()
         saved: dict[str, list[dict]] = {}
@@ -1079,7 +1319,12 @@ class _OutcomeRunner:
             self._journal = CheckpointJournal.open(
                 options.checkpoint_path, resume=options.resume
             )
+        if self.cache is not None:
+            from repro.sim.cache import cache_key
+
+            self._cache_keys = [cache_key(spec) for spec in self.specs]
         resumed = 0
+        cached = 0
         for index, spec in enumerate(self.specs):
             entries = saved.get(self._fingerprints[index] or "")
             if entries:
@@ -1093,8 +1338,41 @@ class _OutcomeRunner:
                 )
                 self._saved_payloads[index] = entry.get("telemetry")
                 resumed += 1
-            else:
-                queue.append((index, 0))
+                if self.cache is not None:
+                    self.cache.store_payload(
+                        self._cache_keys[index],
+                        spec,
+                        entry["result"],
+                        entry.get("telemetry"),
+                        attempts=entry.get("attempts", 1),
+                        fingerprint=self._fingerprints[index],
+                    )
+                continue
+            if self.cache is not None:
+                entry = self.cache.lookup(
+                    self._cache_keys[index],
+                    need_telemetry=self.sink.enabled,
+                )
+                if entry is not None:
+                    self.outcomes[index] = SpecOutcome(
+                        spec=spec,
+                        index=index,
+                        result=result_from_dict(entry["result"]),
+                        attempts=entry.get("attempts", 1),
+                        from_cache=True,
+                    )
+                    self._saved_payloads[index] = entry.get("telemetry")
+                    cached += 1
+                    if self._journal is not None:
+                        self._journal.append_payload(
+                            self._fingerprints[index],
+                            spec,
+                            entry.get("attempts", 1),
+                            entry["result"],
+                            entry.get("telemetry"),
+                        )
+                    continue
+            queue.append((index, 0))
         if resumed and self.sink.enabled:
             self.sink.event(
                 "sweep.resume",
@@ -1105,13 +1383,25 @@ class _OutcomeRunner:
                 total=len(self.specs),
                 path=str(options.checkpoint_path),
             )
+        if cached and self.sink.enabled:
+            self.sink.event(
+                "cache.hit",
+                -1,
+                f"result cache replayed {cached} of {len(self.specs)} "
+                f"specs",
+                hits=cached,
+                total=len(self.specs),
+                path=str(self.cache.directory),
+            )
         return queue
 
     def close(self) -> None:
-        """Close the journal (idempotent)."""
+        """Close the journal; flush cache bookkeeping (idempotent)."""
         if self._journal is not None:
             self._journal.close()
             self._journal = None
+        if self.cache is not None:
+            self.cache.flush()
 
     # -- outcome bookkeeping -------------------------------------------------
     def _finish_success(
@@ -1131,6 +1421,14 @@ class _OutcomeRunner:
                 attempt + 1,
                 result,
                 local,
+            )
+        if self.cache is not None:
+            self.cache.store(
+                self._cache_keys[index],
+                self.specs[index],
+                result,
+                local,
+                attempts=attempt + 1,
             )
 
     def _register_failure(
@@ -1622,7 +1920,7 @@ class _OutcomeRunner:
             outcome = self.outcomes[index]
             if outcome is None or outcome.error is not None:
                 continue
-            if outcome.from_checkpoint:
+            if outcome.from_checkpoint or outcome.from_cache:
                 fold_saved_telemetry(self.sink, self._saved_payloads[index])
             elif self._locals[index] is not None:
                 merge_telemetry(self.sink, self._locals[index])

@@ -192,6 +192,7 @@ def run_suite(
     options=None,
     batch: int | None = None,
     cluster=None,
+    cache=None,
 ) -> Mapping[tuple[str, str], RunResult]:
     """Run the full (benchmark x policy) matrix.
 
@@ -235,6 +236,13 @@ def run_suite(
     each worker's own command line.  Results and telemetry stay
     bit-identical to the local sweep (see docs/performance.md,
     "Level 4").
+
+    ``cache`` routes the matrix through the cross-sweep result cache
+    (:mod:`repro.sim.cache`; ``None`` defers to
+    :func:`~repro.sim.parallel.resolve_cache`, i.e. the process-wide
+    default or ``REPRO_CACHE``): previously completed runs replay
+    bit-identically instead of executing, fresh runs write back.  See
+    docs/performance.md, "Level 5".
     """
     # Imported here: parallel builds on this module's run_one/defaults.
     from repro.sim.parallel import (
@@ -242,6 +250,7 @@ def run_suite(
         get_default_sweep_options,
         matrix_specs,
         resolve_batch,
+        resolve_cache,
         resolve_jobs,
         run_specs,
     )
@@ -261,7 +270,14 @@ def run_suite(
         options = get_default_sweep_options()
     if cluster is None:
         cluster = get_default_cluster()
-    if jobs > 1 or options is not None or batch > 1 or cluster is not None:
+    store = resolve_cache(cache)
+    if (
+        jobs > 1
+        or options is not None
+        or batch > 1
+        or cluster is not None
+        or store is not None
+    ):
         specs = matrix_specs(
             chosen_benchmarks,
             chosen_policies,
@@ -280,6 +296,7 @@ def run_suite(
                 options=options,
                 batch=batch,
                 cluster=cluster,
+                cache=store if store is not None else False,
             )
         for spec, result in zip(specs, run_results):
             if result is not None:

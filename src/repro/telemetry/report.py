@@ -129,14 +129,16 @@ def summarize(
             per_core = events_by_core.setdefault(core, {})
             per_core[event.kind] = per_core.get(event.kind, 0) + 1
     # Sweep-orchestration breakdown: "sweep.*" events come from the
-    # fault-tolerant orchestrator (retries, timeouts, resume skips) and
+    # fault-tolerant orchestrator (retries, timeouts, resume skips),
     # "shard.*" events from the distributed coordinator (leases lost,
-    # duplicates dropped).  Traces written before these layers existed
-    # carry no such events and produce an empty breakdown.
+    # duplicates dropped), and "cache.*" events from the cross-sweep
+    # result cache (hit/miss summaries).  Traces written before these
+    # layers existed carry no such events and produce an empty
+    # breakdown.
     orchestration: dict[str, dict[str, int]] = {}
     for kind, count in event_kinds.items():
         prefix, _, suffix = kind.partition(".")
-        if prefix in ("sweep", "shard") and suffix:
+        if prefix in ("sweep", "shard", "cache") and suffix:
             orchestration.setdefault(prefix, {})[suffix] = count
     saturated = sum(
         1

@@ -28,6 +28,23 @@ from repro.errors import ThermalModelError
 from repro.thermal.floorplan import Floorplan
 
 
+#: Process-wide exponential-decay cache shared by every model instance,
+#: keyed by (tau bytes, cycle_time, cycles).  A sweep builds one model
+#: per run but every run over the same floorplan/timestep needs the
+#: exact same ``exp(-h / tau)`` arrays; sharing them across instances
+#: saves the per-run ``np.exp`` warm-up entirely.  Values are identical
+#: for identical keys (``tau.tobytes()`` captures the exact float bits
+#: the expression consumes), so sharing cannot perturb bit-identity.
+_SHARED_DECAY: dict[tuple, np.ndarray] = {}
+
+#: Safety bound on distinct (model, interval) decay entries; property
+#: sweeps over random floorplans would otherwise grow the shared dict
+#: without limit.  Cleared wholesale when full -- entries are pure
+#: recomputable values, so eviction is only a cost, never a correctness
+#: concern.
+_SHARED_DECAY_MAX = 1024
+
+
 class LumpedThermalModel:
     """Per-block temperatures over an isothermal heatsink."""
 
@@ -65,7 +82,11 @@ class LumpedThermalModel:
         #: Exponential decay factors keyed by interval length in cycles
         #: (the fast engine advances by one fixed sampling interval, so
         #: this cache turns a per-sample ``np.exp`` into a dict hit).
+        #: First level over the process-wide ``_SHARED_DECAY`` store,
+        #: which additionally shares the arrays *across* model
+        #: instances of the same (tau, cycle_time) parameters.
         self._decay_cache: dict[int, np.ndarray] = {}
+        self._decay_key = (self._tau.tobytes(), self.cycle_time)
         #: Optional span profiler (:mod:`repro.telemetry`); ``None``
         #: keeps the update paths free of instrumentation overhead.
         self._profiler = None
@@ -183,15 +204,25 @@ class LumpedThermalModel:
     def _decay(self, cycles: int) -> np.ndarray:
         """Per-block ``exp(-h / tau)`` for an ``h = cycles`` interval.
 
-        Cached per distinct ``cycles`` value: the fast engine advances
-        by one fixed sampling interval for an entire run, so the
-        per-sample ``np.exp`` collapses to a dict lookup.  The cached
-        array is marked read-only so no caller can corrupt it.
+        Two-level cache: the per-instance dict (keyed by ``cycles``
+        alone) makes the per-sample lookup a single dict hit, and the
+        process-wide ``_SHARED_DECAY`` store (keyed by the model's
+        exact tau bits and timestep as well) shares the computed arrays
+        across every model instance a sweep constructs, so only the
+        first run over a given floorplan/timestep pays the ``np.exp``.
+        The cached array is marked read-only so no caller can corrupt
+        it -- a hard requirement once it is shared between instances.
         """
         decay = self._decay_cache.get(cycles)
         if decay is None:
-            decay = np.exp(-(cycles * self.cycle_time) / self._tau)
-            decay.flags.writeable = False
+            key = (*self._decay_key, cycles)
+            decay = _SHARED_DECAY.get(key)
+            if decay is None:
+                if len(_SHARED_DECAY) >= _SHARED_DECAY_MAX:
+                    _SHARED_DECAY.clear()
+                decay = np.exp(-(cycles * self.cycle_time) / self._tau)
+                decay.flags.writeable = False
+                _SHARED_DECAY[key] = decay
             self._decay_cache[cycles] = decay
         return decay
 

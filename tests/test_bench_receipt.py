@@ -28,8 +28,11 @@ class TestReceipt:
         path = tmp_path / "BENCH_sweep.json"
         update_receipt("kernel", {"speedup": 1.5}, path=str(path))
         data = _read(path)
-        assert data["kernel"] == {"speedup": 1.5}
-        assert "generated" in data and "cpu_count" in data
+        assert data["kernel"]["speedup"] == 1.5
+        assert "generated" in data
+        meta = data["kernel"]["_meta"]
+        assert meta["cpu_count"] == os.cpu_count()
+        assert set(meta) == {"measured", "cpu_count", "git_revision"}
 
     def test_merge_preserves_unknown_sections(self, tmp_path):
         path = tmp_path / "BENCH_sweep.json"
@@ -44,7 +47,9 @@ class TestReceipt:
         )
         update_receipt("executor", {"speedup": 2.2}, path=str(path))
         data = _read(path)
-        assert data["executor"] == {"speedup": 2.2}
+        assert data["executor"]["speedup"] == 2.2
+        # Sections this update did not report are byte-for-byte
+        # untouched -- no retroactive _meta stamping.
         assert data["kernel"] == {"speedup": 1.4}
         assert data["some_future_section"] == {"anything": [1, 2, 3]}
         assert data["stray_top_level_key"] == "kept"
@@ -53,13 +58,13 @@ class TestReceipt:
         path = tmp_path / "BENCH_sweep.json"
         update_receipt("kernel", {"speedup": 1.0}, path=str(path))
         update_receipt("kernel", {"speedup": 9.9}, path=str(path))
-        assert _read(path)["kernel"] == {"speedup": 9.9}
+        assert _read(path)["kernel"]["speedup"] == 9.9
 
     def test_torn_receipt_is_tolerated(self, tmp_path):
         path = tmp_path / "BENCH_sweep.json"
         path.write_text('{"kernel": {"speedup"')  # a torn legacy write
         update_receipt("executor", {"speedup": 2.0}, path=str(path))
-        assert _read(path)["executor"] == {"speedup": 2.0}
+        assert _read(path)["executor"]["speedup"] == 2.0
 
     def test_no_partial_state_on_disk_after_update(self, tmp_path):
         """The only artifacts are the receipt and the lock file -- no
@@ -88,18 +93,57 @@ class TestReceipt:
             thread.join()
         data = _read(path)
         for i, name in enumerate(sections):
-            assert data[name] == {"i": i}
+            assert data[name]["i"] == i
+            assert "_meta" in data[name]
 
     def test_path_env_override(self, tmp_path, monkeypatch):
         target = tmp_path / "custom.json"
         monkeypatch.setenv("BENCH_SWEEP_OUT", str(target))
         assert receipt_path() == str(target)
         update_receipt("kernel", {"speedup": 1.0})
-        assert _read(target)["kernel"] == {"speedup": 1.0}
+        assert _read(target)["kernel"]["speedup"] == 1.0
 
     def test_default_path(self, monkeypatch):
         monkeypatch.delenv("BENCH_SWEEP_OUT", raising=False)
         assert receipt_path() == "BENCH_sweep.json"
+
+    def test_meta_records_measurement_time_provenance(self, tmp_path):
+        """Each section's _meta stamps the run that measured *it*, and a
+        later merge never rewrites an earlier section's stamp."""
+        import benchmarks._receipt as receipt_module
+
+        path = tmp_path / "BENCH_sweep.json"
+        update_receipt("kernel", {"speedup": 1.5}, path=str(path))
+        first_meta = _read(path)["kernel"]["_meta"]
+        assert first_meta["git_revision"] == receipt_module._git_revision()
+        update_receipt("executor", {"speedup": 2.0}, path=str(path))
+        data = _read(path)
+        assert data["kernel"]["_meta"] == first_meta
+        assert data["executor"]["_meta"]["measured"] == data["generated"]
+
+    def test_legacy_top_level_cpu_count_is_dropped(self, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        path.write_text(
+            json.dumps({"cpu_count": 999, "kernel": {"speedup": 1.0}})
+        )
+        update_receipt("executor", {"speedup": 2.0}, path=str(path))
+        data = _read(path)
+        assert "cpu_count" not in data
+        assert data["executor"]["_meta"]["cpu_count"] == os.cpu_count()
+
+    def test_git_revision_tolerates_no_git(self, monkeypatch):
+        """Outside a checkout the stamp is None, never an exception."""
+        import benchmarks._receipt as receipt_module
+
+        def no_git(*args, **kwargs):
+            raise OSError("git not found")
+
+        monkeypatch.setattr(receipt_module.subprocess, "run", no_git)
+        receipt_module._git_revision.cache_clear()
+        try:
+            assert receipt_module._git_revision() is None
+        finally:
+            receipt_module._git_revision.cache_clear()
 
 
 @pytest.mark.skipif(os.name != "posix", reason="fork-based crash test")
@@ -126,5 +170,5 @@ class TestCrashSafety:
         _, status = os.waitpid(pid, 0)
         assert os.waitstatus_to_exitcode(status) == 9
         data = _read(path)  # parses whole: the old document survived
-        assert data["kernel"] == {"speedup": 1.5}
+        assert data["kernel"]["speedup"] == 1.5
         assert "executor" not in data
