@@ -1,0 +1,182 @@
+"""Performance guard for the spectral grid solver, with a JSON receipt.
+
+The guarded claims (ISSUE acceptance criteria):
+
+* a 1-second **advance** on the 48x48 grid runs at least
+  ``ADVANCE_FLOOR`` (20x) faster under the spectral solver than under
+  the pinned explicit-Euler integrator (which must sub-step the whole
+  second -- ~27k sub-steps at this mesh);
+* **steady_state** runs at least ``STEADY_FLOOR`` (50x) faster at
+  96x96, where the direct eigenspace divide's structural advantage
+  over the settle iteration is unambiguous, and at least
+  ``STEADY_GUARD`` (20x) at 48x48, where the fixed per-call costs
+  (block gathers, python dispatch) eat a larger share of the ~50 us
+  spectral solve.  Both ratios are recorded in the receipt.
+
+The comparison is apples-to-apples on physics: the measured spectral
+and Euler steady states are asserted within ``PARITY_TOLERANCE``
+(0.05 degC) per-block before any timing number is reported, so the
+speedup cannot come from solving a different problem.
+
+The measurement appends a ``grid`` section to ``BENCH_sweep.json``
+(override with ``BENCH_SWEEP_OUT``), extending the shared receipt the
+other performance guards write.  Timing is best-of-repeats
+``perf_counter``.
+
+Needs no pytest plugins; CI runs it in the grid-parity job:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_grid.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks._receipt import update_receipt as _update_receipt
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.grid import GridThermalModel
+
+#: Mesh for the advance guard (the V1 experiment's default).
+ADVANCE_RESOLUTION = 48
+
+#: Interval for the advance guard: the heatsink-drift cadence, the
+#: regime the spectral solver was built for.
+ADVANCE_SECONDS = 1.0
+
+#: Required spectral-over-Euler multiple for the 1 s advance at 48x48.
+ADVANCE_FLOOR = 20.0
+
+#: Mesh where the steady-state floor is asserted hard: the settle
+#: iteration's ~N^4 cost dwarfs the direct solve's fixed overheads.
+STEADY_RESOLUTION = 96
+
+#: Required spectral-over-Euler multiple for steady_state at 96x96.
+STEADY_FLOOR = 50.0
+
+#: Softer steady-state guard at the 48x48 default mesh (typical
+#: measured ratio ~50x, but fixed per-call costs make it jittery).
+STEADY_GUARD = 20.0
+
+#: Per-block mean agreement required before timings are meaningful.
+PARITY_TOLERANCE = 0.05
+
+REPEATS = 5
+
+
+def _peak_powers(floorplan: Floorplan) -> np.ndarray:
+    return np.array([block.peak_power for block in floorplan.blocks])
+
+
+def _pair(floorplan: Floorplan, resolution: int):
+    return (
+        GridThermalModel(floorplan, resolution=resolution, solver="spectral"),
+        GridThermalModel(floorplan, resolution=resolution, solver="euler"),
+    )
+
+
+def _best_of(callable_, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_spectral_advance_and_steady_beat_euler():
+    """The spectral solver clears the ISSUE's speedup floors."""
+    floorplan = Floorplan.default()
+    powers = _peak_powers(floorplan)
+
+    # -- 1 s advance at 48x48 ------------------------------------------------
+    spectral, euler = _pair(floorplan, ADVANCE_RESOLUTION)
+
+    def advance_spectral():
+        spectral.reset()
+        spectral.advance(powers, ADVANCE_SECONDS)
+
+    def advance_euler():
+        euler.reset()
+        euler.advance(powers, ADVANCE_SECONDS)
+
+    spectral.advance(powers, ADVANCE_SECONDS)  # warm the decay cache
+    spectral_advance = _best_of(advance_spectral)
+    euler_advance = _best_of(advance_euler, repeats=2)  # ~0.6 s per pass
+    advance_speedup = euler_advance / spectral_advance
+
+    # Physics parity gate: per-block means after the timed interval.
+    parity_advance = float(
+        np.max(
+            np.abs(spectral.block_temperatures() - euler.block_temperatures())
+        )
+    )
+    assert parity_advance < PARITY_TOLERANCE, (
+        f"1 s advance diverged between solvers: {parity_advance:.4f} degC"
+    )
+
+    # -- steady_state at 96x96 (hard floor) and 48x48 (guard) ----------------
+    steady = {}
+    for resolution, floor in (
+        (STEADY_RESOLUTION, STEADY_FLOOR),
+        (ADVANCE_RESOLUTION, STEADY_GUARD),
+    ):
+        spectral, euler = _pair(floorplan, resolution)
+        spectral_steady = _best_of(lambda: spectral.steady_state(powers))
+        euler_steady = _best_of(lambda: euler.steady_state(powers), repeats=2)
+        parity = float(
+            np.max(
+                np.abs(spectral.steady_state(powers) - euler.steady_state(powers))
+            )
+        )
+        assert parity < PARITY_TOLERANCE, (
+            f"steady_state diverged at {resolution}x{resolution}: "
+            f"{parity:.4f} degC"
+        )
+        steady[resolution] = {
+            "spectral_seconds": spectral_steady,
+            "euler_seconds": euler_steady,
+            "speedup": euler_steady / spectral_steady,
+            "floor": floor,
+            "parity_degc": parity,
+        }
+
+    _update_receipt(
+        "grid",
+        {
+            "advance": {
+                "resolution": ADVANCE_RESOLUTION,
+                "seconds_advanced": ADVANCE_SECONDS,
+                "spectral_seconds": round(spectral_advance, 6),
+                "euler_seconds": round(euler_advance, 3),
+                "speedup": round(advance_speedup, 1),
+                "floor": ADVANCE_FLOOR,
+                "parity_degc": parity_advance,
+            },
+            "steady_state": {
+                f"{resolution}x{resolution}": {
+                    "spectral_seconds": round(row["spectral_seconds"], 6),
+                    "euler_seconds": round(row["euler_seconds"], 4),
+                    "speedup": round(row["speedup"], 1),
+                    "floor": row["floor"],
+                    "parity_degc": row["parity_degc"],
+                }
+                for resolution, row in steady.items()
+            },
+        },
+    )
+
+    assert advance_speedup >= ADVANCE_FLOOR, (
+        f"spectral 1 s advance only {advance_speedup:.1f}x Euler "
+        f"({spectral_advance * 1e6:.0f} us vs {euler_advance:.3f} s); "
+        f"floor is {ADVANCE_FLOOR}x"
+    )
+    for resolution, row in steady.items():
+        assert row["speedup"] >= row["floor"], (
+            f"spectral steady_state at {resolution}x{resolution} only "
+            f"{row['speedup']:.1f}x Euler "
+            f"({row['spectral_seconds'] * 1e6:.0f} us vs "
+            f"{row['euler_seconds'] * 1e3:.1f} ms); floor is "
+            f"{row['floor']:g}x"
+        )

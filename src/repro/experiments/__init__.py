@@ -43,6 +43,7 @@ Extension  :mod:`repro.experiments.power_breakdown`
 Sensitiv.  :mod:`repro.experiments.sensitivity_floorplan`
 Valid.     :mod:`repro.experiments.validation_grid`
 Valid.     :mod:`repro.experiments.validation_grid_dtm`
+Valid.     :mod:`repro.experiments.validation_grid_convergence`
 Calibr.    :mod:`repro.experiments.calibration_fast_engine`
 =========  ==========================================
 """
@@ -89,5 +90,6 @@ ALL_EXPERIMENTS: tuple[str, ...] = (
     "sensitivity_floorplan",
     "validation_grid",
     "validation_grid_dtm",
+    "validation_grid_convergence",
     "calibration_fast_engine",
 )

@@ -29,6 +29,12 @@ re-running them -- bit-identical results and telemetry, see
 docs/performance.md, "Level 5"; ``--no-cache`` disables caching even
 when ``REPRO_CACHE`` is set.
 
+``--grid-solver {spectral,euler}`` / ``--resolution N`` select the
+time integrator and mesh for the experiments built on the 2D grid
+model (``validation_grid``, ``validation_grid_dtm``,
+``validation_grid_convergence``); the spectral default advances each
+interval in one exact closed-form step (docs/thermal_model.md).
+
 ``--trace-out`` / ``--metrics-out`` build one shared
 :class:`~repro.telemetry.core.Telemetry` sink, hand it to every
 experiment whose ``run`` accepts a ``telemetry`` keyword (currently
@@ -86,6 +92,21 @@ def main(argv: list[str] | None = None) -> int:
         help="lane-batch width for every sweep: up to B compatible runs "
         "advance through one vectorized kernel (composes with --jobs; "
         "results are bit-identical to --batch 1)",
+    )
+    grid = parser.add_argument_group(
+        "grid experiments (see docs/thermal_model.md)"
+    )
+    grid.add_argument(
+        "--grid-solver", choices=("spectral", "euler"), default=None,
+        help="time integrator for experiments built on the 2D grid "
+        "model (validation_grid, validation_grid_dtm, "
+        "validation_grid_convergence): 'spectral' (default) is the "
+        "exact-exponential eigenbasis solver, 'euler' the original "
+        "pinned sub-stepped integrator",
+    )
+    grid.add_argument(
+        "--resolution", type=int, default=None, metavar="N",
+        help="grid resolution (N x N cells) for the grid experiments",
     )
     resilience = parser.add_argument_group(
         "fault tolerance (see docs/robustness.md)"
@@ -152,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
+    if args.resolution is not None and args.resolution < 4:
+        parser.error("--resolution must be at least 4")
     if args.cluster and not args.token:
         parser.error("--cluster requires --token")
     if args.cache is not None and args.no_cache:
@@ -244,6 +267,10 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["quick"] = True
         if telemetry is not None and "telemetry" in parameters:
             kwargs["telemetry"] = telemetry
+        if args.grid_solver is not None and "solver" in parameters:
+            kwargs["solver"] = args.grid_solver
+        if args.resolution is not None and "resolution" in parameters:
+            kwargs["resolution"] = args.resolution
         started = time.time()
         result = module.run(**kwargs)
         elapsed = time.time() - started

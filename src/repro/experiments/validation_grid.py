@@ -8,7 +8,13 @@ the isothermal heatsink) -- the approach HotSpot later standardized.
 
 Reported per block: steady-state temperature at peak power from the
 lumped model and from the grid (mean and max over the block's cells),
-plus the transient deviation at several points along the heating curve.
+plus the transient deviation at several points along the heating curve,
+plus the resolution-convergence table (with wall-clock per row) that
+shows the measured gap is a continuum property, not a mesh artifact.
+
+The grid integrates with the spectral exact-exponential solver by
+default (``solver="euler"`` selects the original pinned sub-stepped
+integrator; see docs/thermal_model.md).
 """
 
 from __future__ import annotations
@@ -16,17 +22,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.validation_grid_convergence import (
+    CONVERGENCE_COLUMNS,
+    DEFAULT_RESOLUTIONS,
+    convergence_rows,
+)
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.grid import GridThermalModel
 from repro.thermal.lumped import LumpedThermalModel
 
 
-def run(resolution: int = 48) -> ExperimentResult:
+def run(
+    resolution: int = 48,
+    solver: str = "spectral",
+    convergence: tuple[int, ...] = DEFAULT_RESOLUTIONS,
+    quick: bool = False,
+) -> ExperimentResult:
     """Compare lumped vs grid steady states and transients."""
+    if quick:
+        convergence = tuple(r for r in convergence if r <= 48) or convergence
     floorplan = Floorplan.default()
     powers = np.array([block.peak_power for block in floorplan.blocks])
     lumped = LumpedThermalModel(floorplan, heatsink_temperature=100.0)
-    grid = GridThermalModel(floorplan, resolution=resolution)
+    grid = GridThermalModel(floorplan, resolution=resolution, solver=solver)
 
     grid_steady = grid.steady_state(powers)
     lumped_steady = lumped.steady_state(powers)
@@ -55,24 +73,36 @@ def run(resolution: int = 48) -> ExperimentResult:
         lumped_temps = lumped.advance(powers, int(50e-6 * 1.5e9))
         transient_devs.append(float(np.max(np.abs(grid_temps - lumped_temps))))
 
-    text = format_table(
-        rows,
-        columns=(
-            ("structure", "structure", None),
-            ("lumped_c", "lumped T (C)", ".3f"),
-            ("grid_mean_c", "grid mean (C)", ".3f"),
-            ("grid_max_c", "grid max (C)", ".3f"),
-            ("deviation_k", "deviation (K)", "+.3f"),
-        ),
+    # Resolution convergence (satellite of the spectral-solver work):
+    # the same comparison swept over the mesh, with wall-clock per row.
+    convergence_table = convergence_rows(convergence, solver=solver)
+
+    text = "\n".join(
+        [
+            format_table(
+                rows,
+                columns=(
+                    ("structure", "structure", None),
+                    ("lumped_c", "lumped T (C)", ".3f"),
+                    ("grid_mean_c", "grid mean (C)", ".3f"),
+                    ("grid_max_c", "grid max (C)", ".3f"),
+                    ("deviation_k", "deviation (K)", "+.3f"),
+                ),
+            ),
+            "",
+            "resolution convergence:",
+            format_table(convergence_table, columns=CONVERGENCE_COLUMNS),
+        ]
     )
     notes = (
         f"Grid: {resolution}x{resolution} cells, lateral + vertical "
-        f"conduction, adiabatic edges.\n"
+        f"conduction, adiabatic edges, {solver} solver.\n"
         f"Worst steady-state |deviation|: {worst_steady:.3f} K; worst "
         f"transient |deviation| over the heating curve: "
         f"{max(transient_devs):.3f} K.\n"
         "Both are small against the 2 K emergency headroom: the paper's\n"
-        "per-block RC simplification tracks the continuum solution."
+        "per-block RC simplification tracks the continuum solution, and\n"
+        "the convergence table shows the gap is mesh-stable."
     )
     return ExperimentResult(
         experiment_id="V1",
@@ -83,5 +113,7 @@ def run(resolution: int = 48) -> ExperimentResult:
         extras={
             "worst_steady_deviation_k": worst_steady,
             "transient_deviations_k": transient_devs,
+            "solver": solver,
+            "convergence": convergence_table,
         },
     )

@@ -16,6 +16,11 @@ Public surface:
 * :mod:`repro.thermal.package` -- the chip-level package model of
   Figure 2 (die -> heatsink -> ambient).
 * :mod:`repro.thermal.sensors` -- temperature sensor models.
+* :mod:`repro.thermal.grid` -- the 2D finite-difference grid model
+  that validates the lumped simplification against the continuum
+  (``solver="spectral"`` exact-exponential or ``solver="euler"``).
+* :mod:`repro.thermal.spectral` -- the DCT-II cosine-eigenbasis
+  exact-exponential propagator behind the grid model's default solver.
 """
 
 from repro.thermal.duality import DualityRow, EQUIVALENCE_TABLE
@@ -32,6 +37,11 @@ from repro.thermal.materials import (
 from repro.thermal.package import PackageModel
 from repro.thermal.rc_network import ThermalRCNetwork
 from repro.thermal.sensors import IdealSensor, NoisySensor, QuantizedSensor
+from repro.thermal.spectral import (
+    SpectralPropagator,
+    cosine_basis,
+    neumann_eigenvalues,
+)
 
 __all__ = [
     "Block",
@@ -46,7 +56,10 @@ __all__ = [
     "PackageModel",
     "QuantizedSensor",
     "Rectangle",
+    "SpectralPropagator",
     "ThermalRCNetwork",
+    "cosine_basis",
+    "neumann_eigenvalues",
     "slicing_layout",
     "block_capacitance",
     "block_normal_resistance",

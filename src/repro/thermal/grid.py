@@ -15,8 +15,30 @@ thickness ``t``:
 * capacitance: ``C = c_v * d^2 * t``.
 
 Block powers are spread uniformly over each block's rectangle (from
-:mod:`repro.thermal.geometry`).  The model integrates with forward
-Euler, automatically sub-stepped for stability, fully vectorized.
+:mod:`repro.thermal.geometry`).  Two time integrators are provided,
+selected by the ``solver`` argument:
+
+* ``"spectral"`` (the default) -- the exact-exponential propagator of
+  :mod:`repro.thermal.spectral`: the operator is diagonalized once in
+  the DCT-II cosine eigenbasis (exact for the adiabatic-edge
+  discretization), so *any* interval advances unconditionally stably
+  in one projection/decay/back-projection step and ``steady_state`` is
+  a direct solve.  Exact in time for this spatial discretization.
+* ``"euler"`` -- the original forward-Euler integrator, automatically
+  sub-stepped for stability (``sub_dt = 0.4 * C / G_total``), fully
+  vectorized.  Kept verbatim as the pinned reference: its behaviour is
+  byte-identical to the pre-spectral implementation (regression-tested),
+  so every historical validation number stays reproducible.
+
+The two solvers are *different discretizations in time* of the same
+operator, so cross-solver agreement is tolerance-gated (per-block mean
+temperatures within 0.05 degC), not bitwise.  The gate holds directly
+on every steady state and on the DTM sampling cadence; on heating
+probes that run Euler right at its stability bound, Euler's own
+first-order error exceeds the gate, so parity there is asserted
+against the sub-step-refined Euler limit (the gap halves per sub-step
+halving -- it belongs to Euler, not to the spectral solve; see
+``tests/test_thermal_spectral.py``).
 
 This is the direct ancestor-in-spirit of HotSpot's grid model: it
 exists here to *validate* the lumped simplification (experiment V1
@@ -32,10 +54,21 @@ from repro import units
 from repro.errors import ThermalModelError
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.geometry import DieLayout, slicing_layout
+from repro.thermal.spectral import SpectralPropagator
+
+#: Settle-iteration budget for the Euler ``steady_state`` fixed point.
+STEADY_MAX_ITERATIONS = 200
+
+#: Convergence gate for the Euler ``steady_state`` fixed point [degC]:
+#: the largest per-block change over one 5-tau settle interval.
+STEADY_TOLERANCE = 1e-6
 
 
 class GridThermalModel:
     """Transient 2D heat solver over the die, above an isothermal sink."""
+
+    #: Accepted ``solver`` arguments.
+    SOLVERS = ("spectral", "euler")
 
     def __init__(
         self,
@@ -46,13 +79,20 @@ class GridThermalModel:
         thickness: float = units.DIE_THICKNESS,
         conductivity: float = units.SILICON_THERMAL_CONDUCTIVITY,
         volumetric_heat_capacity: float = units.SILICON_VOLUMETRIC_HEAT_CAPACITY,
+        solver: str = "spectral",
     ) -> None:
         if resolution < 4:
             raise ThermalModelError("grid resolution must be at least 4")
+        if solver not in self.SOLVERS:
+            raise ThermalModelError(
+                f"unknown grid solver {solver!r}; expected one of "
+                f"{self.SOLVERS}"
+            )
         self.floorplan = floorplan
         self.layout = layout if layout is not None else slicing_layout(floorplan)
         self.resolution = resolution
         self.heatsink_temperature = float(heatsink_temperature)
+        self.solver = solver
 
         die_w = self.layout.die_width
         die_h = self.layout.die_height
@@ -90,12 +130,54 @@ class GridThermalModel:
                 "raise the resolution"
             )
 
+        # Precomputed flat-index forms of the per-block scatter/gather
+        # (shared by both solvers; bitwise-identical to the original
+        # boolean-mask loops, which survive as ``*_loop`` for the
+        # regression tests).  ``_scatter_cells``/``_scatter_blocks``
+        # list every (cell, owning block) pair in block-major order --
+        # the exact iteration order of the old loop -- so a single
+        # fancy-index assignment (or ``np.add.at`` under overlapping
+        # masks) places the exact same floats.  Blocks with equal cell
+        # counts are grouped into one ``(k, count)`` gather matrix so
+        # ``mean``/``max`` reduce a whole group in one row-wise pass
+        # (bitwise-identical to the per-block 1D reductions: numpy's
+        # pairwise summation over the innermost contiguous axis is the
+        # same computation either way).
+        flat_indices = [
+            np.flatnonzero(self._block_masks[b].ravel())
+            for b in range(len(floorplan.blocks))
+        ]
+        self._scatter_cells = np.concatenate(flat_indices)
+        self._scatter_blocks = np.repeat(
+            np.arange(len(floorplan.blocks)), self._cells_per_block
+        )
+        self._scatter_overlaps = bool(self._block_masks.sum(axis=0).max() > 1)
+        groups: dict[int, list[int]] = {}
+        for b, count in enumerate(self._cells_per_block):
+            groups.setdefault(int(count), []).append(b)
+        self._gather_groups = tuple(
+            (
+                np.array(blocks, dtype=np.intp),
+                np.stack([flat_indices[b] for b in blocks]),
+            )
+            for blocks in groups.values()
+        )
+
         self._temps = np.full(
             (resolution, resolution), self.heatsink_temperature, dtype=float
         )
         # Explicit-Euler stability bound: C / G_total per cell.
         g_total = 2 * self._g_lat_x + 2 * self._g_lat_y + self._g_ver
         self._max_stable_dt = self._cell_c / g_total
+        self._spectral: SpectralPropagator | None = None
+        if solver == "spectral":
+            self._spectral = SpectralPropagator(
+                resolution,
+                g_lat_x=self._g_lat_x,
+                g_lat_y=self._g_lat_y,
+                g_ver=self._g_ver,
+                cell_c=self._cell_c,
+            )
 
     # -- state -------------------------------------------------------------
     @property
@@ -114,6 +196,25 @@ class GridThermalModel:
         ``statistic`` must be ``"mean"`` or ``"max"``; anything else
         raises :class:`ValueError` (it used to fall back to the mean
         silently, hiding typos like ``"median"``).
+        """
+        if statistic not in ("mean", "max"):
+            raise ValueError(
+                f"unknown statistic {statistic!r}; expected 'mean' or 'max'"
+            )
+        flat = self._temps.ravel()
+        result = np.empty(len(self.floorplan.blocks))
+        for blocks, indices in self._gather_groups:
+            cells = flat[indices]
+            result[blocks] = (
+                cells.max(axis=1) if statistic == "max" else cells.mean(axis=1)
+            )
+        return result
+
+    def _block_temperatures_loop(self, statistic: str = "mean") -> np.ndarray:
+        """The original boolean-mask gather, pinned for regression tests.
+
+        :meth:`block_temperatures` must stay bitwise-identical to this
+        loop form (``tests/test_thermal_spectral.py`` asserts it).
         """
         if statistic not in ("mean", "max"):
             raise ValueError(
@@ -146,6 +247,28 @@ class GridThermalModel:
                 f"expected {len(self.floorplan.blocks)} block powers"
             )
         per_cell = block_powers / self._cells_per_block
+        field = np.zeros(self._temps.size)
+        if self._scatter_overlaps:
+            # Overlapping masks (custom layouts only) accumulate; the
+            # block-major index order reproduces the loop's addition
+            # order exactly.
+            np.add.at(field, self._scatter_cells, per_cell[self._scatter_blocks])
+        else:
+            field[self._scatter_cells] = per_cell[self._scatter_blocks]
+        return field.reshape(self._temps.shape)
+
+    def _power_field_loop(self, block_powers: np.ndarray) -> np.ndarray:
+        """The original per-block scatter, pinned for regression tests.
+
+        :meth:`_power_field` must stay bitwise-identical to this loop
+        form (``tests/test_thermal_spectral.py`` asserts it).
+        """
+        block_powers = np.asarray(block_powers, dtype=float)
+        if block_powers.shape != (len(self.floorplan.blocks),):
+            raise ThermalModelError(
+                f"expected {len(self.floorplan.blocks)} block powers"
+            )
+        per_cell = block_powers / self._cells_per_block
         field = np.zeros_like(self._temps)
         for b in range(len(block_powers)):
             field[self._block_masks[b]] += per_cell[b]
@@ -155,10 +278,24 @@ class GridThermalModel:
         """Integrate ``seconds`` of constant per-block power.
 
         Returns the per-block mean temperatures after the interval.
+        With ``solver="spectral"`` the whole interval is one exact
+        closed-form step; with ``solver="euler"`` it is forward Euler
+        sub-stepped to 40% of the stability bound (the original,
+        byte-identical integrator).
         """
         if seconds <= 0:
             raise ThermalModelError("seconds must be positive")
         power = self._power_field(block_powers)
+        if self._spectral is not None:
+            sink = self.heatsink_temperature
+            self._temps = sink + self._spectral.advance(
+                self._temps - sink, power, seconds
+            )
+        else:
+            self._advance_euler(power, seconds)
+        return self.block_temperatures()
+
+    def _advance_euler(self, power: np.ndarray, seconds: float) -> None:
         sub_dt = 0.4 * self._max_stable_dt
         steps = max(1, int(np.ceil(seconds / sub_dt)))
         dt = seconds / steps
@@ -176,21 +313,43 @@ class GridThermalModel:
             flow[1:, :] -= gy * dy
             temps = temps + (dt / c) * flow
         self._temps = temps
-        return self.block_temperatures()
 
     def steady_state(self, block_powers: np.ndarray) -> np.ndarray:
         """Per-block mean temperatures at equilibrium.
 
-        Integrates until the field stops changing (the direct linear
-        solve would be a (N^2 x N^2) system; iteration is simpler and
-        the vertical path makes convergence fast).
+        Side effect: the model state is **overwritten** with the steady
+        field -- the spectral path assigns the direct solve, and the
+        Euler path resets to the heatsink temperature and settles, so
+        in both cases ``temperatures`` afterwards is the equilibrium
+        field, not whatever transient preceded the call.  Callers that
+        need the pre-call state must snapshot ``temperatures`` first.
+
+        With ``solver="spectral"`` this is a direct elementwise solve
+        in the eigenbasis (``P_hat / lambda``) -- no iteration.  With
+        ``solver="euler"`` it integrates 5-tau settle intervals until
+        the field stops changing and raises :class:`ThermalModelError`
+        with the residual if ``STEADY_MAX_ITERATIONS`` intervals are
+        not enough (it used to return the last iterate silently).
         """
+        if self._spectral is not None:
+            power = self._power_field(block_powers)
+            self._temps = (
+                self.heatsink_temperature + self._spectral.steady_state(power)
+            )
+            return self.block_temperatures()
         self.reset()
         tau = self._cell_c / self._g_ver
         previous = self.block_temperatures()
-        for _ in range(200):
+        for _ in range(STEADY_MAX_ITERATIONS):
             current = self.advance(block_powers, 5 * tau)
-            if np.max(np.abs(current - previous)) < 1e-6:
+            residual = float(np.max(np.abs(current - previous)))
+            if residual < STEADY_TOLERANCE:
                 return current
             previous = current
-        return previous
+        raise ThermalModelError(
+            f"grid steady_state did not converge within "
+            f"{STEADY_MAX_ITERATIONS} settle iterations: per-block "
+            f"residual {residual:g} degC >= {STEADY_TOLERANCE:g} degC; "
+            "the field is still drifting -- check the conductances, or "
+            "use solver='spectral' for the direct solve"
+        )

@@ -1,0 +1,215 @@
+"""Exact-exponential spectral propagator for the grid heat equation.
+
+The 2D finite-difference operator of :mod:`repro.thermal.grid` is
+linear, time-invariant, and *separable*: with adiabatic (insulated) die
+edges, the lateral coupling along each axis is the 1D Neumann Laplacian
+
+    (L u)_j = u_{j-1} - 2 u_j + u_{j+1}        (interior)
+    (L u)_0 = u_1 - u_0,   (L u)_{N-1} = u_{N-2} - u_{N-1}
+
+whose eigenvectors are the DCT-II cosine modes
+``v_k[j] = cos(pi k (j + 1/2) / N)`` with eigenvalues
+``-mu_k = -(2 - 2 cos(pi k / N))`` -- the mirror symmetry of the cosine
+about the half-cell boundary reproduces the one-sided edge rows
+exactly, so the diagonalization is *exact for the discrete operator*,
+not an approximation of the continuum.
+
+Writing the deviation field ``U = T - T_sink`` and projecting both it
+and the power field into the (orthonormal) cosine eigenbasis,
+
+    U_hat = V^T U V,    P_hat = V^T P V,
+
+every mode ``(k, m)`` evolves independently by the scalar block ODE
+
+    C dU_hat/dt = P_hat - lambda_{km} U_hat,
+    lambda_{km} = G_ver + G_lat_y * mu_k + G_lat_x * mu_m,
+
+which has the same closed-form constant-power solution the lumped
+model's :meth:`~repro.thermal.lumped.LumpedThermalModel.advance` uses:
+
+    U_hat(t + h) = U_ss + (U_hat(t) - U_ss) * exp(-lambda h / C),
+    U_ss = P_hat / lambda.
+
+Any interval ``h`` is therefore one projection, one elementwise decay,
+and one back-projection -- unconditionally stable, *exact in time* for
+the spatial discretization (the only error is float rounding), and
+independent of the explicit-Euler stability bound that forces
+``repro.thermal.grid`` to take thousands of sub-steps per sampling
+interval.  ``lambda > 0`` everywhere (the vertical path ``G_ver``
+grounds even the DC mode), so the steady state is a direct elementwise
+divide instead of a settle iteration.
+
+The per-``seconds`` decay cache mirrors
+:data:`repro.thermal.lumped._SHARED_DECAY`: identical (operator,
+timestep) keys share one read-only array process-wide, so a DTM loop
+that advances by one fixed sampling interval pays ``np.exp`` once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ThermalModelError
+
+#: Process-wide decay cache shared by every propagator instance, keyed
+#: by (eigenvalue bytes, capacitance, seconds).  The eigenvalue bytes
+#: capture the exact float bits the decay expression consumes, so
+#: sharing cannot perturb bit-identity between instances.
+_SHARED_DECAY: dict[tuple, np.ndarray] = {}
+
+#: Safety bound on distinct (operator, interval) entries; sweeps over
+#: many resolutions would otherwise grow the dict without limit.
+#: Entries are pure recomputable values, so wholesale eviction is only
+#: a cost, never a correctness concern.
+_SHARED_DECAY_MAX = 256
+
+
+def cosine_basis(resolution: int) -> np.ndarray:
+    """The orthonormal DCT-II eigenbasis of the 1D Neumann Laplacian.
+
+    Column ``k`` is ``sqrt((2 - (k == 0)) / N) * cos(pi k (j+1/2) / N)``
+    over rows ``j``; the matrix is orthogonal (``V^T V = I``) so the
+    inverse transform is the transpose.  Returned read-only: instances
+    share it through module-level reuse and must not mutate it.
+    """
+    if resolution < 1:
+        raise ThermalModelError("resolution must be at least 1")
+    j = np.arange(resolution)[:, None] + 0.5
+    k = np.arange(resolution)[None, :]
+    basis = np.cos(np.pi * k * j / resolution)
+    basis *= np.sqrt(2.0 / resolution)
+    basis[:, 0] = np.sqrt(1.0 / resolution)
+    basis.flags.writeable = False
+    return basis
+
+
+def neumann_eigenvalues(resolution: int) -> np.ndarray:
+    """``mu_k = 2 - 2 cos(pi k / N)``: the 1D Neumann Laplacian spectrum.
+
+    ``L v_k = -mu_k v_k`` for the cosine modes of :func:`cosine_basis`;
+    ``mu_0 = 0`` is the conserved (adiabatic) DC mode.  Read-only.
+    """
+    if resolution < 1:
+        raise ThermalModelError("resolution must be at least 1")
+    mu = 2.0 - 2.0 * np.cos(np.pi * np.arange(resolution) / resolution)
+    mu.flags.writeable = False
+    return mu
+
+
+class SpectralPropagator:
+    """Closed-form constant-power propagator for one grid operator.
+
+    Operates on *deviation* fields (temperature minus the heatsink
+    reference) of shape ``(N, N)``; the caller owns the reference
+    offset.  ``g_lat_x`` couples columns (axis 1), ``g_lat_y`` couples
+    rows (axis 0), ``g_ver`` grounds every cell to the sink, and
+    ``cell_c`` is the per-cell heat capacitance -- exactly the
+    conductances :class:`repro.thermal.grid.GridThermalModel` derives
+    from the die geometry.
+    """
+
+    def __init__(
+        self,
+        resolution: int,
+        g_lat_x: float,
+        g_lat_y: float,
+        g_ver: float,
+        cell_c: float,
+    ) -> None:
+        if resolution < 1:
+            raise ThermalModelError("resolution must be at least 1")
+        if g_ver <= 0:
+            raise ThermalModelError(
+                "g_ver must be positive: the vertical path to the sink "
+                "is what grounds the DC mode and makes the steady state "
+                "a direct solve"
+            )
+        if g_lat_x < 0 or g_lat_y < 0:
+            raise ThermalModelError("lateral conductances must be >= 0")
+        if cell_c <= 0:
+            raise ThermalModelError("cell_c must be positive")
+        self.resolution = int(resolution)
+        self.cell_c = float(cell_c)
+        self.basis = cosine_basis(resolution)
+        #: Contiguous copy of ``basis.T``: BLAS takes the no-transpose
+        #: fast path on both matmuls of each projection (measurably
+        #: faster than multiplying through the transpose view).
+        basis_t = np.ascontiguousarray(self.basis.T)
+        basis_t.flags.writeable = False
+        self._basis_t = basis_t
+        mu = neumann_eigenvalues(resolution)
+        #: ``lambda[k, m]`` for row (y) mode ``k`` and column (x) mode
+        #: ``m``; strictly positive, so every mode decays and the
+        #: steady-state divide is always well defined.
+        eigenvalues = g_ver + g_lat_y * mu[:, None] + g_lat_x * mu[None, :]
+        eigenvalues.flags.writeable = False
+        self.eigenvalues = eigenvalues
+        self._decay_cache: dict[float, np.ndarray] = {}
+        self._decay_key = (eigenvalues.tobytes(), self.cell_c)
+
+    # -- transforms --------------------------------------------------------
+    def to_modes(self, field: np.ndarray) -> np.ndarray:
+        """Project a physical ``(N, N)`` field into the cosine eigenbasis."""
+        return np.dot(np.dot(self._basis_t, field), self.basis)
+
+    def from_modes(self, modes: np.ndarray) -> np.ndarray:
+        """Reconstruct the physical field from eigenbasis coefficients."""
+        return np.dot(np.dot(self.basis, modes), self._basis_t)
+
+    # -- closed-form evolution ---------------------------------------------
+    def decay(self, seconds: float) -> np.ndarray:
+        """``exp(-lambda * seconds / C)`` with the two-level cache.
+
+        Mirrors :meth:`repro.thermal.lumped.LumpedThermalModel._decay`:
+        the per-instance dict makes the per-sample lookup one dict hit,
+        and the process-wide store shares the computed arrays across
+        every propagator with the same operator.  Read-only, as
+        required once shared.
+        """
+        decay = self._decay_cache.get(seconds)
+        if decay is None:
+            key = (*self._decay_key, seconds)
+            decay = _SHARED_DECAY.get(key)
+            if decay is None:
+                if len(_SHARED_DECAY) >= _SHARED_DECAY_MAX:
+                    _SHARED_DECAY.clear()
+                decay = np.exp(-(seconds / self.cell_c) * self.eigenvalues)
+                decay.flags.writeable = False
+                _SHARED_DECAY[key] = decay
+            self._decay_cache[seconds] = decay
+        return decay
+
+    def _validate(self, field: np.ndarray, name: str) -> np.ndarray:
+        field = np.asarray(field, dtype=float)
+        expected = (self.resolution, self.resolution)
+        if field.shape != expected:
+            raise ThermalModelError(
+                f"{name} must have shape {expected}, got {field.shape}"
+            )
+        return field
+
+    def advance(
+        self, deviation: np.ndarray, power: np.ndarray, seconds: float
+    ) -> np.ndarray:
+        """Evolve a deviation field ``seconds`` under constant power.
+
+        One projection pair, one elementwise decay, one back-projection
+        -- exact for any ``seconds > 0``, no stability bound.
+        """
+        if seconds <= 0:
+            raise ThermalModelError("seconds must be positive")
+        deviation = self._validate(deviation, "deviation")
+        power = self._validate(power, "power")
+        u_hat = self.to_modes(deviation)
+        steady_hat = self.to_modes(power) / self.eigenvalues
+        u_hat = steady_hat + (u_hat - steady_hat) * self.decay(seconds)
+        return self.from_modes(u_hat)
+
+    def steady_state(self, power: np.ndarray) -> np.ndarray:
+        """The equilibrium deviation field: ``V (P_hat / lambda) V^T``.
+
+        A direct elementwise solve in the eigenbasis -- no settle
+        iteration, no convergence question.
+        """
+        power = self._validate(power, "power")
+        return self.from_modes(self.to_modes(power) / self.eigenvalues)

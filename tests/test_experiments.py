@@ -107,7 +107,7 @@ class TestStaticExperiments:
         assert result.extras["worst_deviation_k"] < 0.1
 
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 37
+        assert len(ALL_EXPERIMENTS) == 38
 
     def test_all_experiments_importable_with_run(self):
         import importlib
